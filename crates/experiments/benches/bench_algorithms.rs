@@ -1,0 +1,71 @@
+//! Micro-benchmarks of the individual building blocks: end-to-end cost of
+//! each online algorithm (the paper's O(1)-per-arrival claim for POLAR /
+//! POLAR-OP vs. the index scans of the greedy baselines) and the offline
+//! guide construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftoa_core::{
+    BatchGreedy, Instance, OfflineGuide, OnlineAlgorithm, Opt, Polar, PolarOp, SimpleGreedy,
+};
+use workload::SyntheticConfig;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("per_algorithm");
+    group.sample_size(10);
+
+    for &n in &[1_000usize, 4_000] {
+        let scenario = SyntheticConfig {
+            num_workers: n,
+            num_tasks: n,
+            grid_n: 50,
+            num_slots: 48,
+            ..Default::default()
+        }
+        .generate(7);
+        let instance = Instance::new(
+            &scenario.config,
+            &scenario.stream,
+            &scenario.predicted_workers,
+            &scenario.predicted_tasks,
+        );
+        let guide = OfflineGuide::build(
+            &scenario.config,
+            &scenario.predicted_workers,
+            &scenario.predicted_tasks,
+        );
+
+        group.bench_with_input(BenchmarkId::new("SimpleGreedy", n), &n, |b, _| {
+            b.iter(|| SimpleGreedy.run(&instance).matching_size())
+        });
+        group.bench_with_input(BenchmarkId::new("GR", n), &n, |b, _| {
+            b.iter(|| BatchGreedy::default().run(&instance).matching_size())
+        });
+        group.bench_with_input(BenchmarkId::new("POLAR_online", n), &n, |b, _| {
+            b.iter(|| Polar::default().run_with_guide(&instance, &guide).matching_size())
+        });
+        group.bench_with_input(BenchmarkId::new("POLAR-OP_online", n), &n, |b, _| {
+            b.iter(|| PolarOp::default().run_with_guide(&instance, &guide).matching_size())
+        });
+        group.bench_with_input(BenchmarkId::new("OPT", n), &n, |b, _| {
+            b.iter(|| Opt::exact().run(&instance).matching_size())
+        });
+        group.bench_with_input(BenchmarkId::new("guide_build", n), &n, |b, _| {
+            b.iter(|| {
+                OfflineGuide::build(
+                    &scenario.config,
+                    &scenario.predicted_workers,
+                    &scenario.predicted_tasks,
+                )
+                .matching_size()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(10)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_algorithms
+}
+criterion_main!(benches);

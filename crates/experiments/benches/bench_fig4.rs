@@ -1,0 +1,45 @@
+//! Criterion bench regenerating Figure 4 (synthetic sweeps of |W|, |R|, Dr,
+//! grid resolution). Each bench times one full sweep at a reduced object
+//! scale; the measured quantity of interest (matching size per algorithm) is
+//! printed once per sweep so the bench output doubles as the figure data.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::figures;
+use experiments::runner::SuiteOptions;
+
+const SCALE: f64 = 0.05;
+
+fn bench_fig4(c: &mut Criterion) {
+    let opts = SuiteOptions::default();
+    let mut group = c.benchmark_group("figure4");
+    group.sample_size(10);
+
+    println!("{}", figures::fig4_vary_workers(SCALE, &opts).to_text());
+    group.bench_function("vary_workers", |b| {
+        b.iter(|| figures::fig4_vary_workers(SCALE, &opts).len())
+    });
+
+    println!("{}", figures::fig4_vary_tasks(SCALE, &opts).to_text());
+    group.bench_function("vary_tasks", |b| {
+        b.iter(|| figures::fig4_vary_tasks(SCALE, &opts).len())
+    });
+
+    println!("{}", figures::fig4_vary_deadline(SCALE, &opts).to_text());
+    group.bench_function("vary_deadline", |b| {
+        b.iter(|| figures::fig4_vary_deadline(SCALE, &opts).len())
+    });
+
+    println!("{}", figures::fig4_vary_grid(SCALE, &opts).to_text());
+    group.bench_function("vary_grid", |b| {
+        b.iter(|| figures::fig4_vary_grid(SCALE, &opts).len())
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(20)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_fig4
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench regenerating Figure 5 (time-slot sweep, scalability sweep
+//! and the Beijing / Hangzhou deadline sweeps).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::figures;
+use experiments::runner::SuiteOptions;
+
+const SCALE: f64 = 0.05;
+const CITY_SCALE_DOWN: usize = 50;
+
+fn bench_fig5(c: &mut Criterion) {
+    let opts = SuiteOptions::default();
+    let mut group = c.benchmark_group("figure5");
+    group.sample_size(10);
+
+    println!("{}", figures::fig5_vary_slots(SCALE, &opts).to_text());
+    group.bench_function("vary_slots", |b| {
+        b.iter(|| figures::fig5_vary_slots(SCALE, &opts).len())
+    });
+
+    println!("{}", figures::fig5_scalability(SCALE / 10.0, &opts).to_text());
+    group.bench_function("scalability", |b| {
+        b.iter(|| figures::fig5_scalability(SCALE / 10.0, &opts).len())
+    });
+
+    println!("{}", figures::fig5_beijing(CITY_SCALE_DOWN, &opts).to_text());
+    group.bench_function("beijing_deadline", |b| {
+        b.iter(|| figures::fig5_beijing(CITY_SCALE_DOWN, &opts).len())
+    });
+
+    println!("{}", figures::fig5_hangzhou(CITY_SCALE_DOWN, &opts).to_text());
+    group.bench_function("hangzhou_deadline", |b| {
+        b.iter(|| figures::fig5_hangzhou(CITY_SCALE_DOWN, &opts).len())
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(25)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_fig5
+}
+criterion_main!(benches);

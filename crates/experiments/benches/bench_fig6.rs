@@ -1,0 +1,34 @@
+//! Criterion bench regenerating Figure 6 (sensitivity to the tasks'
+//! temporal/spatial distribution parameters).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::figures::{fig6_vary_distribution, Fig6Parameter};
+use experiments::runner::SuiteOptions;
+
+const SCALE: f64 = 0.05;
+
+fn bench_fig6(c: &mut Criterion) {
+    let opts = SuiteOptions::default();
+    let mut group = c.benchmark_group("figure6");
+    group.sample_size(10);
+
+    for (name, param) in [
+        ("vary_mu", Fig6Parameter::TemporalMu),
+        ("vary_sigma", Fig6Parameter::TemporalSigma),
+        ("vary_mean", Fig6Parameter::SpatialMean),
+        ("vary_cov", Fig6Parameter::SpatialCov),
+    ] {
+        println!("{}", fig6_vary_distribution(param, SCALE, &opts).to_text());
+        group.bench_function(name, |b| {
+            b.iter(|| fig6_vary_distribution(param, SCALE, &opts).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(20)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_fig6
+}
+criterion_main!(benches);

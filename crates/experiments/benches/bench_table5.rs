@@ -1,0 +1,35 @@
+//! Criterion bench regenerating Table 5 (offline prediction comparison) and
+//! timing the individual predictors on a city-scale history.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::table5::Table5;
+use prediction::{all_predictors, Quantity};
+use workload::city::CityWorkload;
+use workload::CityConfig;
+
+fn bench_table5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5");
+    group.sample_size(10);
+
+    // Print the full (scaled-down) Table 5 once.
+    let table = Table5::evaluate(&[CityConfig::beijing(), CityConfig::hangzhou()], 50, 21);
+    println!("{}", table.to_text());
+
+    // Time each predictor separately on the Beijing history.
+    let workload = CityWorkload::new(CityConfig::beijing().scaled_down(50));
+    let history = workload.generate_history(21);
+    let (meta, _w, _t) = workload.test_day_truth(21);
+    for predictor in all_predictors() {
+        group.bench_function(format!("predict_{}", predictor.name()), |b| {
+            b.iter(|| predictor.predict(&history, Quantity::Tasks, &meta).total())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(15)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_table5
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Reproduces Figure 4 of the paper: matching size, running time and memory
+//! when varying `|W|`, `|R|`, `D_r` and the grid resolution on synthetic data.
+//!
+//! Usage: `figure4 [--sweep workers|tasks|deadline|grid|all] [--scale F] [--no-opt]`
+//!
+//! `--scale` multiplies the paper's object counts (default 0.25 so the full
+//! figure regenerates in minutes on a laptop; use `--scale 1.0` for the
+//! paper-sized instances).
+
+use experiments::figures;
+use experiments::runner::SuiteOptions;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let sweep = arg_value(&args, "--sweep").unwrap_or_else(|| "all".to_string());
+    let scale: f64 = arg_value(&args, "--scale").and_then(|v| v.parse().ok()).unwrap_or(0.25);
+    let opts = SuiteOptions { include_opt: !args.iter().any(|a| a == "--no-opt"), ..Default::default() };
+
+    println!("Figure 4 reproduction (object scale {scale}, OPT included: {})\n", opts.include_opt);
+    let run = |name: &str| sweep == "all" || sweep == name;
+    if run("workers") {
+        println!("{}", figures::fig4_vary_workers(scale, &opts).to_text());
+    }
+    if run("tasks") {
+        println!("{}", figures::fig4_vary_tasks(scale, &opts).to_text());
+    }
+    if run("deadline") {
+        println!("{}", figures::fig4_vary_deadline(scale, &opts).to_text());
+    }
+    if run("grid") {
+        println!("{}", figures::fig4_vary_grid(scale, &opts).to_text());
+    }
+}
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
+}

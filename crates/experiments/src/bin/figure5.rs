@@ -1,0 +1,43 @@
+//! Reproduces Figure 5 of the paper: varying the number of time slots,
+//! the scalability sweep, and the Beijing / Hangzhou deadline sweeps.
+//!
+//! Usage: `figure5 [--sweep slots|scale|beijing|hangzhou|all] [--scale F]
+//!                 [--city-scale-down N] [--no-opt]`
+//!
+//! Defaults: `--scale 0.25` for the synthetic sweeps, `--city-scale-down 10`
+//! for the city workloads (≈5k workers and tasks per day), and the
+//! scalability sweep runs at `--scale / 10` because its paper sizes reach one
+//! million objects per side.
+
+use experiments::figures;
+use experiments::runner::SuiteOptions;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let sweep = arg_value(&args, "--sweep").unwrap_or_else(|| "all".to_string());
+    let scale: f64 = arg_value(&args, "--scale").and_then(|v| v.parse().ok()).unwrap_or(0.25);
+    let city_scale_down: usize =
+        arg_value(&args, "--city-scale-down").and_then(|v| v.parse().ok()).unwrap_or(10);
+    let opts = SuiteOptions { include_opt: !args.iter().any(|a| a == "--no-opt"), ..Default::default() };
+
+    println!(
+        "Figure 5 reproduction (object scale {scale}, city scale-down 1/{city_scale_down})\n"
+    );
+    let run = |name: &str| sweep == "all" || sweep == name;
+    if run("slots") {
+        println!("{}", figures::fig5_vary_slots(scale, &opts).to_text());
+    }
+    if run("scale") {
+        println!("{}", figures::fig5_scalability(scale / 10.0, &opts).to_text());
+    }
+    if run("beijing") {
+        println!("{}", figures::fig5_beijing(city_scale_down, &opts).to_text());
+    }
+    if run("hangzhou") {
+        println!("{}", figures::fig5_hangzhou(city_scale_down, &opts).to_text());
+    }
+}
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
+}

@@ -1,0 +1,31 @@
+//! Reproduces Figure 6 of the paper: the effect of the tasks' temporal
+//! (μ, σ) and spatial (mean, cov) distribution parameters on synthetic data.
+//!
+//! Usage: `figure6 [--sweep mu|sigma|mean|cov|all] [--scale F] [--no-opt]`
+
+use experiments::figures::{fig6_vary_distribution, Fig6Parameter};
+use experiments::runner::SuiteOptions;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let sweep = arg_value(&args, "--sweep").unwrap_or_else(|| "all".to_string());
+    let scale: f64 = arg_value(&args, "--scale").and_then(|v| v.parse().ok()).unwrap_or(0.25);
+    let opts = SuiteOptions { include_opt: !args.iter().any(|a| a == "--no-opt"), ..Default::default() };
+
+    println!("Figure 6 reproduction (object scale {scale})\n");
+    let params = [
+        ("mu", Fig6Parameter::TemporalMu),
+        ("sigma", Fig6Parameter::TemporalSigma),
+        ("mean", Fig6Parameter::SpatialMean),
+        ("cov", Fig6Parameter::SpatialCov),
+    ];
+    for (name, param) in params {
+        if sweep == "all" || sweep == name {
+            println!("{}", fig6_vary_distribution(param, scale, &opts).to_text());
+        }
+    }
+}
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
+}

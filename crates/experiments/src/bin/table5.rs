@@ -1,0 +1,33 @@
+//! Reproduces Table 5 of the paper: RMLSE and Error Rate of the seven
+//! offline prediction approaches on the Beijing and Hangzhou workloads.
+//!
+//! Usage: `table5 [--scale-down N] [--history-days D] [--csv]`
+//!
+//! Defaults: `--scale-down 10` (≈5k objects per day per side) and 28 days of
+//! training history before the held-out test day.
+
+use experiments::table5::Table5;
+use workload::CityConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale_down: usize =
+        arg_value(&args, "--scale-down").and_then(|v| v.parse().ok()).unwrap_or(10);
+    let history_days: usize =
+        arg_value(&args, "--history-days").and_then(|v| v.parse().ok()).unwrap_or(28);
+
+    println!(
+        "Table 5 reproduction (city scale-down 1/{scale_down}, {history_days} days of history)\n"
+    );
+    let table =
+        Table5::evaluate(&[CityConfig::beijing(), CityConfig::hangzhou()], scale_down, history_days);
+    if args.iter().any(|a| a == "--csv") {
+        println!("{}", table.to_csv());
+    } else {
+        println!("{}", table.to_text());
+    }
+}
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
+}

@@ -1,0 +1,27 @@
+//! Benchmark harness reproducing every table and figure of the paper's
+//! evaluation (Section 6).
+//!
+//! * [`runner`] — runs the full algorithm suite (SimpleGreedy, GR, POLAR,
+//!   POLAR-OP, OPT) on one scenario, sharing a single offline guide between
+//!   POLAR and POLAR-OP as the paper's framework does.
+//! * [`report`] — sweep-report tables (matching size / running time / memory
+//!   per algorithm and parameter value) with text and CSV rendering.
+//! * [`figures`] — the parameter sweeps of Figures 4, 5 and 6 plus the extra
+//!   ablations called out in DESIGN.md.
+//! * [`table5`] — the offline-prediction comparison (ER / RMLSE of the seven
+//!   predictors on the two city workloads).
+//!
+//! Binaries (`figure4`, `figure5`, `figure6`, `table5`, `ablation`,
+//! `run_all`) print the same series the paper plots; the Criterion benches
+//! under `benches/` time the same sweeps at a reduced scale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod report;
+pub mod runner;
+pub mod table5;
+
+pub use report::SweepReport;
+pub use runner::{run_suite, SuiteOptions};

@@ -1,0 +1,179 @@
+//! Sweep-report tables: the textual equivalent of the paper's plots.
+//!
+//! Each figure of the paper is a family of three plots (matching size,
+//! running time, memory) over one swept parameter, with one series per
+//! algorithm. A [`SweepReport`] stores exactly that data and renders it as an
+//! aligned text table (what the binaries print) or CSV (for re-plotting).
+
+use ftoa_core::AlgorithmResult;
+use std::fmt::Write as _;
+
+/// One figure-equivalent: three metric tables over a swept parameter.
+#[derive(Debug, Clone, Default)]
+pub struct SweepReport {
+    /// Report title, e.g. `"Figure 4(a,e,i): varying |W|"`.
+    pub title: String,
+    /// Name of the swept parameter (x axis).
+    pub x_label: String,
+    /// The swept values, as printed on the x axis.
+    pub x_values: Vec<String>,
+    /// Algorithm names (series).
+    pub algorithms: Vec<String>,
+    /// `matching_size[series][x]`.
+    pub matching_size: Vec<Vec<f64>>,
+    /// `runtime_secs[series][x]`.
+    pub runtime_secs: Vec<Vec<f64>>,
+    /// `memory_mb[series][x]`.
+    pub memory_mb: Vec<Vec<f64>>,
+}
+
+impl SweepReport {
+    /// Create an empty report.
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>) -> Self {
+        Self { title: title.into(), x_label: x_label.into(), ..Default::default() }
+    }
+
+    /// Record the results of one sweep point. The set and order of algorithms
+    /// must be identical across points.
+    pub fn record(&mut self, x_value: impl Into<String>, results: &[AlgorithmResult]) {
+        if self.algorithms.is_empty() {
+            self.algorithms = results.iter().map(|r| r.algorithm.clone()).collect();
+            self.matching_size = vec![Vec::new(); results.len()];
+            self.runtime_secs = vec![Vec::new(); results.len()];
+            self.memory_mb = vec![Vec::new(); results.len()];
+        }
+        assert_eq!(
+            self.algorithms.len(),
+            results.len(),
+            "every sweep point must report the same algorithms"
+        );
+        self.x_values.push(x_value.into());
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(self.algorithms[i], r.algorithm, "algorithm order changed mid-sweep");
+            self.matching_size[i].push(r.matching_size() as f64);
+            self.runtime_secs[i].push(r.runtime_secs());
+            self.memory_mb[i].push(r.memory_mb());
+        }
+    }
+
+    /// Number of recorded sweep points.
+    pub fn len(&self) -> usize {
+        self.x_values.len()
+    }
+
+    /// Is the report empty?
+    pub fn is_empty(&self) -> bool {
+        self.x_values.is_empty()
+    }
+
+    fn metric<'a>(&'a self, name: &str) -> &'a [Vec<f64>] {
+        match name {
+            "matching size" => &self.matching_size,
+            "time (s)" => &self.runtime_secs,
+            "memory (MB)" => &self.memory_mb,
+            other => panic!("unknown metric {other}"),
+        }
+    }
+
+    fn render_metric(&self, out: &mut String, metric: &str) {
+        let data = self.metric(metric);
+        let _ = writeln!(out, "  [{metric}]");
+        let _ = write!(out, "  {:<14}", self.x_label);
+        for x in &self.x_values {
+            let _ = write!(out, "{x:>12}");
+        }
+        let _ = writeln!(out);
+        for (i, alg) in self.algorithms.iter().enumerate() {
+            let _ = write!(out, "  {alg:<14}");
+            for v in &data[i] {
+                if metric == "matching size" {
+                    let _ = write!(out, "{:>12.0}", v);
+                } else {
+                    let _ = write!(out, "{:>12.3}", v);
+                }
+            }
+            let _ = writeln!(out);
+        }
+    }
+
+    /// Render the full report (all three metrics) as an aligned text table.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        for metric in ["matching size", "time (s)", "memory (MB)"] {
+            self.render_metric(&mut out, metric);
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Render as CSV: one row per (metric, algorithm, x).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("metric,algorithm,x,value\n");
+        for (metric, data) in [
+            ("matching_size", &self.matching_size),
+            ("runtime_secs", &self.runtime_secs),
+            ("memory_mb", &self.memory_mb),
+        ] {
+            for (i, alg) in self.algorithms.iter().enumerate() {
+                for (j, x) in self.x_values.iter().enumerate() {
+                    let _ = writeln!(out, "{metric},{alg},{x},{}", data[i][j]);
+                }
+            }
+        }
+        out
+    }
+
+    /// The series of a given algorithm for a metric, if present.
+    pub fn series(&self, algorithm: &str, metric: &str) -> Option<&[f64]> {
+        let idx = self.algorithms.iter().position(|a| a == algorithm)?;
+        Some(&self.metric(metric)[idx])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftoa_types::{Assignment, AssignmentSet, TaskId, TimeStamp, WorkerId};
+    use std::time::Duration;
+
+    fn fake_result(name: &str, size: usize) -> AlgorithmResult {
+        let mut assignments = AssignmentSet::new();
+        for i in 0..size {
+            assignments.push(Assignment::new(WorkerId(i), TaskId(i), TimeStamp::ZERO)).unwrap();
+        }
+        AlgorithmResult {
+            algorithm: name.into(),
+            assignments,
+            preprocessing: Duration::ZERO,
+            runtime: Duration::from_millis(10 * (size as u64 + 1)),
+            memory_bytes: 1024 * 1024,
+        }
+    }
+
+    #[test]
+    fn record_and_render() {
+        let mut report = SweepReport::new("Test figure", "|W|");
+        report.record("5000", &[fake_result("POLAR", 10), fake_result("OPT", 20)]);
+        report.record("10000", &[fake_result("POLAR", 15), fake_result("OPT", 30)]);
+        assert_eq!(report.len(), 2);
+        assert!(!report.is_empty());
+        let text = report.to_text();
+        assert!(text.contains("Test figure"));
+        assert!(text.contains("POLAR"));
+        assert!(text.contains("matching size"));
+        let csv = report.to_csv();
+        assert!(csv.lines().count() > 10);
+        assert!(csv.starts_with("metric,algorithm,x,value"));
+        assert_eq!(report.series("OPT", "matching size"), Some(&[20.0, 30.0][..]));
+        assert_eq!(report.series("NOPE", "matching size"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "same algorithms")]
+    fn inconsistent_algorithm_sets_panic() {
+        let mut report = SweepReport::new("Bad", "x");
+        report.record("1", &[fake_result("A", 1)]);
+        report.record("2", &[fake_result("A", 1), fake_result("B", 2)]);
+    }
+}

@@ -1,0 +1,154 @@
+//! Running the full algorithm suite on one scenario.
+
+use ftoa_core::algorithms::OptMode;
+use ftoa_core::{
+    AlgorithmResult, BatchGreedy, Instance, OfflineGuide, OnlineAlgorithm, Opt, Polar, PolarOp,
+    SimpleGreedy,
+};
+use std::time::Instant;
+use workload::Scenario;
+
+/// Options controlling which algorithms run and how.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuiteOptions {
+    /// Run the OPT oracle (can be expensive on very large instances).
+    pub include_opt: bool,
+    /// How OPT is solved.
+    pub opt_mode: OptMode,
+    /// GR batching window in minutes.
+    pub gr_window_minutes: f64,
+    /// Verify physical feasibility when POLAR / POLAR-OP commit assignments.
+    pub strict_feasibility: bool,
+}
+
+impl Default for SuiteOptions {
+    fn default() -> Self {
+        Self {
+            include_opt: true,
+            opt_mode: OptMode::Exact,
+            gr_window_minutes: 3.0,
+            strict_feasibility: true,
+        }
+    }
+}
+
+impl SuiteOptions {
+    /// Options for very large (scalability) instances: OPT is solved on the
+    /// aggregated network, as materialising every feasible edge would not fit
+    /// in memory (the paper likewise omits OPT's time/memory at this scale).
+    pub fn scalability() -> Self {
+        Self { opt_mode: OptMode::TypeAggregated, ..Self::default() }
+    }
+}
+
+/// Run SimpleGreedy, GR, POLAR, POLAR-OP (and optionally OPT) on a scenario.
+///
+/// The offline guide is built once and shared by POLAR and POLAR-OP; its
+/// construction time is reported in each result's `preprocessing` field (the
+/// paper excludes it from the online running times).
+pub fn run_suite(scenario: &Scenario, opts: &SuiteOptions) -> Vec<AlgorithmResult> {
+    let instance = Instance::new(
+        &scenario.config,
+        &scenario.stream,
+        &scenario.predicted_workers,
+        &scenario.predicted_tasks,
+    );
+    let mut results = Vec::new();
+
+    results.push(SimpleGreedy.run(&instance));
+    results.push(BatchGreedy { window_minutes: opts.gr_window_minutes }.run(&instance));
+
+    let guide_start = Instant::now();
+    let guide = OfflineGuide::build(
+        &scenario.config,
+        &scenario.predicted_workers,
+        &scenario.predicted_tasks,
+    );
+    let preprocessing = guide_start.elapsed();
+
+    let polar = Polar { strict_feasibility: opts.strict_feasibility, ..Polar::default() };
+    let mut polar_result = polar.run_with_guide(&instance, &guide);
+    polar_result.preprocessing = preprocessing;
+    results.push(polar_result);
+
+    let polar_op = PolarOp { strict_feasibility: opts.strict_feasibility, ..PolarOp::default() };
+    let mut polar_op_result = polar_op.run_with_guide(&instance, &guide);
+    polar_op_result.preprocessing = preprocessing;
+    results.push(polar_op_result);
+
+    if opts.include_opt {
+        results.push(Opt { mode: opts.opt_mode }.run(&instance));
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::SyntheticConfig;
+
+    fn small_scenario() -> Scenario {
+        SyntheticConfig {
+            num_workers: 400,
+            num_tasks: 400,
+            grid_n: 10,
+            num_slots: 8,
+            ..Default::default()
+        }
+        .generate(42)
+    }
+
+    #[test]
+    fn suite_runs_all_five_algorithms() {
+        let scenario = small_scenario();
+        let results = run_suite(&scenario, &SuiteOptions::default());
+        let names: Vec<&str> = results.iter().map(|r| r.algorithm.as_str()).collect();
+        assert_eq!(names, vec!["SimpleGreedy", "GR", "POLAR", "POLAR-OP", "OPT"]);
+        // OPT dominates every online algorithm.
+        let opt = results.last().unwrap().matching_size();
+        for r in &results[..4] {
+            assert!(r.matching_size() <= opt, "{} beat OPT", r.algorithm);
+        }
+        // Every matching is feasible under the flexible model.
+        for r in &results {
+            assert!(r
+                .assignments
+                .validate_flexible(
+                    scenario.stream.workers(),
+                    scenario.stream.tasks(),
+                    scenario.config.velocity
+                )
+                .is_ok());
+        }
+    }
+
+    #[test]
+    fn polar_op_dominates_polar_on_synthetic_data() {
+        let scenario = small_scenario();
+        let results = run_suite(&scenario, &SuiteOptions::default());
+        let polar = results.iter().find(|r| r.algorithm == "POLAR").unwrap().matching_size();
+        let polar_op = results.iter().find(|r| r.algorithm == "POLAR-OP").unwrap().matching_size();
+        assert!(polar_op >= polar);
+    }
+
+    #[test]
+    fn opt_can_be_skipped() {
+        let scenario = small_scenario();
+        let results =
+            run_suite(&scenario, &SuiteOptions { include_opt: false, ..Default::default() });
+        assert_eq!(results.len(), 4);
+    }
+
+    #[test]
+    fn aggregated_opt_is_close_to_exact_opt() {
+        let scenario = small_scenario();
+        let exact = run_suite(&scenario, &SuiteOptions::default());
+        let aggregated = run_suite(&scenario, &SuiteOptions::scalability());
+        let e = exact.last().unwrap().matching_size() as f64;
+        let a = aggregated.last().unwrap().matching_size() as f64;
+        // The aggregation evaluates feasibility at slot midpoints and cell
+        // centres, so it under-counts tight-deadline pairs; it must stay in
+        // the same ballpark and never materially exceed the exact optimum.
+        assert!(a >= 0.55 * e && a <= 1.1 * e, "exact {e} vs aggregated {a}");
+    }
+}

@@ -1,0 +1,191 @@
+//! Table 5: evaluation of the seven offline prediction approaches on the two
+//! city workloads (RMLSE and Error Rate, for both tasks and workers).
+
+use prediction::{all_predictors, error_rate, rmlse, Quantity};
+use std::fmt::Write as _;
+use workload::city::CityWorkload;
+use workload::CityConfig;
+
+/// One row of Table 5: a predictor's errors on one city.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictionScore {
+    /// Predictor name (HA, ARIMA, GBRT, PAQ, LR, NN, HP-MSI).
+    pub predictor: String,
+    /// City name.
+    pub city: String,
+    /// RMLSE on the task (customer) counts.
+    pub task_rmlse: f64,
+    /// Error rate on the task counts.
+    pub task_er: f64,
+    /// RMLSE on the worker (taxi) counts.
+    pub worker_rmlse: f64,
+    /// Error rate on the worker counts.
+    pub worker_er: f64,
+}
+
+/// The full Table 5 for a set of cities.
+#[derive(Debug, Clone, Default)]
+pub struct Table5 {
+    /// Scores, grouped by city in input order, predictors in Table 5 order.
+    pub scores: Vec<PredictionScore>,
+}
+
+impl Table5 {
+    /// Evaluate every predictor on every given city configuration.
+    ///
+    /// `scale_down` shrinks the per-day object counts (Table 3 is ≈50k/day);
+    /// `history_days` is the amount of training history generated before the
+    /// held-out test day.
+    pub fn evaluate(cities: &[CityConfig], scale_down: usize, history_days: usize) -> Self {
+        let mut scores = Vec::new();
+        for city in cities {
+            let workload = CityWorkload::new(city.clone().scaled_down(scale_down.max(1)));
+            let history = workload.generate_history(history_days);
+            let (meta, truth_workers, truth_tasks) = workload.test_day_truth(history_days);
+            for predictor in all_predictors() {
+                let pred_tasks = predictor.predict(&history, Quantity::Tasks, &meta);
+                let pred_workers = predictor.predict(&history, Quantity::Workers, &meta);
+                scores.push(PredictionScore {
+                    predictor: predictor.name().to_string(),
+                    city: city.name.to_string(),
+                    task_rmlse: rmlse(&truth_tasks, &pred_tasks),
+                    task_er: error_rate(&truth_tasks, &pred_tasks),
+                    worker_rmlse: rmlse(&truth_workers, &pred_workers),
+                    worker_er: error_rate(&truth_workers, &pred_workers),
+                });
+            }
+        }
+        Self { scores }
+    }
+
+    /// The score of one predictor on one city, if present.
+    pub fn score(&self, predictor: &str, city: &str) -> Option<&PredictionScore> {
+        self.scores.iter().find(|s| s.predictor == predictor && s.city == city)
+    }
+
+    /// The predictor with the smallest mean error rate across all cities and
+    /// both quantities (the paper selects HP-MSI by this criterion).
+    pub fn best_predictor(&self) -> Option<String> {
+        let mut totals: Vec<(String, f64, usize)> = Vec::new();
+        for s in &self.scores {
+            let entry = totals.iter_mut().find(|(name, _, _)| *name == s.predictor);
+            let contribution = s.task_er + s.worker_er;
+            match entry {
+                Some((_, sum, n)) => {
+                    *sum += contribution;
+                    *n += 2;
+                }
+                None => totals.push((s.predictor.clone(), contribution, 2)),
+            }
+        }
+        totals
+            .into_iter()
+            .min_by(|a, b| (a.1 / a.2 as f64).total_cmp(&(b.1 / b.2 as f64)))
+            .map(|(name, _, _)| name)
+    }
+
+    /// Render as an aligned text table in the layout of the paper's Table 5.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let cities: Vec<String> = {
+            let mut seen = Vec::new();
+            for s in &self.scores {
+                if !seen.contains(&s.city) {
+                    seen.push(s.city.clone());
+                }
+            }
+            seen
+        };
+        let _ = writeln!(out, "== Table 5: prediction evaluation ==");
+        let _ = write!(out, "{:<10}", "");
+        for city in &cities {
+            let _ = write!(out, "| {:^28} ", format!("Task ({city})"));
+        }
+        for city in &cities {
+            let _ = write!(out, "| {:^28} ", format!("Worker ({city})"));
+        }
+        let _ = writeln!(out);
+        let _ = write!(out, "{:<10}", "method");
+        for _ in 0..cities.len() * 2 {
+            let _ = write!(out, "| {:>13} {:>14} ", "RMLSE", "ER");
+        }
+        let _ = writeln!(out);
+        let predictors: Vec<String> = {
+            let mut seen = Vec::new();
+            for s in &self.scores {
+                if !seen.contains(&s.predictor) {
+                    seen.push(s.predictor.clone());
+                }
+            }
+            seen
+        };
+        for p in &predictors {
+            let _ = write!(out, "{p:<10}");
+            for city in &cities {
+                let s = self.score(p, city).expect("score exists");
+                let _ = write!(out, "| {:>13.3} {:>14.3} ", s.task_rmlse, s.task_er);
+            }
+            for city in &cities {
+                let s = self.score(p, city).expect("score exists");
+                let _ = write!(out, "| {:>13.3} {:>14.3} ", s.worker_rmlse, s.worker_er);
+            }
+            let _ = writeln!(out);
+        }
+        if let Some(best) = self.best_predictor() {
+            let _ = writeln!(out, "\nBest overall predictor (mean ER): {best}");
+        }
+        out
+    }
+
+    /// Render as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("predictor,city,task_rmlse,task_er,worker_rmlse,worker_er\n");
+        for s in &self.scores {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{}",
+                s.predictor, s.city, s.task_rmlse, s.task_er, s.worker_rmlse, s.worker_er
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_table() -> Table5 {
+        // Heavily scaled-down city + short history keeps this test fast while
+        // still exercising every predictor end to end.
+        let mut beijing = CityConfig::beijing();
+        beijing.grid_nx = 6;
+        beijing.grid_ny = 8;
+        Table5::evaluate(&[beijing], 100, 18)
+    }
+
+    #[test]
+    fn evaluates_all_seven_predictors() {
+        let table = tiny_table();
+        assert_eq!(table.scores.len(), 7);
+        for s in &table.scores {
+            assert!(s.task_rmlse.is_finite() && s.task_rmlse >= 0.0);
+            assert!(s.task_er.is_finite() && s.task_er >= 0.0);
+            assert!(s.worker_rmlse.is_finite() && s.worker_rmlse >= 0.0);
+            assert!(s.worker_er.is_finite() && s.worker_er >= 0.0);
+        }
+        assert!(table.score("HP-MSI", "Beijing").is_some());
+        assert!(table.score("HP-MSI", "Atlantis").is_none());
+        assert!(table.best_predictor().is_some());
+    }
+
+    #[test]
+    fn renders_text_and_csv() {
+        let table = tiny_table();
+        let text = table.to_text();
+        assert!(text.contains("Table 5"));
+        assert!(text.contains("HP-MSI"));
+        let csv = table.to_csv();
+        assert_eq!(csv.lines().count(), 8);
+    }
+}

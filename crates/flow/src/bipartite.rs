@@ -1,0 +1,312 @@
+//! Bipartite-matching convenience layer.
+//!
+//! [`BipartiteGraph`] hides the source/sink plumbing of the flow formulation
+//! used by Algorithm 1 of the paper and returns matchings as plain
+//! `(left, right)` index pairs, which is the shape the guide generator and
+//! the OPT oracle in `ftoa-core` consume.
+
+use crate::dinic::dinic;
+use crate::edmonds_karp::edmonds_karp;
+use crate::hopcroft_karp::hopcroft_karp;
+use crate::min_cost::{min_cost_max_flow, McmfNetwork};
+use crate::network::FlowNetwork;
+
+/// Which max-flow engine to use when computing a matching through the flow
+/// formulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaxFlowEngine {
+    /// BFS Ford–Fulkerson, as cited in the paper (Algorithm 1, line 10).
+    EdmondsKarp,
+    /// Dinic's algorithm (default for large instances).
+    Dinic,
+    /// Hopcroft–Karp, bypassing the explicit flow network entirely.
+    HopcroftKarp,
+}
+
+/// A matching between the left and right vertex sets of a bipartite graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matching {
+    /// Matched pairs `(left, right)`.
+    pub pairs: Vec<(usize, usize)>,
+    /// For each left vertex, the matched right vertex (if any).
+    pub left_to_right: Vec<Option<usize>>,
+    /// For each right vertex, the matched left vertex (if any).
+    pub right_to_left: Vec<Option<usize>>,
+    /// Total cost of the matching when costs were supplied, otherwise 0.
+    pub total_cost: i64,
+}
+
+impl Matching {
+    /// Cardinality of the matching.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Is the matching empty?
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Is the matching internally consistent (both direction maps agree with
+    /// `pairs`, no vertex matched twice)?
+    pub fn is_consistent(&self) -> bool {
+        let mut seen_l = vec![false; self.left_to_right.len()];
+        let mut seen_r = vec![false; self.right_to_left.len()];
+        for &(l, r) in &self.pairs {
+            if l >= seen_l.len() || r >= seen_r.len() || seen_l[l] || seen_r[r] {
+                return false;
+            }
+            seen_l[l] = true;
+            seen_r[r] = true;
+            if self.left_to_right[l] != Some(r) || self.right_to_left[r] != Some(l) {
+                return false;
+            }
+        }
+        let matched_l = self.left_to_right.iter().filter(|x| x.is_some()).count();
+        let matched_r = self.right_to_left.iter().filter(|x| x.is_some()).count();
+        matched_l == self.pairs.len() && matched_r == self.pairs.len()
+    }
+}
+
+/// A bipartite graph with `n_left` left vertices, `n_right` right vertices and
+/// optionally cost-weighted edges.
+#[derive(Debug, Clone, Default)]
+pub struct BipartiteGraph {
+    n_left: usize,
+    n_right: usize,
+    /// `adj[l]` lists `(r, cost)` pairs.
+    adj: Vec<Vec<(usize, i64)>>,
+    num_edges: usize,
+}
+
+impl BipartiteGraph {
+    /// Create a bipartite graph with the given side sizes and no edges.
+    pub fn new(n_left: usize, n_right: usize) -> Self {
+        Self { n_left, n_right, adj: vec![Vec::new(); n_left], num_edges: 0 }
+    }
+
+    /// Number of left vertices.
+    pub fn n_left(&self) -> usize {
+        self.n_left
+    }
+
+    /// Number of right vertices.
+    pub fn n_right(&self) -> usize {
+        self.n_right
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Add an (uncosted) edge between left vertex `l` and right vertex `r`.
+    pub fn add_edge(&mut self, l: usize, r: usize) {
+        self.add_edge_with_cost(l, r, 0);
+    }
+
+    /// Add a cost-weighted edge (cost must be non-negative).
+    pub fn add_edge_with_cost(&mut self, l: usize, r: usize, cost: i64) {
+        assert!(l < self.n_left, "left vertex out of range");
+        assert!(r < self.n_right, "right vertex out of range");
+        assert!(cost >= 0, "negative edge cost");
+        self.adj[l].push((r, cost));
+        self.num_edges += 1;
+    }
+
+    /// Neighbours of a left vertex.
+    pub fn neighbors(&self, l: usize) -> impl Iterator<Item = usize> + '_ {
+        self.adj[l].iter().map(|&(r, _)| r)
+    }
+
+    /// Compute a maximum-cardinality matching with the requested engine.
+    pub fn max_matching_with(&self, engine: MaxFlowEngine) -> Matching {
+        match engine {
+            MaxFlowEngine::HopcroftKarp => self.matching_hopcroft_karp(),
+            MaxFlowEngine::EdmondsKarp | MaxFlowEngine::Dinic => self.matching_via_flow(engine),
+        }
+    }
+
+    /// Compute a maximum-cardinality matching with the default engine
+    /// (Hopcroft–Karp).
+    pub fn max_matching(&self) -> Matching {
+        self.max_matching_with(MaxFlowEngine::HopcroftKarp)
+    }
+
+    /// Compute a maximum-cardinality matching of minimum total edge cost
+    /// (min-cost max-flow formulation). Ties in cardinality are broken by
+    /// cost; cardinality is never sacrificed for cost.
+    pub fn min_cost_max_matching(&self) -> Matching {
+        // Node layout: 0 = source, 1..=n_left = left, then right, then sink.
+        let s = 0usize;
+        let left_base = 1usize;
+        let right_base = 1 + self.n_left;
+        let t = 1 + self.n_left + self.n_right;
+        let mut net = McmfNetwork::with_nodes(t + 1);
+        for l in 0..self.n_left {
+            net.add_edge(s, left_base + l, 1, 0);
+        }
+        for r in 0..self.n_right {
+            net.add_edge(right_base + r, t, 1, 0);
+        }
+        let mut edge_index = Vec::with_capacity(self.num_edges);
+        for (l, nbrs) in self.adj.iter().enumerate() {
+            for &(r, cost) in nbrs {
+                let id = net.add_edge(left_base + l, right_base + r, 1, cost);
+                edge_index.push((id, l, r, cost));
+            }
+        }
+        let result = min_cost_max_flow(&mut net, s, t);
+        let mut pairs = Vec::with_capacity(result.flow as usize);
+        let mut left_to_right = vec![None; self.n_left];
+        let mut right_to_left = vec![None; self.n_right];
+        let mut total_cost = 0;
+        for &(id, l, r, cost) in &edge_index {
+            if result.edge_flows[id] > 0 {
+                pairs.push((l, r));
+                left_to_right[l] = Some(r);
+                right_to_left[r] = Some(l);
+                total_cost += cost;
+            }
+        }
+        Matching { pairs, left_to_right, right_to_left, total_cost }
+    }
+
+    fn matching_hopcroft_karp(&self) -> Matching {
+        let adj: Vec<Vec<usize>> =
+            self.adj.iter().map(|nbrs| nbrs.iter().map(|&(r, _)| r).collect()).collect();
+        let (_size, ml, mr) = hopcroft_karp(self.n_left, self.n_right, &adj);
+        let left_to_right: Vec<Option<usize>> =
+            ml.iter().map(|&r| if r == usize::MAX { None } else { Some(r) }).collect();
+        let right_to_left: Vec<Option<usize>> =
+            mr.iter().map(|&l| if l == usize::MAX { None } else { Some(l) }).collect();
+        let pairs: Vec<(usize, usize)> = left_to_right
+            .iter()
+            .enumerate()
+            .filter_map(|(l, r)| r.map(|r| (l, r)))
+            .collect();
+        Matching { pairs, left_to_right, right_to_left, total_cost: 0 }
+    }
+
+    fn matching_via_flow(&self, engine: MaxFlowEngine) -> Matching {
+        let s = 0usize;
+        let left_base = 1usize;
+        let right_base = 1 + self.n_left;
+        let t = 1 + self.n_left + self.n_right;
+        let mut net = FlowNetwork::with_nodes(t + 1);
+        for l in 0..self.n_left {
+            net.add_edge(s, left_base + l, 1);
+        }
+        for r in 0..self.n_right {
+            net.add_edge(right_base + r, t, 1);
+        }
+        let mut edge_ids = Vec::with_capacity(self.num_edges);
+        for (l, nbrs) in self.adj.iter().enumerate() {
+            for &(r, _cost) in nbrs {
+                let e = net.add_edge(left_base + l, right_base + r, 1);
+                edge_ids.push((e, l, r));
+            }
+        }
+        match engine {
+            MaxFlowEngine::EdmondsKarp => edmonds_karp(&mut net, s, t),
+            _ => dinic(&mut net, s, t),
+        };
+        let mut pairs = Vec::new();
+        let mut left_to_right = vec![None; self.n_left];
+        let mut right_to_left = vec![None; self.n_right];
+        for &(e, l, r) in &edge_ids {
+            if net.flow_on(e) > 0 {
+                pairs.push((l, r));
+                left_to_right[l] = Some(r);
+                right_to_left[r] = Some(l);
+            }
+        }
+        Matching { pairs, left_to_right, right_to_left, total_cost: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_graph() -> BipartiteGraph {
+        // l0: {r0, r1}, l1: {r0}, l2: {r2}. Max matching 3.
+        let mut g = BipartiteGraph::new(3, 3);
+        g.add_edge(0, 0);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        g.add_edge(2, 2);
+        g
+    }
+
+    #[test]
+    fn all_engines_agree_on_cardinality() {
+        let g = sample_graph();
+        let hk = g.max_matching_with(MaxFlowEngine::HopcroftKarp);
+        let ek = g.max_matching_with(MaxFlowEngine::EdmondsKarp);
+        let di = g.max_matching_with(MaxFlowEngine::Dinic);
+        assert_eq!(hk.len(), 3);
+        assert_eq!(ek.len(), 3);
+        assert_eq!(di.len(), 3);
+        assert!(hk.is_consistent());
+        assert!(ek.is_consistent());
+        assert!(di.is_consistent());
+    }
+
+    #[test]
+    fn min_cost_matching_prefers_cheap_edges_without_losing_cardinality() {
+        let mut g = BipartiteGraph::new(2, 2);
+        // Perfect matching must use the diagonal (cost 1 + 1 = 2) instead of
+        // the tempting cheap edge (0,0) of cost 0 which would block it.
+        g.add_edge_with_cost(0, 0, 0);
+        g.add_edge_with_cost(0, 1, 1);
+        g.add_edge_with_cost(1, 0, 1);
+        let m = g.min_cost_max_matching();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.total_cost, 2);
+        assert!(m.is_consistent());
+    }
+
+    #[test]
+    fn empty_graph_yields_empty_matching() {
+        let g = BipartiteGraph::new(0, 0);
+        assert_eq!(g.max_matching().len(), 0);
+        assert_eq!(g.min_cost_max_matching().len(), 0);
+        let g2 = BipartiteGraph::new(3, 3);
+        assert_eq!(g2.max_matching().len(), 0);
+        assert_eq!(g2.num_edges(), 0);
+    }
+
+    #[test]
+    fn neighbors_iterates_added_edges() {
+        let g = sample_graph();
+        let n0: Vec<usize> = g.neighbors(0).collect();
+        assert_eq!(n0, vec![0, 1]);
+        assert_eq!(g.n_left(), 3);
+        assert_eq!(g.n_right(), 3);
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "left vertex out of range")]
+    fn out_of_range_edge_panics() {
+        let mut g = BipartiteGraph::new(1, 1);
+        g.add_edge(1, 0);
+    }
+
+    #[test]
+    fn matching_is_maximum_on_crown_graph() {
+        // Crown-like graph where greedy can get stuck at n/2 but maximum is n.
+        let n = 6;
+        let mut g = BipartiteGraph::new(n, n);
+        for l in 0..n {
+            for r in 0..n {
+                if l != r {
+                    g.add_edge(l, r);
+                }
+            }
+        }
+        assert_eq!(g.max_matching().len(), n);
+        assert_eq!(g.max_matching_with(MaxFlowEngine::Dinic).len(), n);
+    }
+}

@@ -1,0 +1,150 @@
+//! Hopcroft–Karp maximum bipartite matching.
+//!
+//! Runs in `O(E * sqrt(V))` and serves two purposes in this workspace: a fast
+//! path for pure matching instances (no costs), and an independent oracle to
+//! cross-check the max-flow based matchings in tests and property tests.
+
+use std::collections::VecDeque;
+
+const NIL: usize = usize::MAX;
+const INF: u32 = u32::MAX;
+
+/// Compute a maximum matching of the bipartite graph with `n_left` left
+/// vertices and `n_right` right vertices, where `adj[l]` lists the right
+/// vertices adjacent to left vertex `l`.
+///
+/// Returns `(size, match_left, match_right)` where `match_left[l]` is the
+/// right vertex matched to `l` (or `usize::MAX` if unmatched), and
+/// symmetrically for `match_right`.
+pub fn hopcroft_karp(
+    n_left: usize,
+    n_right: usize,
+    adj: &[Vec<usize>],
+) -> (usize, Vec<usize>, Vec<usize>) {
+    assert_eq!(adj.len(), n_left, "adjacency list must have one entry per left vertex");
+    debug_assert!(adj.iter().flatten().all(|&r| r < n_right), "right index out of range");
+
+    let mut match_left = vec![NIL; n_left];
+    let mut match_right = vec![NIL; n_right];
+    let mut dist = vec![INF; n_left];
+    let mut size = 0usize;
+
+    loop {
+        // BFS phase: compute layered distances from free left vertices.
+        let mut queue = VecDeque::new();
+        for l in 0..n_left {
+            if match_left[l] == NIL {
+                dist[l] = 0;
+                queue.push_back(l);
+            } else {
+                dist[l] = INF;
+            }
+        }
+        let mut found_augmenting_layer = false;
+        while let Some(l) = queue.pop_front() {
+            for &r in &adj[l] {
+                let next = match_right[r];
+                if next == NIL {
+                    found_augmenting_layer = true;
+                } else if dist[next] == INF {
+                    dist[next] = dist[l] + 1;
+                    queue.push_back(next);
+                }
+            }
+        }
+        if !found_augmenting_layer {
+            break;
+        }
+        // DFS phase: find a maximal set of vertex-disjoint shortest augmenting paths.
+        for l in 0..n_left {
+            if match_left[l] == NIL && dfs(l, adj, &mut match_left, &mut match_right, &mut dist) {
+                size += 1;
+            }
+        }
+    }
+    (size, match_left, match_right)
+}
+
+fn dfs(
+    l: usize,
+    adj: &[Vec<usize>],
+    match_left: &mut [usize],
+    match_right: &mut [usize],
+    dist: &mut [u32],
+) -> bool {
+    for &r in &adj[l] {
+        let next = match_right[r];
+        if next == NIL
+            || (dist[next] == dist[l] + 1 && dfs(next, adj, match_left, match_right, dist))
+        {
+            match_left[l] = r;
+            match_right[r] = l;
+            return true;
+        }
+    }
+    dist[l] = INF;
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_matching_on_complete_graph() {
+        let adj: Vec<Vec<usize>> = (0..4).map(|_| (0..4).collect()).collect();
+        let (size, ml, mr) = hopcroft_karp(4, 4, &adj);
+        assert_eq!(size, 4);
+        // Every left vertex matched, matching is consistent.
+        for (l, &r) in ml.iter().enumerate() {
+            assert_ne!(r, usize::MAX);
+            assert_eq!(mr[r], l);
+        }
+    }
+
+    #[test]
+    fn empty_graph_has_empty_matching() {
+        let adj: Vec<Vec<usize>> = vec![vec![]; 3];
+        let (size, ml, _) = hopcroft_karp(3, 2, &adj);
+        assert_eq!(size, 0);
+        assert!(ml.iter().all(|&r| r == usize::MAX));
+    }
+
+    #[test]
+    fn requires_augmenting_path_to_improve_greedy() {
+        // Greedy that matches l0-r0 first would block the perfect matching;
+        // Hopcroft-Karp must find it via an augmenting path.
+        // l0: {r0, r1}, l1: {r0}
+        let adj = vec![vec![0, 1], vec![0]];
+        let (size, ml, _) = hopcroft_karp(2, 2, &adj);
+        assert_eq!(size, 2);
+        assert_eq!(ml[1], 0);
+        assert_eq!(ml[0], 1);
+    }
+
+    #[test]
+    fn unbalanced_sides() {
+        // 5 left vertices all adjacent only to r0.
+        let adj = vec![vec![0]; 5];
+        let (size, _, mr) = hopcroft_karp(5, 1, &adj);
+        assert_eq!(size, 1);
+        assert_ne!(mr[0], usize::MAX);
+    }
+
+    #[test]
+    fn zero_sized_sides() {
+        let (size, ml, mr) = hopcroft_karp(0, 0, &[]);
+        assert_eq!(size, 0);
+        assert!(ml.is_empty());
+        assert!(mr.is_empty());
+    }
+
+    #[test]
+    fn koenig_style_instance() {
+        // A 3x3 instance whose maximum matching is 2.
+        // l0: {r0}, l1: {r0, r1}, l2: {r1}
+        let adj = vec![vec![0], vec![0, 1], vec![1]];
+        let (size, _, _) = hopcroft_karp(3, 3, &adj);
+        assert_eq!(size, 2);
+    }
+}

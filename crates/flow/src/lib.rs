@@ -1,0 +1,44 @@
+//! Flow-network and bipartite-matching substrate.
+//!
+//! The FTOA paper builds its offline guide (Algorithm 1) by instantiating the
+//! predicted per-slot/per-cell counts of workers and tasks as the two sides of
+//! a bipartite graph and computing a maximum-cardinality matching via max-flow
+//! (Ford–Fulkerson in the paper; "any other max-flow algorithm is applicable").
+//! The offline optimum `OPT` used as the evaluation yardstick is computed the
+//! same way over the *actual* arrivals. The proof of Lemma 2 additionally uses
+//! the canonical min-cut extracted from the residual network.
+//!
+//! This crate provides all of those building blocks, implemented from
+//! scratch:
+//!
+//! * [`FlowNetwork`] — a residual flow network with integer capacities.
+//! * [`edmonds_karp`] — BFS-based Ford–Fulkerson (the paper's reference
+//!   implementation).
+//! * [`dinic`] — the asymptotically faster algorithm used by default for the
+//!   large guide/OPT instances.
+//! * [`hopcroft_karp`] — a dedicated maximum bipartite matching algorithm,
+//!   used both as an independent cross-check in tests and as a fast path.
+//! * [`min_cost_max_flow`] — min-cost max-flow, for the paper's remark that a
+//!   travel-cost-weighted guide can be derived with a mincost-maxflow solver.
+//! * [`min_cut_from_residual`] — the reachability cut of the residual network.
+//! * [`BipartiteGraph`] — a convenience wrapper that hides the source/sink
+//!   plumbing and returns matchings as `(left, right)` index pairs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bipartite;
+pub mod dinic;
+pub mod edmonds_karp;
+pub mod hopcroft_karp;
+pub mod min_cost;
+pub mod min_cut;
+pub mod network;
+
+pub use bipartite::{BipartiteGraph, Matching, MaxFlowEngine};
+pub use dinic::dinic;
+pub use edmonds_karp::edmonds_karp;
+pub use hopcroft_karp::hopcroft_karp;
+pub use min_cost::{min_cost_max_flow, McmfResult};
+pub use min_cut::{min_cut_from_residual, MinCut};
+pub use network::{EdgeId, FlowNetwork, NodeId};

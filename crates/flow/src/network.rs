@@ -1,0 +1,235 @@
+//! Residual flow network with integer capacities.
+
+/// Index of a node in a [`FlowNetwork`].
+pub type NodeId = usize;
+
+/// Index of a (directed) edge in a [`FlowNetwork`]. Forward edges get even
+/// ids, their residual twins the following odd id.
+pub type EdgeId = usize;
+
+/// One directed arc of the residual network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Edge {
+    to: NodeId,
+    /// Remaining residual capacity.
+    cap: i64,
+}
+
+/// A flow network stored as an adjacency list over a shared edge arena.
+///
+/// Every call to [`FlowNetwork::add_edge`] creates a forward edge with the
+/// given capacity and a residual (reverse) edge with capacity 0; pushing flow
+/// along one decrements its capacity and increments its twin's, so the current
+/// flow on a forward edge `e` is `original_capacity - cap(e) = cap(e ^ 1)`
+/// whenever the reverse edge started at zero.
+#[derive(Debug, Clone, Default)]
+pub struct FlowNetwork {
+    edges: Vec<Edge>,
+    /// Original capacity of each edge (for flow extraction / reset).
+    original_cap: Vec<i64>,
+    /// Adjacency: for each node, the edge ids leaving it (forward or residual).
+    adj: Vec<Vec<EdgeId>>,
+}
+
+impl FlowNetwork {
+    /// Create a network with `n` nodes and no edges.
+    pub fn with_nodes(n: usize) -> Self {
+        Self { edges: Vec::new(), original_cap: Vec::new(), adj: vec![Vec::new(); n] }
+    }
+
+    /// Create an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a new node, returning its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adj.push(Vec::new());
+        self.adj.len() - 1
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of *forward* edges (residual twins are not counted).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len() / 2
+    }
+
+    /// Add a directed edge `from -> to` with the given capacity. Returns the
+    /// id of the forward edge; the residual twin is `id ^ 1`.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range or the capacity is negative.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, cap: i64) -> EdgeId {
+        assert!(from < self.adj.len() && to < self.adj.len(), "edge endpoint out of range");
+        assert!(cap >= 0, "negative capacity");
+        let id = self.edges.len();
+        self.edges.push(Edge { to, cap });
+        self.original_cap.push(cap);
+        self.edges.push(Edge { to: from, cap: 0 });
+        self.original_cap.push(0);
+        self.adj[from].push(id);
+        self.adj[to].push(id + 1);
+        id
+    }
+
+    /// Residual capacity of an edge.
+    pub fn residual_capacity(&self, e: EdgeId) -> i64 {
+        self.edges[e].cap
+    }
+
+    /// Head (target node) of an edge.
+    pub fn edge_target(&self, e: EdgeId) -> NodeId {
+        self.edges[e].to
+    }
+
+    /// The flow currently routed through a forward edge.
+    pub fn flow_on(&self, e: EdgeId) -> i64 {
+        debug_assert!(e % 2 == 0, "flow_on expects a forward edge id");
+        self.original_cap[e] - self.edges[e].cap
+    }
+
+    /// Original capacity of an edge.
+    pub fn original_capacity(&self, e: EdgeId) -> i64 {
+        self.original_cap[e]
+    }
+
+    /// Edge ids leaving `v` (both forward and residual edges).
+    pub fn edges_from(&self, v: NodeId) -> &[EdgeId] {
+        &self.adj[v]
+    }
+
+    /// Push `amount` units of flow along edge `e` (and pull them back on its
+    /// twin). Used by the max-flow algorithms.
+    pub(crate) fn push(&mut self, e: EdgeId, amount: i64) {
+        debug_assert!(amount >= 0 && amount <= self.edges[e].cap);
+        self.edges[e].cap -= amount;
+        self.edges[e ^ 1].cap += amount;
+    }
+
+    /// Reset all flow to zero, restoring original capacities.
+    pub fn reset_flow(&mut self) {
+        for (e, cap) in self.edges.iter_mut().zip(self.original_cap.iter()) {
+            e.cap = *cap;
+        }
+    }
+
+    /// Total flow out of `source` minus flow into it (i.e. the value of the
+    /// current flow if `source` is the flow source).
+    pub fn flow_value(&self, source: NodeId) -> i64 {
+        let mut total = 0;
+        for &e in &self.adj[source] {
+            if e % 2 == 0 {
+                total += self.flow_on(e);
+            } else {
+                // Flow entering the source along a forward edge owned by
+                // another node appears as residual capacity here.
+                total -= self.edges[e].cap;
+            }
+        }
+        total
+    }
+
+    /// Verify flow conservation at every node except `source` and `sink` and
+    /// that no edge exceeds its capacity. Intended for tests and debugging.
+    pub fn check_flow_conservation(&self, source: NodeId, sink: NodeId) -> bool {
+        let n = self.num_nodes();
+        let mut balance = vec![0i64; n];
+        for e in (0..self.edges.len()).step_by(2) {
+            let f = self.flow_on(e);
+            if f < 0 || f > self.original_cap[e] {
+                return false;
+            }
+            let from = self.edges[e ^ 1].to;
+            let to = self.edges[e].to;
+            balance[from] -= f;
+            balance[to] += f;
+        }
+        (0..n).all(|v| v == source || v == sink || balance[v] == 0)
+    }
+
+    /// Iterate over forward edges as `(from, to, capacity, flow)` tuples.
+    pub fn iter_forward_edges(&self) -> impl Iterator<Item = (NodeId, NodeId, i64, i64)> + '_ {
+        (0..self.edges.len()).step_by(2).map(move |e| {
+            let from = self.edges[e ^ 1].to;
+            let to = self.edges[e].to;
+            (from, to, self.original_cap[e], self.flow_on(e))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_edge_creates_residual_twin() {
+        let mut g = FlowNetwork::with_nodes(2);
+        let e = g.add_edge(0, 1, 5);
+        assert_eq!(e, 0);
+        assert_eq!(g.residual_capacity(e), 5);
+        assert_eq!(g.residual_capacity(e ^ 1), 0);
+        assert_eq!(g.edge_target(e), 1);
+        assert_eq!(g.edge_target(e ^ 1), 0);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.num_nodes(), 2);
+    }
+
+    #[test]
+    fn push_moves_capacity_to_twin() {
+        let mut g = FlowNetwork::with_nodes(2);
+        let e = g.add_edge(0, 1, 5);
+        g.push(e, 3);
+        assert_eq!(g.residual_capacity(e), 2);
+        assert_eq!(g.residual_capacity(e ^ 1), 3);
+        assert_eq!(g.flow_on(e), 3);
+        g.reset_flow();
+        assert_eq!(g.flow_on(e), 0);
+        assert_eq!(g.residual_capacity(e), 5);
+    }
+
+    #[test]
+    fn add_node_grows_graph() {
+        let mut g = FlowNetwork::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        assert_eq!((a, b), (0, 1));
+        g.add_edge(a, b, 1);
+        assert_eq!(g.edges_from(a).len(), 1);
+        assert_eq!(g.edges_from(b).len(), 1); // residual twin
+    }
+
+    #[test]
+    #[should_panic(expected = "edge endpoint out of range")]
+    fn out_of_range_edge_panics() {
+        let mut g = FlowNetwork::with_nodes(1);
+        g.add_edge(0, 1, 1);
+    }
+
+    #[test]
+    fn conservation_check_on_simple_path() {
+        let mut g = FlowNetwork::with_nodes(3);
+        let e1 = g.add_edge(0, 1, 4);
+        let e2 = g.add_edge(1, 2, 4);
+        g.push(e1, 2);
+        g.push(e2, 2);
+        assert!(g.check_flow_conservation(0, 2));
+        assert_eq!(g.flow_value(0), 2);
+        // Unbalanced intermediate node must be detected.
+        let e3 = g.add_edge(0, 1, 1);
+        g.push(e3, 1);
+        assert!(!g.check_flow_conservation(0, 2));
+    }
+
+    #[test]
+    fn iter_forward_edges_reports_flow() {
+        let mut g = FlowNetwork::with_nodes(2);
+        let e = g.add_edge(0, 1, 7);
+        g.push(e, 4);
+        let edges: Vec<_> = g.iter_forward_edges().collect();
+        assert_eq!(edges, vec![(0, 1, 7, 4)]);
+    }
+}

@@ -1,0 +1,332 @@
+//! POLAR-OP (Algorithm 3): POLAR with node reuse.
+//!
+//! The only difference to POLAR is that a guide node can be *associated* with
+//! multiple real objects instead of being occupied by at most one. When the
+//! offline prediction under-estimates a type, the surplus real objects are
+//! associated with the existing nodes of that type and can still be matched
+//! through the node's guide partner, which is what lifts the competitive
+//! ratio from `(1 − 1/e)² ≈ 0.40` to `≈ 0.47` (Lemma 3 / Theorem 2).
+//!
+//! As in [`super::polar::Polar`], real-world feasibility is verified at
+//! assignment time by default.
+
+use crate::algorithms::polar::object_key;
+use crate::algorithms::OnlineAlgorithm;
+use crate::guide::{GuideEngine, GuideObjective, OfflineGuide};
+use crate::instance::Instance;
+use crate::memory::{map_bytes, vec_bytes, MemoryTracker};
+use crate::movement::WorkerPlan;
+use crate::result::AlgorithmResult;
+use ftoa_types::{Assignment, AssignmentSet, Event, TypeKey};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// The POLAR-OP algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolarOp {
+    /// Objective of the offline guide.
+    pub objective: GuideObjective,
+    /// Max-flow engine used to build the guide.
+    pub engine: GuideEngine,
+    /// Verify real-world feasibility before committing an assignment.
+    pub strict_feasibility: bool,
+}
+
+impl Default for PolarOp {
+    fn default() -> Self {
+        Self {
+            objective: GuideObjective::MaxCardinality,
+            engine: GuideEngine::Dinic,
+            strict_feasibility: true,
+        }
+    }
+}
+
+impl PolarOp {
+    /// Run POLAR-OP against a pre-built offline guide.
+    pub fn run_with_guide(&self, instance: &Instance<'_>, guide: &OfflineGuide) -> AlgorithmResult {
+        let start = Instant::now();
+        let config = instance.config;
+        let velocity = config.velocity;
+        let stream = instance.stream;
+
+        // Matched nodes per type (only nodes with a guide partner can ever
+        // produce an assignment; they are reused round-robin).
+        let mut matched_w_nodes: HashMap<TypeKey, Vec<usize>> = HashMap::new();
+        for (i, n) in guide.worker_nodes().iter().enumerate() {
+            if n.partner.is_some() {
+                matched_w_nodes.entry(n.key).or_default().push(i);
+            }
+        }
+        let mut matched_r_nodes: HashMap<TypeKey, Vec<usize>> = HashMap::new();
+        for (i, n) in guide.task_nodes().iter().enumerate() {
+            if n.partner.is_some() {
+                matched_r_nodes.entry(n.key).or_default().push(i);
+            }
+        }
+        let mut rr_w: HashMap<TypeKey, usize> = HashMap::new();
+        let mut rr_r: HashMap<TypeKey, usize> = HashMap::new();
+
+        // Unmatched real objects currently associated with each node.
+        let mut waiting_workers_at: Vec<Vec<usize>> = vec![Vec::new(); guide.num_worker_nodes()];
+        let mut waiting_tasks_at: Vec<Vec<usize>> = vec![Vec::new(); guide.num_task_nodes()];
+        let mut plans: Vec<Option<WorkerPlan>> = vec![None; stream.num_workers()];
+        let mut assignments =
+            AssignmentSet::with_capacity(stream.num_workers().min(stream.num_tasks()));
+        let mut peak_waiting = 0usize;
+
+        for event in stream.iter() {
+            let now = event.time();
+            match event {
+                Event::WorkerArrival(w) => {
+                    let key = object_key(config, now, &w.location);
+                    let Some(node) = pick_node(&matched_w_nodes, &mut rr_w, key) else {
+                        // No matched node of this type exists: the worker can
+                        // never be assigned through the guide; it waits in
+                        // place (and, like in POLAR, is effectively ignored).
+                        plans[w.id.index()] = Some(WorkerPlan::wait(w));
+                        continue;
+                    };
+                    let r_node =
+                        guide.worker_nodes()[node].partner.expect("only matched nodes picked");
+                    // Any unmatched task already associated with the partner?
+                    let plan_here = WorkerPlan::wait(w);
+                    let picked = take_first_feasible(
+                        &mut waiting_tasks_at[r_node],
+                        |&task_idx| {
+                            let task = &stream.tasks()[task_idx];
+                            !assignments.task_matched(task.id)
+                                && (!self.strict_feasibility
+                                    || plan_here.can_reach(
+                                        now,
+                                        w.deadline(),
+                                        &task.location,
+                                        task.deadline(),
+                                        velocity,
+                                    ))
+                        },
+                        |&task_idx| stream.tasks()[task_idx].deadline() < now,
+                    );
+                    if let Some(task_idx) = picked {
+                        plans[w.id.index()] = Some(plan_here);
+                        assignments
+                            .push(Assignment::new(w.id, stream.tasks()[task_idx].id, now))
+                            .expect("taken tasks are unmatched");
+                    } else {
+                        // Dispatch towards the partner's area and wait there.
+                        let target_key = guide.task_nodes()[r_node].key;
+                        let target = config.grid.cell_center(target_key.cell);
+                        plans[w.id.index()] = Some(WorkerPlan::move_to(w, target, w.start, velocity));
+                        waiting_workers_at[node].push(w.id.index());
+                        peak_waiting = peak_waiting.max(total_len(&waiting_workers_at));
+                    }
+                }
+                Event::TaskArrival(r) => {
+                    let key = object_key(config, now, &r.location);
+                    let Some(node) = pick_node(&matched_r_nodes, &mut rr_r, key) else {
+                        continue;
+                    };
+                    let w_node =
+                        guide.task_nodes()[node].partner.expect("only matched nodes picked");
+                    let picked = take_first_feasible(
+                        &mut waiting_workers_at[w_node],
+                        |&worker_idx| {
+                            let worker = &stream.workers()[worker_idx];
+                            let plan = plans[worker_idx].unwrap_or(WorkerPlan::wait(worker));
+                            !assignments.worker_matched(worker.id)
+                                && (!self.strict_feasibility
+                                    || plan.can_reach(
+                                        now,
+                                        worker.deadline(),
+                                        &r.location,
+                                        r.deadline(),
+                                        velocity,
+                                    ))
+                        },
+                        |&worker_idx| stream.workers()[worker_idx].deadline() < now,
+                    );
+                    if let Some(worker_idx) = picked {
+                        assignments
+                            .push(Assignment::new(stream.workers()[worker_idx].id, r.id, now))
+                            .expect("taken workers are unmatched");
+                    } else {
+                        waiting_tasks_at[node].push(r.id.index());
+                        peak_waiting = peak_waiting.max(total_len(&waiting_tasks_at));
+                    }
+                }
+            }
+        }
+
+        let mut memory = MemoryTracker::with_baseline(guide.memory_bytes());
+        memory.allocate(
+            vec_bytes::<Vec<usize>>(waiting_workers_at.len() + waiting_tasks_at.len())
+                + vec_bytes::<usize>(peak_waiting)
+                + vec_bytes::<Option<WorkerPlan>>(plans.len())
+                + map_bytes::<TypeKey, Vec<usize>>(matched_w_nodes.len() + matched_r_nodes.len()),
+        );
+        AlgorithmResult {
+            algorithm: self.name().to_string(),
+            assignments,
+            preprocessing: std::time::Duration::ZERO,
+            runtime: start.elapsed(),
+            memory_bytes: memory.peak_with_overhead(),
+        }
+    }
+}
+
+impl OnlineAlgorithm for PolarOp {
+    fn name(&self) -> &'static str {
+        "POLAR-OP"
+    }
+
+    fn run(&self, instance: &Instance<'_>) -> AlgorithmResult {
+        let pre_start = Instant::now();
+        let guide = OfflineGuide::build_with(
+            instance.config,
+            instance.predicted_workers,
+            instance.predicted_tasks,
+            self.objective,
+            self.engine,
+        );
+        let preprocessing = pre_start.elapsed();
+        let mut result = self.run_with_guide(instance, &guide);
+        result.preprocessing = preprocessing;
+        result
+    }
+}
+
+/// Pick the next node of the given type in round-robin order, or `None` when
+/// the type has no matched node.
+fn pick_node(
+    nodes_by_type: &HashMap<TypeKey, Vec<usize>>,
+    cursors: &mut HashMap<TypeKey, usize>,
+    key: TypeKey,
+) -> Option<usize> {
+    let nodes = nodes_by_type.get(&key)?;
+    if nodes.is_empty() {
+        return None;
+    }
+    let cur = cursors.entry(key).or_insert(0);
+    let node = nodes[*cur % nodes.len()];
+    *cur = (*cur + 1) % nodes.len();
+    Some(node)
+}
+
+/// Remove and return the first element accepted by `feasible`, additionally
+/// dropping every element accepted by `expired` along the way (lazy cleanup
+/// of objects whose deadlines have passed).
+fn take_first_feasible<T, F, E>(list: &mut Vec<T>, mut feasible: F, mut expired: E) -> Option<T>
+where
+    F: FnMut(&T) -> bool,
+    E: FnMut(&T) -> bool,
+{
+    let mut i = 0;
+    while i < list.len() {
+        if expired(&list[i]) {
+            list.swap_remove(i);
+            continue;
+        }
+        if feasible(&list[i]) {
+            return Some(list.swap_remove(i));
+        }
+        i += 1;
+    }
+    None
+}
+
+fn total_len(lists: &[Vec<usize>]) -> usize {
+    lists.iter().map(Vec::len).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::example1;
+    use crate::algorithms::{Opt, Polar, SimpleGreedy};
+    use crate::instance::Instance;
+
+    #[test]
+    fn example_polar_op_is_at_least_as_good_as_polar() {
+        let config = example1::config();
+        let stream = example1::stream();
+        let (pw, pt) = example1::prediction(&config, &stream);
+        let instance = Instance::new(&config, &stream, &pw, &pt);
+        let polar = Polar::default().run(&instance).matching_size();
+        let polar_op = PolarOp::default().run(&instance).matching_size();
+        let opt = Opt::exact().run(&instance).matching_size();
+        let greedy = SimpleGreedy.run(&instance).matching_size();
+        assert!(polar_op >= polar, "POLAR-OP {polar_op} < POLAR {polar}");
+        assert!(polar_op <= opt);
+        assert!(polar_op > greedy);
+    }
+
+    #[test]
+    fn assignments_satisfy_flexible_feasibility() {
+        let config = example1::config();
+        let stream = example1::stream();
+        let (pw, pt) = example1::prediction(&config, &stream);
+        let instance = Instance::new(&config, &stream, &pw, &pt);
+        let result = PolarOp::default().run(&instance);
+        assert!(result
+            .assignments
+            .validate_flexible(stream.workers(), stream.tasks(), config.velocity)
+            .is_ok());
+    }
+
+    #[test]
+    fn node_reuse_recovers_from_under_prediction() {
+        // Prediction sees only ONE worker and ONE task per type, but two real
+        // workers and two real tasks of the same types arrive. POLAR matches
+        // one pair (second objects fail to occupy); POLAR-OP reuses the node
+        // and matches both.
+        use ftoa_types::{Location, Task, TaskId, TimeDelta, TimeStamp, Worker, WorkerId};
+        let config = example1::config();
+        let workers = vec![
+            Worker::new(WorkerId(0), Location::new(1.0, 1.0), TimeStamp::minutes(0.0), TimeDelta::minutes(30.0)),
+            Worker::new(WorkerId(1), Location::new(1.2, 1.0), TimeStamp::minutes(0.5), TimeDelta::minutes(30.0)),
+        ];
+        let tasks = vec![
+            Task::new(TaskId(0), Location::new(1.1, 1.0), TimeStamp::minutes(1.0), TimeDelta::minutes(2.0)),
+            Task::new(TaskId(1), Location::new(1.3, 1.0), TimeStamp::minutes(1.5), TimeDelta::minutes(2.0)),
+        ];
+        let stream = ftoa_types::EventStream::new(workers, tasks);
+        let mut pw = prediction::SpatioTemporalMatrix::zeros(2, 4);
+        let mut pt = prediction::SpatioTemporalMatrix::zeros(2, 4);
+        pw.set(0, 0, 1.0);
+        pt.set(0, 0, 1.0);
+        let instance = Instance::new(&config, &stream, &pw, &pt);
+        let polar = Polar::default().run(&instance).matching_size();
+        let polar_op = PolarOp::default().run(&instance).matching_size();
+        assert_eq!(polar, 1);
+        assert_eq!(polar_op, 2);
+    }
+
+    #[test]
+    fn no_matched_nodes_means_no_assignments() {
+        // A guide whose predictions make every pair infeasible (all tasks far
+        // in the future) produces no matched nodes; POLAR-OP must not crash
+        // and must return an empty matching.
+        let config = example1::config();
+        let stream = example1::stream();
+        let mut pw = prediction::SpatioTemporalMatrix::zeros(2, 4);
+        let mut pt = prediction::SpatioTemporalMatrix::zeros(2, 4);
+        pw.set(0, 0, 3.0);
+        // No predicted tasks at all.
+        pt.set(0, 0, 0.0);
+        let instance = Instance::new(&config, &stream, &pw, &pt);
+        assert_eq!(PolarOp::default().run(&instance).matching_size(), 0);
+    }
+
+    #[test]
+    fn expired_waiting_objects_are_cleaned_up_lazily() {
+        let mut list = vec![1, 2, 4];
+        // 1 is expired, 4 is feasible, 2 is neither.
+        let taken = take_first_feasible(&mut list, |&x| x == 4, |&x| x == 1);
+        assert_eq!(taken, Some(4));
+        assert_eq!(list, vec![2]);
+        // Nothing feasible: everything expired gets dropped, None returned.
+        let mut list2 = vec![1, 3, 5];
+        assert_eq!(take_first_feasible(&mut list2, |_| false, |&x| x % 2 == 1), None);
+        assert!(list2.is_empty());
+    }
+}

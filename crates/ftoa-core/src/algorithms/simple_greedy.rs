@@ -1,0 +1,216 @@
+//! SimpleGreedy (Section 2.2): the baseline extended from the wait-in-place
+//! online model.
+//!
+//! For every newly arrived object (worker or task) it scans the currently
+//! available objects of the other side, keeps those satisfying the deadline
+//! constraint, and assigns the one at the shortest distance. Unmatched
+//! workers wait at their appearance location; unmatched tasks wait until
+//! their deadline.
+
+use crate::algorithms::OnlineAlgorithm;
+use crate::instance::Instance;
+use crate::memory::{vec_bytes, MemoryTracker};
+use crate::result::AlgorithmResult;
+use ftoa_types::{Assignment, AssignmentSet, Event, Task, TimeStamp, Worker};
+use spatial::GridBucketIndex;
+use std::time::Instant;
+
+/// The SimpleGreedy baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimpleGreedy;
+
+impl OnlineAlgorithm for SimpleGreedy {
+    fn name(&self) -> &'static str {
+        "SimpleGreedy"
+    }
+
+    fn run(&self, instance: &Instance<'_>) -> AlgorithmResult {
+        let start = Instant::now();
+        let config = instance.config;
+        let velocity = config.velocity;
+        let grid = &config.grid;
+        // Index resolution: reuse the problem grid but cap the bucket count so
+        // tiny instances do not pay for thousands of empty buckets.
+        let nx = grid.nx().min(64).max(1);
+        let ny = grid.ny().min(64).max(1);
+        let mut idle_workers: GridBucketIndex<Worker> =
+            GridBucketIndex::new(*grid.bounds(), nx, ny);
+        let mut pending_tasks: GridBucketIndex<Task> =
+            GridBucketIndex::new(*grid.bounds(), nx, ny);
+        let mut assignments = AssignmentSet::with_capacity(
+            instance.num_workers().min(instance.num_tasks()),
+        );
+        let mut memory = MemoryTracker::new();
+
+        for event in instance.stream.iter() {
+            let now = event.time();
+            match event {
+                Event::WorkerArrival(w) => {
+                    // Nearest pending task this worker can still reach in time.
+                    let found = pending_tasks.nearest_where(&w.location, |task, loc| {
+                        task_still_feasible(task, loc, &w.location, now, velocity)
+                            && now < w.deadline()
+                    });
+                    if let Some((handle, _loc, task, _d)) = found {
+                        pending_tasks.remove(handle);
+                        memory.release(vec_bytes::<Task>(1));
+                        assignments
+                            .push(Assignment::new(w.id, task.id, now))
+                            .expect("greedy never double-assigns");
+                    } else {
+                        idle_workers.insert(w.location, *w);
+                        memory.allocate(vec_bytes::<Worker>(1));
+                    }
+                }
+                Event::TaskArrival(r) => {
+                    let found = idle_workers.nearest_where(&r.location, |worker, loc| {
+                        worker_can_serve_now(worker, loc, r, now, velocity)
+                    });
+                    if let Some((handle, _loc, worker, _d)) = found {
+                        idle_workers.remove(handle);
+                        memory.release(vec_bytes::<Worker>(1));
+                        assignments
+                            .push(Assignment::new(worker.id, r.id, now))
+                            .expect("greedy never double-assigns");
+                    } else {
+                        pending_tasks.insert(r.location, *r);
+                        memory.allocate(vec_bytes::<Task>(1));
+                    }
+                }
+            }
+        }
+        // Account for the index buckets themselves.
+        memory.allocate(vec_bytes::<Vec<Worker>>(nx * ny) + vec_bytes::<Vec<Task>>(nx * ny));
+        AlgorithmResult {
+            algorithm: self.name().to_string(),
+            assignments,
+            preprocessing: std::time::Duration::ZERO,
+            runtime: start.elapsed(),
+            memory_bytes: memory.peak_with_overhead(),
+        }
+    }
+}
+
+/// A waiting worker (wait-in-place model) can serve a newly released task if
+/// it has not left the platform and can reach the task before its deadline,
+/// departing now from where it waits.
+fn worker_can_serve_now(
+    worker: &Worker,
+    worker_loc: &ftoa_types::Location,
+    task: &Task,
+    now: TimeStamp,
+    velocity: f64,
+) -> bool {
+    if now > worker.deadline() {
+        return false;
+    }
+    now + worker_loc.travel_time(&task.location, velocity) <= task.deadline()
+}
+
+/// A pending task is still feasible for a newly arrived worker if its
+/// deadline allows the worker to travel there starting now.
+fn task_still_feasible(
+    task: &Task,
+    task_loc: &ftoa_types::Location,
+    worker_loc: &ftoa_types::Location,
+    now: TimeStamp,
+    velocity: f64,
+) -> bool {
+    now + worker_loc.travel_time(task_loc, velocity) <= task.deadline()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::example1;
+    use crate::instance::Instance;
+
+    #[test]
+    fn paper_example_yields_two_assignments() {
+        let config = example1::config();
+        let stream = example1::stream();
+        let (pw, pt) = example1::prediction(&config, &stream);
+        let instance = Instance::new(&config, &stream, &pw, &pt);
+        let result = SimpleGreedy.run(&instance);
+        // Example 2 of the paper: the wait-in-place greedy only serves the
+        // two tasks released near the initial workers.
+        assert_eq!(result.matching_size(), 2);
+        assert!(result
+            .assignments
+            .validate_flexible(stream.workers(), stream.tasks(), config.velocity)
+            .is_ok());
+    }
+
+    #[test]
+    fn assignments_satisfy_the_static_model() {
+        // SimpleGreedy never moves workers in advance, so its matching must
+        // also be valid under the stricter wait-in-place validation.
+        let config = example1::config();
+        let stream = example1::stream();
+        let (pw, pt) = example1::prediction(&config, &stream);
+        let instance = Instance::new(&config, &stream, &pw, &pt);
+        let result = SimpleGreedy.run(&instance);
+        assert!(result
+            .assignments
+            .validate_static(stream.workers(), stream.tasks(), config.velocity)
+            .is_ok());
+    }
+
+    #[test]
+    fn empty_stream_gives_empty_result() {
+        let config = example1::config();
+        let stream = ftoa_types::EventStream::new(vec![], vec![]);
+        let (pw, pt) = example1::prediction(&config, &stream);
+        let instance = Instance::new(&config, &stream, &pw, &pt);
+        let result = SimpleGreedy.run(&instance);
+        assert_eq!(result.matching_size(), 0);
+        assert!(result.memory_bytes > 0);
+    }
+
+    #[test]
+    fn worker_arriving_after_task_can_still_serve_it() {
+        use ftoa_types::{Location, Task, TaskId, TimeDelta, TimeStamp, Worker, WorkerId};
+        let config = example1::config();
+        // Task released at t=0 with 2 min patience; worker appears at t=1
+        // right next to it.
+        let tasks = vec![Task::new(
+            TaskId(0),
+            Location::new(1.0, 1.0),
+            TimeStamp::minutes(0.0),
+            TimeDelta::minutes(2.0),
+        )];
+        let workers = vec![Worker::new(
+            WorkerId(0),
+            Location::new(1.5, 1.0),
+            TimeStamp::minutes(1.0),
+            TimeDelta::minutes(30.0),
+        )];
+        let stream = ftoa_types::EventStream::new(workers, tasks);
+        let (pw, pt) = example1::prediction(&config, &stream);
+        let instance = Instance::new(&config, &stream, &pw, &pt);
+        assert_eq!(SimpleGreedy.run(&instance).matching_size(), 1);
+    }
+
+    #[test]
+    fn expired_tasks_are_never_assigned() {
+        use ftoa_types::{Location, Task, TaskId, TimeDelta, TimeStamp, Worker, WorkerId};
+        let config = example1::config();
+        let tasks = vec![Task::new(
+            TaskId(0),
+            Location::new(1.0, 1.0),
+            TimeStamp::minutes(0.0),
+            TimeDelta::minutes(1.0),
+        )];
+        // Worker appears long after the task deadline.
+        let workers = vec![Worker::new(
+            WorkerId(0),
+            Location::new(1.0, 1.0),
+            TimeStamp::minutes(5.0),
+            TimeDelta::minutes(30.0),
+        )];
+        let stream = ftoa_types::EventStream::new(workers, tasks);
+        let (pw, pt) = example1::prediction(&config, &stream);
+        let instance = Instance::new(&config, &stream, &pw, &pt);
+        assert_eq!(SimpleGreedy.run(&instance).matching_size(), 0);
+    }
+}

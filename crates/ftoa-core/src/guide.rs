@@ -1,0 +1,530 @@
+//! Offline guide generation (Algorithm 1 of the paper).
+//!
+//! The guide instantiates the predicted per-slot/per-cell counts of workers
+//! (`a_ij`) and tasks (`b_ij`) as nodes of a bipartite graph, adds an edge
+//! between a predicted worker node and a predicted task node whenever the
+//! pair satisfies the deadline constraint of Definition 4 (evaluated at the
+//! slot midpoints and cell centres), and computes a maximum-cardinality
+//! bipartite matching via max-flow. The matched pairs are the "pseudo
+//! assignments" that POLAR / POLAR-OP consult online.
+//!
+//! Implementation note: predicted nodes of the same `(slot, cell)` type are
+//! interchangeable, so the matching is computed on a *type-level* network
+//! whose node capacities are the predicted counts (this is exactly the same
+//! maximum matching, but the network has `O(#types)` nodes instead of
+//! `O(m + n)`), and the result is then expanded back into individual guide
+//! nodes, which is the granularity the online algorithms need.
+
+use flow::{dinic, edmonds_karp, FlowNetwork};
+use flow::min_cost::{min_cost_max_flow, McmfNetwork};
+use ftoa_types::{CellId, ProblemConfig, SlotId, TimeStamp, TypeKey};
+use prediction::SpatioTemporalMatrix;
+use std::collections::HashMap;
+
+/// Objective used when computing the guide matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GuideObjective {
+    /// Maximum cardinality only (the paper's Algorithm 1).
+    #[default]
+    MaxCardinality,
+    /// Maximum cardinality with minimum total travel time as a tie-breaker
+    /// (the paper's remark about using a mincost-maxflow solver).
+    MinCostMaxCardinality,
+}
+
+/// Which max-flow engine backs the cardinality objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GuideEngine {
+    /// Dinic's algorithm (default; fastest on these unit-ish networks).
+    #[default]
+    Dinic,
+    /// BFS Ford–Fulkerson, exactly as cited in the paper.
+    EdmondsKarp,
+}
+
+/// One predicted node of the guide (either side).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuideNode {
+    /// The `(slot, cell)` type of the node.
+    pub key: TypeKey,
+    /// Index of the matched node on the *other* side, if the node is matched
+    /// in the offline guide.
+    pub partner: Option<usize>,
+}
+
+/// The offline guide: predicted worker/task nodes plus their pseudo matching.
+#[derive(Debug, Clone, Default)]
+pub struct OfflineGuide {
+    worker_nodes: Vec<GuideNode>,
+    task_nodes: Vec<GuideNode>,
+    worker_nodes_by_type: HashMap<TypeKey, Vec<usize>>,
+    task_nodes_by_type: HashMap<TypeKey, Vec<usize>>,
+    matching_size: usize,
+}
+
+impl OfflineGuide {
+    /// Build the guide with the default objective and engine.
+    pub fn build(
+        config: &ProblemConfig,
+        predicted_workers: &SpatioTemporalMatrix,
+        predicted_tasks: &SpatioTemporalMatrix,
+    ) -> Self {
+        Self::build_with(
+            config,
+            predicted_workers,
+            predicted_tasks,
+            GuideObjective::MaxCardinality,
+            GuideEngine::Dinic,
+        )
+    }
+
+    /// Build the guide with an explicit objective and engine.
+    pub fn build_with(
+        config: &ProblemConfig,
+        predicted_workers: &SpatioTemporalMatrix,
+        predicted_tasks: &SpatioTemporalMatrix,
+        objective: GuideObjective,
+        engine: GuideEngine,
+    ) -> Self {
+        let worker_counts = instantiate_counts(predicted_workers);
+        let task_counts = instantiate_counts(predicted_tasks);
+        let num_cells = config.grid.num_cells();
+
+        // Dense per-type lists of (TypeKey, count) with count > 0.
+        let left: Vec<(TypeKey, usize)> = nonzero_types(&worker_counts, num_cells);
+        let right: Vec<(TypeKey, usize)> = nonzero_types(&task_counts, num_cells);
+
+        // Group right types by slot for the temporal pruning below.
+        let num_slots = config.slots.num_slots();
+        let mut right_by_slot: Vec<Vec<usize>> = vec![Vec::new(); num_slots];
+        for (idx, (key, _)) in right.iter().enumerate() {
+            right_by_slot[key.slot.index()].push(idx);
+        }
+
+        // Enumerate feasible type pairs.
+        let mut edges: Vec<(usize, usize, i64)> = Vec::new(); // (left idx, right idx, cost)
+        for (li, (wkey, _)) in left.iter().enumerate() {
+            let sw = config.slots.slot_mid(wkey.slot);
+            let lw = config.grid.cell_center(wkey.cell);
+            let (lo_slot, hi_slot) = feasible_task_slot_range(config, sw);
+            for slot in lo_slot..=hi_slot {
+                for &ri in &right_by_slot[slot] {
+                    let (rkey, _) = right[ri];
+                    let sr = config.slots.slot_mid(rkey.slot);
+                    let lr = config.grid.cell_center(rkey.cell);
+                    if type_pair_feasible(config, sw, &lw, sr, &lr) {
+                        let cost_ms = (lw.travel_time(&lr, config.velocity).as_minutes() * 1000.0)
+                            .round() as i64;
+                        edges.push((li, ri, cost_ms.max(0)));
+                    }
+                }
+            }
+        }
+
+        // Solve the type-level matching.
+        let pair_flows = match objective {
+            GuideObjective::MaxCardinality => {
+                solve_cardinality(&left, &right, &edges, engine)
+            }
+            GuideObjective::MinCostMaxCardinality => solve_min_cost(&left, &right, &edges),
+        };
+
+        // Expand back into individual nodes.
+        Self::expand(&left, &right, &pair_flows)
+    }
+
+    /// Expand type-level counts and matched-pair multiplicities into
+    /// individual guide nodes.
+    fn expand(
+        left: &[(TypeKey, usize)],
+        right: &[(TypeKey, usize)],
+        pair_flows: &[(usize, usize, usize)],
+    ) -> Self {
+        let mut worker_nodes: Vec<GuideNode> = Vec::new();
+        let mut task_nodes: Vec<GuideNode> = Vec::new();
+        let mut worker_nodes_by_type: HashMap<TypeKey, Vec<usize>> = HashMap::new();
+        let mut task_nodes_by_type: HashMap<TypeKey, Vec<usize>> = HashMap::new();
+
+        // Create all nodes, remembering per-type "next unmatched" cursors.
+        let mut left_start = Vec::with_capacity(left.len());
+        for &(key, count) in left {
+            left_start.push(worker_nodes.len());
+            for _ in 0..count {
+                let idx = worker_nodes.len();
+                worker_nodes.push(GuideNode { key, partner: None });
+                worker_nodes_by_type.entry(key).or_default().push(idx);
+            }
+        }
+        let mut right_start = Vec::with_capacity(right.len());
+        for &(key, count) in right {
+            right_start.push(task_nodes.len());
+            for _ in 0..count {
+                let idx = task_nodes.len();
+                task_nodes.push(GuideNode { key, partner: None });
+                task_nodes_by_type.entry(key).or_default().push(idx);
+            }
+        }
+        // Pair up nodes according to the type-level flow.
+        let mut left_used = vec![0usize; left.len()];
+        let mut right_used = vec![0usize; right.len()];
+        let mut matching_size = 0usize;
+        for &(li, ri, flow) in pair_flows {
+            for _ in 0..flow {
+                let w_idx = left_start[li] + left_used[li];
+                let r_idx = right_start[ri] + right_used[ri];
+                debug_assert!(w_idx < left_start[li] + left[li].1, "over-allocated worker type");
+                debug_assert!(r_idx < right_start[ri] + right[ri].1, "over-allocated task type");
+                worker_nodes[w_idx].partner = Some(r_idx);
+                task_nodes[r_idx].partner = Some(w_idx);
+                left_used[li] += 1;
+                right_used[ri] += 1;
+                matching_size += 1;
+            }
+        }
+        Self { worker_nodes, task_nodes, worker_nodes_by_type, task_nodes_by_type, matching_size }
+    }
+
+    /// The size of the pseudo matching (`|E*|` in the paper's analysis).
+    pub fn matching_size(&self) -> usize {
+        self.matching_size
+    }
+
+    /// Number of predicted worker nodes (`m` after rounding).
+    pub fn num_worker_nodes(&self) -> usize {
+        self.worker_nodes.len()
+    }
+
+    /// Number of predicted task nodes (`n` after rounding).
+    pub fn num_task_nodes(&self) -> usize {
+        self.task_nodes.len()
+    }
+
+    /// All worker nodes.
+    pub fn worker_nodes(&self) -> &[GuideNode] {
+        &self.worker_nodes
+    }
+
+    /// All task nodes.
+    pub fn task_nodes(&self) -> &[GuideNode] {
+        &self.task_nodes
+    }
+
+    /// Indices of worker nodes of a given type.
+    pub fn worker_nodes_of_type(&self, key: TypeKey) -> &[usize] {
+        self.worker_nodes_by_type.get(&key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Indices of task nodes of a given type.
+    pub fn task_nodes_of_type(&self, key: TypeKey) -> &[usize] {
+        self.task_nodes_by_type.get(&key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Rough estimate of the resident size of the guide in bytes (used for
+    /// the memory plots).
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let node = size_of::<GuideNode>();
+        let per_index = size_of::<usize>();
+        (self.worker_nodes.len() + self.task_nodes.len()) * (node + per_index)
+            + (self.worker_nodes_by_type.len() + self.task_nodes_by_type.len())
+                * (size_of::<TypeKey>() + size_of::<Vec<usize>>() + 16)
+    }
+}
+
+/// Largest-remainder rounding of a fractional count matrix into integer
+/// per-type counts that preserve the (rounded) total.
+pub fn instantiate_counts(matrix: &SpatioTemporalMatrix) -> Vec<usize> {
+    let values = matrix.as_slice();
+    let total_target = matrix.total().round().max(0.0) as usize;
+    let mut counts: Vec<usize> = values.iter().map(|&v| v.max(0.0).floor() as usize).collect();
+    let floor_total: usize = counts.iter().sum();
+    if total_target > floor_total {
+        let mut remainders: Vec<(usize, f64)> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i, v.max(0.0) - v.max(0.0).floor()))
+            .collect();
+        remainders.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        for &(i, _) in remainders.iter().take(total_target - floor_total) {
+            counts[i] += 1;
+        }
+    }
+    counts
+}
+
+fn nonzero_types(counts: &[usize], num_cells: usize) -> Vec<(TypeKey, usize)> {
+    counts
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c > 0)
+        .map(|(i, &c)| {
+            (TypeKey::new(SlotId(i / num_cells), CellId(i % num_cells)), c)
+        })
+        .collect()
+}
+
+/// The inclusive range of task slots that can possibly be feasible for a
+/// worker appearing at time `sw`: the task must be released before the worker
+/// leaves (`sr < sw + D_w`) and, when released before the worker appears, it
+/// must still be alive when the worker can reach it (`sr + D_r >= sw`).
+fn feasible_task_slot_range(config: &ProblemConfig, sw: TimeStamp) -> (usize, usize) {
+    let earliest = sw - config.default_task_patience;
+    let latest = sw + config.default_worker_wait;
+    let lo = config.slots.slot_of(earliest).index();
+    let hi = config.slots.slot_of(latest).index();
+    (lo, hi)
+}
+
+/// Deadline feasibility of a (predicted worker, predicted task) type pair,
+/// evaluated at slot midpoints and cell centres. This is exactly line 8 of
+/// Algorithm 1: `D_r − (S_w − S_r) − d(L_w, L_r) ≥ 0 ∧ S_r < S_w + D_w`,
+/// i.e. a worker that starts travelling when it appears (possibly *before*
+/// the task is released — the flexible pre-movement the FTOA model allows)
+/// reaches the task's area before the task's deadline.
+fn type_pair_feasible(
+    config: &ProblemConfig,
+    sw: TimeStamp,
+    lw: &ftoa_types::Location,
+    sr: TimeStamp,
+    lr: &ftoa_types::Location,
+) -> bool {
+    if sr >= sw + config.default_worker_wait {
+        return false;
+    }
+    let travel = lw.travel_time(lr, config.velocity);
+    sw + travel <= sr + config.default_task_patience
+}
+
+/// Solve the type-level maximum-cardinality matching with a max-flow engine.
+/// Returns `(left index, right index, matched pairs)` triples.
+fn solve_cardinality(
+    left: &[(TypeKey, usize)],
+    right: &[(TypeKey, usize)],
+    edges: &[(usize, usize, i64)],
+    engine: GuideEngine,
+) -> Vec<(usize, usize, usize)> {
+    let source = 0usize;
+    let left_base = 1usize;
+    let right_base = 1 + left.len();
+    let sink = 1 + left.len() + right.len();
+    let mut net = FlowNetwork::with_nodes(sink + 1);
+    for (i, &(_, cap)) in left.iter().enumerate() {
+        net.add_edge(source, left_base + i, cap as i64);
+    }
+    for (i, &(_, cap)) in right.iter().enumerate() {
+        net.add_edge(right_base + i, sink, cap as i64);
+    }
+    let mut edge_ids = Vec::with_capacity(edges.len());
+    for &(li, ri, _cost) in edges {
+        let cap = left[li].1.min(right[ri].1) as i64;
+        let e = net.add_edge(left_base + li, right_base + ri, cap);
+        edge_ids.push((e, li, ri));
+    }
+    match engine {
+        GuideEngine::Dinic => dinic(&mut net, source, sink),
+        GuideEngine::EdmondsKarp => edmonds_karp(&mut net, source, sink),
+    };
+    edge_ids
+        .into_iter()
+        .filter_map(|(e, li, ri)| {
+            let f = net.flow_on(e);
+            if f > 0 {
+                Some((li, ri, f as usize))
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// Solve the type-level matching with the min-cost max-flow objective.
+fn solve_min_cost(
+    left: &[(TypeKey, usize)],
+    right: &[(TypeKey, usize)],
+    edges: &[(usize, usize, i64)],
+) -> Vec<(usize, usize, usize)> {
+    let source = 0usize;
+    let left_base = 1usize;
+    let right_base = 1 + left.len();
+    let sink = 1 + left.len() + right.len();
+    let mut net = McmfNetwork::with_nodes(sink + 1);
+    for (i, &(_, cap)) in left.iter().enumerate() {
+        net.add_edge(source, left_base + i, cap as i64, 0);
+    }
+    for (i, &(_, cap)) in right.iter().enumerate() {
+        net.add_edge(right_base + i, sink, cap as i64, 0);
+    }
+    let mut edge_ids = Vec::with_capacity(edges.len());
+    for &(li, ri, cost) in edges {
+        let cap = left[li].1.min(right[ri].1) as i64;
+        let id = net.add_edge(left_base + li, right_base + ri, cap, cost);
+        edge_ids.push((id, li, ri));
+    }
+    let result = min_cost_max_flow(&mut net, source, sink);
+    edge_ids
+        .into_iter()
+        .filter_map(|(id, li, ri)| {
+            let f = result.edge_flows[id];
+            if f > 0 {
+                Some((li, ri, f as usize))
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftoa_types::{GridPartition, SlotPartition, TimeDelta};
+
+    /// The paper's Example 3/4 configuration: an 8×8 region split into four
+    /// areas and two 5-minute slots; velocity 1 unit/min; `D_w` = 30 min,
+    /// `D_r` = 2 min.
+    fn example_config() -> ProblemConfig {
+        ProblemConfig::new(
+            GridPartition::square(8.0, 2).unwrap(),
+            SlotPartition::over_horizon(TimeDelta::minutes(10.0), 2).unwrap(),
+            1.0,
+            TimeDelta::minutes(30.0),
+            TimeDelta::minutes(2.0),
+        )
+    }
+
+    /// The predicted counts of Figure 1d: a_00=2, b_00=1, a_03=3, a_12=0,
+    /// b_12=1, b_11=3 (slot-major, areas 0..3).
+    fn example_prediction() -> (SpatioTemporalMatrix, SpatioTemporalMatrix) {
+        let mut workers = SpatioTemporalMatrix::zeros(2, 4);
+        let mut tasks = SpatioTemporalMatrix::zeros(2, 4);
+        workers.set(0, 0, 2.0);
+        workers.set(0, 3, 3.0);
+        tasks.set(0, 0, 1.0);
+        tasks.set(1, 1, 3.0);
+        tasks.set(1, 2, 1.0);
+        (workers, tasks)
+    }
+
+    #[test]
+    fn largest_remainder_rounding_preserves_totals() {
+        let m = SpatioTemporalMatrix::from_vec(1, 4, vec![0.3, 0.3, 0.3, 0.1]);
+        let counts = instantiate_counts(&m);
+        assert_eq!(counts.iter().sum::<usize>(), 1);
+        let m2 = SpatioTemporalMatrix::from_vec(1, 3, vec![1.5, 1.5, 1.0]);
+        assert_eq!(instantiate_counts(&m2).iter().sum::<usize>(), 4);
+        let m3 = SpatioTemporalMatrix::from_vec(1, 2, vec![-1.0, 2.0]);
+        assert_eq!(instantiate_counts(&m3), vec![0, 2]);
+    }
+
+    #[test]
+    fn paper_example_guide_has_matching_size_five() {
+        // Figure 2: the max-flow on the example prediction matches
+        // Ŵ001–R̂001, Ŵ002–R̂111, Ŵ031–R̂112, Ŵ032–R̂113, Ŵ033–R̂121 => 5 edges.
+        let config = example_config();
+        let (pw, pt) = example_prediction();
+        let guide = OfflineGuide::build(&config, &pw, &pt);
+        assert_eq!(guide.num_worker_nodes(), 5);
+        assert_eq!(guide.num_task_nodes(), 5);
+        assert_eq!(guide.matching_size(), 5);
+        // Both workers of type (slot0, area0) are matched.
+        let t00 = TypeKey::new(SlotId(0), CellId(0));
+        assert_eq!(guide.worker_nodes_of_type(t00).len(), 2);
+        assert!(guide
+            .worker_nodes_of_type(t00)
+            .iter()
+            .all(|&i| guide.worker_nodes()[i].partner.is_some()));
+    }
+
+    #[test]
+    fn engines_and_objectives_agree_on_cardinality() {
+        let config = example_config();
+        let (pw, pt) = example_prediction();
+        let dinic_guide = OfflineGuide::build_with(
+            &config,
+            &pw,
+            &pt,
+            GuideObjective::MaxCardinality,
+            GuideEngine::Dinic,
+        );
+        let ek_guide = OfflineGuide::build_with(
+            &config,
+            &pw,
+            &pt,
+            GuideObjective::MaxCardinality,
+            GuideEngine::EdmondsKarp,
+        );
+        let mc_guide = OfflineGuide::build_with(
+            &config,
+            &pw,
+            &pt,
+            GuideObjective::MinCostMaxCardinality,
+            GuideEngine::Dinic,
+        );
+        assert_eq!(dinic_guide.matching_size(), ek_guide.matching_size());
+        assert_eq!(dinic_guide.matching_size(), mc_guide.matching_size());
+    }
+
+    #[test]
+    fn partner_links_are_symmetric() {
+        let config = example_config();
+        let (pw, pt) = example_prediction();
+        let guide = OfflineGuide::build(&config, &pw, &pt);
+        for (w_idx, w) in guide.worker_nodes().iter().enumerate() {
+            if let Some(r_idx) = w.partner {
+                assert_eq!(guide.task_nodes()[r_idx].partner, Some(w_idx));
+            }
+        }
+        for (r_idx, r) in guide.task_nodes().iter().enumerate() {
+            if let Some(w_idx) = r.partner {
+                assert_eq!(guide.worker_nodes()[w_idx].partner, Some(r_idx));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_prediction_yields_empty_guide() {
+        let config = example_config();
+        let zero = SpatioTemporalMatrix::zeros(2, 4);
+        let guide = OfflineGuide::build(&config, &zero, &zero);
+        assert_eq!(guide.matching_size(), 0);
+        assert_eq!(guide.num_worker_nodes(), 0);
+        assert_eq!(guide.num_task_nodes(), 0);
+        assert!(guide.worker_nodes_of_type(TypeKey::new(SlotId(0), CellId(0))).is_empty());
+        assert!(guide.memory_bytes() < 1024);
+    }
+
+    #[test]
+    fn infeasible_pairs_are_not_matched() {
+        // Tasks in the last slot of a long horizon, workers in the first:
+        // the worker deadline (30 min) rules the pairs out.
+        let config = ProblemConfig::new(
+            GridPartition::square(8.0, 2).unwrap(),
+            SlotPartition::over_horizon(TimeDelta::minutes(480.0), 8).unwrap(),
+            1.0,
+            TimeDelta::minutes(30.0),
+            TimeDelta::minutes(2.0),
+        );
+        let mut workers = SpatioTemporalMatrix::zeros(8, 4);
+        let mut tasks = SpatioTemporalMatrix::zeros(8, 4);
+        workers.set(0, 0, 5.0);
+        tasks.set(7, 0, 5.0);
+        let guide = OfflineGuide::build(&config, &workers, &tasks);
+        assert_eq!(guide.matching_size(), 0);
+        assert_eq!(guide.num_worker_nodes(), 5);
+        assert_eq!(guide.num_task_nodes(), 5);
+    }
+
+    #[test]
+    fn matching_never_exceeds_side_sizes() {
+        let config = example_config();
+        let mut workers = SpatioTemporalMatrix::zeros(2, 4);
+        let mut tasks = SpatioTemporalMatrix::zeros(2, 4);
+        workers.set(0, 0, 2.0);
+        tasks.set(0, 0, 7.0);
+        let guide = OfflineGuide::build(&config, &workers, &tasks);
+        assert_eq!(guide.matching_size(), 2);
+        // Exactly two of the seven task nodes are matched.
+        let matched = guide.task_nodes().iter().filter(|n| n.partner.is_some()).count();
+        assert_eq!(matched, 2);
+    }
+}

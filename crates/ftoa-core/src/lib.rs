@@ -1,0 +1,33 @@
+//! FTOA online task assignment: the paper's primary contribution.
+//!
+//! This crate contains the two-step framework of the paper on top of the
+//! `flow`, `spatial` and `prediction` substrates:
+//!
+//! * [`guide`] — offline guide generation (Algorithm 1): predicted counts →
+//!   bipartite graph → maximum matching (max-flow).
+//! * [`algorithms`] — the online algorithms evaluated in Section 6:
+//!   [`algorithms::SimpleGreedy`] (nearest feasible neighbour, wait in
+//!   place), [`algorithms::BatchGreedy`] (the GR baseline: windowed
+//!   batch matching), [`algorithms::Polar`] (Algorithm 2, occupy-once guide
+//!   nodes, CR ≈ 0.40), [`algorithms::PolarOp`] (Algorithm 3, reusable guide
+//!   nodes, CR ≈ 0.47) and [`algorithms::Opt`] (the offline optimum with full
+//!   knowledge and free worker movement).
+//! * [`movement`] — the worker movement model used when the platform guides a
+//!   worker to another grid area.
+//! * [`instance`] / [`result`] — the common input/output types of all
+//!   algorithms, including runtime and memory accounting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithms;
+pub mod guide;
+pub mod instance;
+pub mod memory;
+pub mod movement;
+pub mod result;
+
+pub use algorithms::{BatchGreedy, OnlineAlgorithm, Opt, Polar, PolarOp, SimpleGreedy};
+pub use guide::{GuideEngine, GuideNode, GuideObjective, OfflineGuide};
+pub use instance::Instance;
+pub use result::AlgorithmResult;

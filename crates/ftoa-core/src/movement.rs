@@ -1,0 +1,165 @@
+//! Worker movement model.
+//!
+//! The FTOA model lets the platform guide an idle worker to another grid
+//! area. A guided worker departs from its appearance location as soon as the
+//! dispatch decision is made and travels in a straight line at the global
+//! velocity towards the centre of the target area; once it arrives it waits
+//! there. [`WorkerPlan`] captures both behaviours (wait in place / move to an
+//! area) and answers "where is this worker at time `t`?", which is what the
+//! online algorithms need in order to check whether a guided worker can still
+//! reach a newly released task before its deadline.
+
+use ftoa_types::{Location, TimeDelta, TimeStamp, Worker};
+
+/// The movement plan currently assigned to a worker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkerPlan {
+    /// The worker stays at its appearance location.
+    WaitInPlace {
+        /// Where the worker waits.
+        location: Location,
+    },
+    /// The worker was dispatched towards a target location (the centre of the
+    /// grid area where a future task is predicted).
+    MoveTo {
+        /// Departure location.
+        origin: Location,
+        /// Target location (cell centre).
+        target: Location,
+        /// Departure time.
+        depart: TimeStamp,
+        /// Travel speed in coordinate units per minute.
+        velocity: f64,
+    },
+}
+
+impl WorkerPlan {
+    /// A plan that keeps the worker at its appearance location.
+    pub fn wait(worker: &Worker) -> Self {
+        WorkerPlan::WaitInPlace { location: worker.location }
+    }
+
+    /// A plan that moves the worker from its appearance location towards
+    /// `target`, departing at `depart`.
+    pub fn move_to(worker: &Worker, target: Location, depart: TimeStamp, velocity: f64) -> Self {
+        WorkerPlan::MoveTo { origin: worker.location, target, depart, velocity }
+    }
+
+    /// The worker's position at time `t` under this plan.
+    pub fn position_at(&self, t: TimeStamp) -> Location {
+        match *self {
+            WorkerPlan::WaitInPlace { location } => location,
+            WorkerPlan::MoveTo { origin, target, depart, velocity } => {
+                if t <= depart {
+                    return origin;
+                }
+                let total = origin.travel_time(&target, velocity);
+                if total == TimeDelta::ZERO {
+                    return target;
+                }
+                let elapsed = t - depart;
+                let frac = (elapsed / total).clamp(0.0, 1.0);
+                origin.lerp(&target, frac)
+            }
+        }
+    }
+
+    /// The time at which the worker reaches its target (or `depart` itself
+    /// for a waiting worker).
+    pub fn arrival_time(&self) -> TimeStamp {
+        match *self {
+            WorkerPlan::WaitInPlace { .. } => TimeStamp::ZERO,
+            WorkerPlan::MoveTo { origin, target, depart, velocity } => {
+                depart + origin.travel_time(&target, velocity)
+            }
+        }
+    }
+
+    /// Can a worker following this plan reach `task_location` before
+    /// `task_deadline`, starting no earlier than `now`, and while still being
+    /// active itself (`now <= worker_deadline`)?
+    pub fn can_reach(
+        &self,
+        now: TimeStamp,
+        worker_deadline: TimeStamp,
+        task_location: &Location,
+        task_deadline: TimeStamp,
+        velocity: f64,
+    ) -> bool {
+        if now > worker_deadline {
+            return false;
+        }
+        let here = self.position_at(now);
+        now + here.travel_time(task_location, velocity) <= task_deadline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftoa_types::{TimeDelta, WorkerId};
+
+    fn worker(x: f64, y: f64, start: f64) -> Worker {
+        Worker::new(
+            WorkerId(0),
+            Location::new(x, y),
+            TimeStamp::minutes(start),
+            TimeDelta::minutes(30.0),
+        )
+    }
+
+    #[test]
+    fn waiting_worker_does_not_move() {
+        let w = worker(3.0, 4.0, 0.0);
+        let plan = WorkerPlan::wait(&w);
+        assert_eq!(plan.position_at(TimeStamp::minutes(100.0)), Location::new(3.0, 4.0));
+    }
+
+    #[test]
+    fn moving_worker_interpolates_along_the_route() {
+        let w = worker(0.0, 0.0, 0.0);
+        let plan = WorkerPlan::move_to(&w, Location::new(10.0, 0.0), TimeStamp::minutes(0.0), 1.0);
+        assert_eq!(plan.position_at(TimeStamp::minutes(0.0)), Location::new(0.0, 0.0));
+        assert_eq!(plan.position_at(TimeStamp::minutes(5.0)), Location::new(5.0, 0.0));
+        assert_eq!(plan.position_at(TimeStamp::minutes(10.0)), Location::new(10.0, 0.0));
+        // After arrival the worker waits at the target.
+        assert_eq!(plan.position_at(TimeStamp::minutes(25.0)), Location::new(10.0, 0.0));
+        assert_eq!(plan.arrival_time(), TimeStamp::minutes(10.0));
+    }
+
+    #[test]
+    fn movement_before_departure_keeps_origin() {
+        let w = worker(1.0, 1.0, 5.0);
+        let plan = WorkerPlan::move_to(&w, Location::new(4.0, 5.0), TimeStamp::minutes(5.0), 1.0);
+        assert_eq!(plan.position_at(TimeStamp::minutes(2.0)), Location::new(1.0, 1.0));
+    }
+
+    #[test]
+    fn zero_length_route_is_handled() {
+        let w = worker(2.0, 2.0, 0.0);
+        let plan = WorkerPlan::move_to(&w, Location::new(2.0, 2.0), TimeStamp::minutes(0.0), 1.0);
+        assert_eq!(plan.position_at(TimeStamp::minutes(3.0)), Location::new(2.0, 2.0));
+    }
+
+    #[test]
+    fn can_reach_accounts_for_pre_movement() {
+        // Worker dispatched toward (10, 0) at t=0; a task at (10, 0) released
+        // at t=12 with deadline t=14 is reachable (the worker is already
+        // there), whereas a wait-in-place worker could not make it.
+        let w = worker(0.0, 0.0, 0.0);
+        let moving = WorkerPlan::move_to(&w, Location::new(10.0, 0.0), TimeStamp::minutes(0.0), 1.0);
+        let waiting = WorkerPlan::wait(&w);
+        let deadline = TimeStamp::minutes(14.0);
+        let now = TimeStamp::minutes(12.0);
+        assert!(moving.can_reach(now, w.deadline(), &Location::new(10.0, 0.0), deadline, 1.0));
+        assert!(!waiting.can_reach(now, w.deadline(), &Location::new(10.0, 0.0), deadline, 1.0));
+        // A worker past its own deadline cannot serve.
+        assert!(!moving.can_reach(
+            TimeStamp::minutes(31.0),
+            w.deadline(),
+            &Location::new(10.0, 0.0),
+            TimeStamp::minutes(40.0),
+            1.0
+        ));
+    }
+}

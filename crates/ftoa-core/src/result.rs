@@ -1,0 +1,87 @@
+//! Algorithm outputs: the assignment, its size and resource accounting.
+
+use ftoa_types::AssignmentSet;
+use std::time::Duration;
+
+/// The outcome of running one algorithm on one instance.
+#[derive(Debug, Clone)]
+pub struct AlgorithmResult {
+    /// Algorithm name (as used in the paper's plots).
+    pub algorithm: String,
+    /// The produced matching.
+    pub assignments: AssignmentSet,
+    /// Time spent in offline preprocessing (guide construction). The paper
+    /// omits this from the reported running times; it is reported separately.
+    pub preprocessing: Duration,
+    /// Time spent processing the online stream (or, for OPT, solving the
+    /// offline matching).
+    pub runtime: Duration,
+    /// Estimated peak size of the algorithm's data structures in bytes.
+    pub memory_bytes: usize,
+}
+
+impl AlgorithmResult {
+    /// The number of assigned pairs, i.e. the paper's `MaxSum(M)` objective.
+    pub fn matching_size(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Empirical competitive ratio against a reference (usually OPT) result.
+    /// Returns 1.0 when the reference matching is empty.
+    pub fn competitive_ratio(&self, reference: &AlgorithmResult) -> f64 {
+        if reference.matching_size() == 0 {
+            1.0
+        } else {
+            self.matching_size() as f64 / reference.matching_size() as f64
+        }
+    }
+
+    /// Online runtime in seconds (convenience for reports).
+    pub fn runtime_secs(&self) -> f64 {
+        self.runtime.as_secs_f64()
+    }
+
+    /// Memory in megabytes (convenience for reports).
+    pub fn memory_mb(&self) -> f64 {
+        self.memory_bytes as f64 / (1024.0 * 1024.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftoa_types::{Assignment, TaskId, TimeStamp, WorkerId};
+
+    fn result_with_size(n: usize) -> AlgorithmResult {
+        let mut assignments = AssignmentSet::new();
+        for i in 0..n {
+            assignments
+                .push(Assignment::new(WorkerId(i), TaskId(i), TimeStamp::ZERO))
+                .expect("distinct ids");
+        }
+        AlgorithmResult {
+            algorithm: "test".into(),
+            assignments,
+            preprocessing: Duration::from_millis(5),
+            runtime: Duration::from_millis(20),
+            memory_bytes: 2 * 1024 * 1024,
+        }
+    }
+
+    #[test]
+    fn competitive_ratio_against_reference() {
+        let alg = result_with_size(47);
+        let opt = result_with_size(100);
+        assert!((alg.competitive_ratio(&opt) - 0.47).abs() < 1e-12);
+        assert_eq!(alg.matching_size(), 47);
+        let empty = result_with_size(0);
+        assert_eq!(alg.competitive_ratio(&empty), 1.0);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let r = result_with_size(1);
+        assert!((r.runtime_secs() - 0.02).abs() < 1e-9);
+        assert!((r.memory_mb() - 2.0).abs() < 1e-9);
+    }
+}

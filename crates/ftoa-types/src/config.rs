@@ -1,0 +1,100 @@
+//! Problem configuration shared by the prediction, guide-generation and
+//! online-assignment stages.
+
+use crate::grid::GridPartition;
+use crate::slot::SlotPartition;
+use crate::time::TimeDelta;
+
+/// Configuration of one FTOA problem instance: the spatial grid, the time
+/// slots and the (global) worker velocity.
+///
+/// The paper's default synthetic setting is a 50 × 50 grid over a 50-unit
+/// region, 48 slots of 15 minutes, and a velocity of 5 grid units per slot
+/// (≈ 40 km/h); [`ProblemConfig::paper_synthetic_default`] reproduces it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProblemConfig {
+    /// Spatial partition into grid areas.
+    pub grid: GridPartition,
+    /// Temporal partition into slots.
+    pub slots: SlotPartition,
+    /// Worker velocity in coordinate units per minute.
+    pub velocity: f64,
+    /// Default worker waiting time `D_w`.
+    pub default_worker_wait: TimeDelta,
+    /// Default task patience `D_r`.
+    pub default_task_patience: TimeDelta,
+}
+
+impl ProblemConfig {
+    /// Create a configuration.
+    pub fn new(
+        grid: GridPartition,
+        slots: SlotPartition,
+        velocity: f64,
+        default_worker_wait: TimeDelta,
+        default_task_patience: TimeDelta,
+    ) -> Self {
+        assert!(velocity > 0.0, "velocity must be positive");
+        Self { grid, slots, velocity, default_worker_wait, default_task_patience }
+    }
+
+    /// The default configuration of the paper's synthetic experiments
+    /// (Table 4, bold entries): a 50 × 50 grid over a 50-unit square, 48 time
+    /// slots of 15 minutes (a 12-hour horizon), velocity of 5 grid units per
+    /// slot, task patience `D_r = 2` slots and worker wait `D_w = 2` slots.
+    pub fn paper_synthetic_default() -> Self {
+        let grid = GridPartition::square(50.0, 50).expect("static grid");
+        let slots =
+            SlotPartition::over_horizon(TimeDelta::minutes(48.0 * 15.0), 48).expect("static slots");
+        let slot_len = slots.slot_len();
+        // 5 grid units per 15-minute slot.
+        let velocity = 5.0 / slot_len.as_minutes();
+        Self::new(
+            grid,
+            slots,
+            velocity,
+            TimeDelta::slots(2.0, slot_len),
+            TimeDelta::slots(2.0, slot_len),
+        )
+    }
+
+    /// Length of one time slot.
+    pub fn slot_len(&self) -> TimeDelta {
+        self.slots.slot_len()
+    }
+
+    /// Convert a number of slots into a duration.
+    pub fn slots_to_duration(&self, n: f64) -> TimeDelta {
+        TimeDelta::slots(n, self.slot_len())
+    }
+
+    /// Velocity expressed in grid-cell widths per slot (useful to sanity-check
+    /// against the paper's "5 grids per slot").
+    pub fn velocity_cells_per_slot(&self) -> f64 {
+        self.velocity * self.slot_len().as_minutes() / self.grid.cell_width()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_table4_bold_entries() {
+        let c = ProblemConfig::paper_synthetic_default();
+        assert_eq!(c.grid.num_cells(), 2500);
+        assert_eq!(c.slots.num_slots(), 48);
+        assert_eq!(c.slot_len(), TimeDelta::minutes(15.0));
+        // 5 grid units per slot and cell width of 1 unit => 5 cells per slot.
+        assert!((c.velocity_cells_per_slot() - 5.0).abs() < 1e-9);
+        assert_eq!(c.default_task_patience, TimeDelta::minutes(30.0));
+        assert_eq!(c.slots_to_duration(1.5), TimeDelta::minutes(22.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "velocity must be positive")]
+    fn zero_velocity_is_rejected() {
+        let c = ProblemConfig::paper_synthetic_default();
+        ProblemConfig::new(c.grid, c.slots, 0.0, TimeDelta::ZERO, TimeDelta::ZERO);
+    }
+}

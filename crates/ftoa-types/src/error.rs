@@ -1,0 +1,82 @@
+//! Error types for domain-type construction and assignment validation.
+
+use crate::ids::{TaskId, WorkerId};
+use std::fmt;
+
+/// Errors produced when constructing or validating domain objects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeError {
+    /// A grid partition with zero rows or columns was requested.
+    InvalidGrid {
+        /// Requested number of columns.
+        nx: usize,
+        /// Requested number of rows.
+        ny: usize,
+    },
+    /// A slot partition with zero slots or non-positive slot length.
+    InvalidSlots {
+        /// Requested number of slots.
+        num_slots: usize,
+        /// Requested slot length in minutes.
+        slot_len_minutes: f64,
+    },
+    /// A worker id referenced by an assignment does not exist.
+    UnknownWorker(WorkerId),
+    /// A task id referenced by an assignment does not exist.
+    UnknownTask(TaskId),
+    /// A worker was assigned more than one task.
+    DuplicateWorker(WorkerId),
+    /// A task was assigned more than one worker.
+    DuplicateTask(TaskId),
+    /// An assigned pair violates the deadline constraint of Definition 4.
+    InfeasiblePair {
+        /// The worker of the infeasible pair.
+        worker: WorkerId,
+        /// The task of the infeasible pair.
+        task: TaskId,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::InvalidGrid { nx, ny } => {
+                write!(f, "invalid grid partition: {nx} x {ny} cells")
+            }
+            TypeError::InvalidSlots { num_slots, slot_len_minutes } => write!(
+                f,
+                "invalid slot partition: {num_slots} slots of {slot_len_minutes} minutes"
+            ),
+            TypeError::UnknownWorker(w) => write!(f, "assignment references unknown worker {w}"),
+            TypeError::UnknownTask(r) => write!(f, "assignment references unknown task {r}"),
+            TypeError::DuplicateWorker(w) => write!(f, "worker {w} assigned more than once"),
+            TypeError::DuplicateTask(r) => write!(f, "task {r} assigned more than once"),
+            TypeError::InfeasiblePair { worker, task, reason } => {
+                write!(f, "pair ({worker}, {task}) violates constraints: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_readable_messages() {
+        let e = TypeError::InvalidGrid { nx: 0, ny: 3 };
+        assert!(e.to_string().contains("0 x 3"));
+        let e = TypeError::DuplicateWorker(WorkerId(2));
+        assert!(e.to_string().contains("w2"));
+        let e = TypeError::InfeasiblePair {
+            worker: WorkerId(1),
+            task: TaskId(2),
+            reason: "too far".into(),
+        };
+        assert!(e.to_string().contains("too far"));
+    }
+}

@@ -1,0 +1,241 @@
+//! Spatial grid partition ("grid areas", Section 3.1.1 of the paper).
+//!
+//! The 2-D space is divided into `nx × ny` equal rectangular cells. Both the
+//! offline prediction (counts per cell) and the online guide (dispatching a
+//! worker "to the area of r") operate at cell granularity.
+
+use crate::error::TypeError;
+use crate::location::Location;
+use std::fmt;
+
+/// Identifier of a grid cell: a dense 0-based index in row-major order
+/// (`row * nx + col`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId(pub usize);
+
+impl CellId {
+    /// The underlying dense index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "area{}", self.0)
+    }
+}
+
+/// An axis-aligned rectangle in the plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundingBox {
+    /// Minimum x coordinate (inclusive).
+    pub min_x: f64,
+    /// Minimum y coordinate (inclusive).
+    pub min_y: f64,
+    /// Maximum x coordinate (exclusive for cell mapping, inclusive after clamping).
+    pub max_x: f64,
+    /// Maximum y coordinate.
+    pub max_y: f64,
+}
+
+impl BoundingBox {
+    /// Create a bounding box; panics in debug builds if degenerate.
+    pub fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
+        debug_assert!(max_x > min_x && max_y > min_y, "degenerate bounding box");
+        Self { min_x, min_y, max_x, max_y }
+    }
+
+    /// A square box `[0, side) × [0, side)`.
+    pub fn square(side: f64) -> Self {
+        Self::new(0.0, 0.0, side, side)
+    }
+
+    /// Width along x.
+    pub fn width(&self) -> f64 {
+        self.max_x - self.min_x
+    }
+
+    /// Height along y.
+    pub fn height(&self) -> f64 {
+        self.max_y - self.min_y
+    }
+
+    /// Does the box contain the location (inclusive on all edges)?
+    pub fn contains(&self, l: &Location) -> bool {
+        l.x >= self.min_x && l.x <= self.max_x && l.y >= self.min_y && l.y <= self.max_y
+    }
+
+    /// The centre of the box.
+    pub fn center(&self) -> Location {
+        Location::new((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+    }
+
+    /// Clamp a location into the box.
+    pub fn clamp(&self, l: &Location) -> Location {
+        Location::new(l.x.clamp(self.min_x, self.max_x), l.y.clamp(self.min_y, self.max_y))
+    }
+}
+
+/// A uniform partition of a bounding box into `nx × ny` cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridPartition {
+    bounds: BoundingBox,
+    nx: usize,
+    ny: usize,
+}
+
+impl GridPartition {
+    /// Create a grid with `nx` columns and `ny` rows over `bounds`.
+    pub fn new(bounds: BoundingBox, nx: usize, ny: usize) -> Result<Self, TypeError> {
+        if nx == 0 || ny == 0 {
+            return Err(TypeError::InvalidGrid { nx, ny });
+        }
+        Ok(Self { bounds, nx, ny })
+    }
+
+    /// Square grid of `n × n` cells over `[0, side)²` — the shape used by the
+    /// paper's synthetic experiments (e.g. 50 × 50 over a 50-unit region).
+    pub fn square(side: f64, n: usize) -> Result<Self, TypeError> {
+        Self::new(BoundingBox::square(side), n, n)
+    }
+
+    /// The spatial bounds of the grid.
+    pub fn bounds(&self) -> &BoundingBox {
+        &self.bounds
+    }
+
+    /// Number of columns (cells along x).
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Number of rows (cells along y).
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Total number of cells `nx × ny` (the paper's `g` / `β`).
+    pub fn num_cells(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Width of one cell.
+    pub fn cell_width(&self) -> f64 {
+        self.bounds.width() / self.nx as f64
+    }
+
+    /// Height of one cell.
+    pub fn cell_height(&self) -> f64 {
+        self.bounds.height() / self.ny as f64
+    }
+
+    /// Map a location to its cell. Locations outside the bounds are clamped
+    /// onto the boundary cell (the paper simply ignores points outside the
+    /// covered rectangle; the workload generators never produce them, and
+    /// clamping keeps the mapping total for robustness).
+    pub fn cell_of(&self, l: &Location) -> CellId {
+        let fx = (l.x - self.bounds.min_x) / self.cell_width();
+        let fy = (l.y - self.bounds.min_y) / self.cell_height();
+        let cx = (fx.floor() as isize).clamp(0, self.nx as isize - 1) as usize;
+        let cy = (fy.floor() as isize).clamp(0, self.ny as isize - 1) as usize;
+        CellId(cy * self.nx + cx)
+    }
+
+    /// Column/row coordinates of a cell.
+    pub fn cell_coords(&self, c: CellId) -> (usize, usize) {
+        (c.0 % self.nx, c.0 / self.nx)
+    }
+
+    /// The centre point of a cell; this is where guided workers are sent when
+    /// dispatched "to the area of r".
+    pub fn cell_center(&self, c: CellId) -> Location {
+        let (cx, cy) = self.cell_coords(c);
+        Location::new(
+            self.bounds.min_x + (cx as f64 + 0.5) * self.cell_width(),
+            self.bounds.min_y + (cy as f64 + 0.5) * self.cell_height(),
+        )
+    }
+
+    /// The bounding box of a single cell.
+    pub fn cell_bounds(&self, c: CellId) -> BoundingBox {
+        let (cx, cy) = self.cell_coords(c);
+        BoundingBox::new(
+            self.bounds.min_x + cx as f64 * self.cell_width(),
+            self.bounds.min_y + cy as f64 * self.cell_height(),
+            self.bounds.min_x + (cx as f64 + 1.0) * self.cell_width(),
+            self.bounds.min_y + (cy as f64 + 1.0) * self.cell_height(),
+        )
+    }
+
+    /// Iterate over all cell ids.
+    pub fn cells(&self) -> impl Iterator<Item = CellId> {
+        (0..self.num_cells()).map(CellId)
+    }
+
+    /// Centre-to-centre Euclidean distance between two cells.
+    pub fn cell_distance(&self, a: CellId, b: CellId) -> f64 {
+        self.cell_center(a).distance(&self.cell_center(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_degenerate_grids() {
+        assert!(GridPartition::square(10.0, 0).is_err());
+        assert!(GridPartition::new(BoundingBox::square(1.0), 3, 0).is_err());
+    }
+
+    #[test]
+    fn paper_example_quadrants() {
+        // Example 3: an 8x8 region split into four areas (2x2 grid).
+        let g = GridPartition::square(8.0, 2).unwrap();
+        assert_eq!(g.num_cells(), 4);
+        // Area layout is row-major from the bottom-left.
+        assert_eq!(g.cell_of(&Location::new(1.0, 6.0)), CellId(2)); // w1, top-left
+        assert_eq!(g.cell_of(&Location::new(6.0, 5.0)), CellId(3)); // r4, top-right
+        assert_eq!(g.cell_of(&Location::new(5.0, 3.0)), CellId(1)); // r5, bottom-right
+        assert_eq!(g.cell_of(&Location::new(2.0, 2.0)), CellId(0)); // bottom-left
+    }
+
+    #[test]
+    fn out_of_bounds_locations_are_clamped() {
+        let g = GridPartition::square(10.0, 5).unwrap();
+        assert_eq!(g.cell_of(&Location::new(-3.0, -3.0)), CellId(0));
+        assert_eq!(g.cell_of(&Location::new(100.0, 100.0)), CellId(24));
+        assert_eq!(g.cell_of(&Location::new(10.0, 10.0)), CellId(24));
+    }
+
+    #[test]
+    fn cell_round_trip_center_lies_inside_cell() {
+        let g = GridPartition::new(BoundingBox::new(-5.0, 0.0, 5.0, 20.0), 4, 8).unwrap();
+        for c in g.cells() {
+            let center = g.cell_center(c);
+            assert_eq!(g.cell_of(&center), c);
+            assert!(g.cell_bounds(c).contains(&center));
+        }
+    }
+
+    #[test]
+    fn cell_distance_is_symmetric() {
+        let g = GridPartition::square(50.0, 10).unwrap();
+        let a = CellId(3);
+        let b = CellId(77);
+        assert!((g.cell_distance(a, b) - g.cell_distance(b, a)).abs() < 1e-12);
+        assert_eq!(g.cell_distance(a, a), 0.0);
+    }
+
+    #[test]
+    fn bounding_box_helpers() {
+        let b = BoundingBox::new(0.0, 0.0, 4.0, 2.0);
+        assert_eq!(b.width(), 4.0);
+        assert_eq!(b.height(), 2.0);
+        assert_eq!(b.center(), Location::new(2.0, 1.0));
+        assert!(b.contains(&Location::new(4.0, 2.0)));
+        assert!(!b.contains(&Location::new(4.1, 2.0)));
+        assert_eq!(b.clamp(&Location::new(10.0, -1.0)), Location::new(4.0, 0.0));
+    }
+}

@@ -1,0 +1,72 @@
+//! Strongly typed identifiers for workers and tasks.
+//!
+//! Using newtypes instead of bare `usize` prevents accidentally indexing a
+//! worker table with a task id (and vice versa), which is an easy mistake in
+//! matching code where both sides are dense integer ranges.
+
+use std::fmt;
+
+/// Identifier of a worker. Dense, 0-based within one problem instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WorkerId(pub usize);
+
+/// Identifier of a task. Dense, 0-based within one problem instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub usize);
+
+impl WorkerId {
+    /// The underlying dense index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl TaskId {
+    /// The underlying dense index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<usize> for WorkerId {
+    fn from(v: usize) -> Self {
+        WorkerId(v)
+    }
+}
+
+impl From<usize> for TaskId {
+    fn from(v: usize) -> Self {
+        TaskId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_paper_notation() {
+        assert_eq!(WorkerId(3).to_string(), "w3");
+        assert_eq!(TaskId(7).to_string(), "r7");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(WorkerId(1) < WorkerId(2));
+        assert!(TaskId(0) < TaskId(5));
+        assert_eq!(WorkerId::from(4).index(), 4);
+        assert_eq!(TaskId::from(9).index(), 9);
+    }
+}

@@ -1,0 +1,132 @@
+//! Locations in the 2-D plane and travel times.
+//!
+//! Definition 3 of the paper: the travel cost `d(w, r)` is the Euclidean
+//! distance between the worker's and the task's locations divided by the
+//! (global) worker velocity. All workers share one velocity; heterogeneous
+//! velocities can be folded into the travel cost, exactly as the paper notes.
+
+use crate::time::TimeDelta;
+use std::fmt;
+
+/// A point in the 2-D plane. Units are abstract "grid units" for synthetic
+/// workloads and degrees (longitude, latitude) for city traces.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Location {
+    /// X coordinate (or longitude).
+    pub x: f64,
+    /// Y coordinate (or latitude).
+    pub y: f64,
+}
+
+impl Location {
+    /// Create a new location.
+    pub fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Location = Location { x: 0.0, y: 0.0 };
+
+    /// Euclidean distance to another location, in coordinate units.
+    pub fn distance(&self, other: &Location) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Squared Euclidean distance (cheaper; useful for nearest-neighbour
+    /// comparisons where the ordering is all that matters).
+    pub fn distance_sq(&self, other: &Location) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Manhattan (L1) distance.
+    pub fn manhattan_distance(&self, other: &Location) -> f64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+
+    /// Travel time from `self` to `other` at the given velocity
+    /// (coordinate units per minute). This is the paper's `d(L_w, L_r)`.
+    pub fn travel_time(&self, other: &Location, velocity: f64) -> TimeDelta {
+        debug_assert!(velocity > 0.0, "velocity must be positive");
+        TimeDelta::minutes(self.distance(other) / velocity)
+    }
+
+    /// Linear interpolation between `self` and `other`.
+    ///
+    /// `frac = 0` returns `self`, `frac = 1` returns `other`. Used by the
+    /// simulator to place a moving worker part-way along its guided route.
+    pub fn lerp(&self, other: &Location, frac: f64) -> Location {
+        Location {
+            x: self.x + (other.x - self.x) * frac,
+            y: self.y + (other.y - self.y) * frac,
+        }
+    }
+
+    /// Are both coordinates finite?
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Location {
+    fn from((x, y): (f64, f64)) -> Self {
+        Location::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_distance_matches_pythagoras() {
+        let a = Location::new(0.0, 0.0);
+        let b = Location::new(3.0, 4.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+        assert!((a.distance_sq(&b) - 25.0).abs() < 1e-12);
+        assert!((a.manhattan_distance(&b) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn travel_time_divides_by_velocity() {
+        let a = Location::new(0.0, 0.0);
+        let b = Location::new(0.0, 10.0);
+        // Paper toy example: speed one unit per minute.
+        assert_eq!(a.travel_time(&b, 1.0), TimeDelta::minutes(10.0));
+        assert_eq!(a.travel_time(&b, 2.0), TimeDelta::minutes(5.0));
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = Location::new(1.5, -2.0);
+        let b = Location::new(-0.5, 7.0);
+        assert!((a.distance(&b) - b.distance(&a)).abs() < 1e-12);
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Location::new(0.0, 0.0);
+        let b = Location::new(2.0, 4.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        assert_eq!(a.lerp(&b, 0.5), Location::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn conversion_from_tuple() {
+        let l: Location = (3.0, 6.0).into();
+        assert_eq!(l, Location::new(3.0, 6.0));
+        assert!(l.is_finite());
+        assert!(!Location::new(f64::NAN, 0.0).is_finite());
+    }
+}

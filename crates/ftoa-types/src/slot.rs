@@ -1,0 +1,149 @@
+//! Time-slot partition ("time slots", Section 3.1.1 of the paper).
+//!
+//! The planning horizon (e.g. one day) is divided into `t` equal slots
+//! (e.g. 96 slots of 15 minutes). Predictions are made per slot and per cell.
+
+use crate::error::TypeError;
+use crate::time::{TimeDelta, TimeStamp};
+use std::fmt;
+
+/// Identifier of a time slot: dense 0-based index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SlotId(pub usize);
+
+impl SlotId {
+    /// The underlying dense index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for SlotId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slot{}", self.0)
+    }
+}
+
+/// A uniform partition of the horizon `[start, start + num_slots * slot_len)`
+/// into `num_slots` slots of equal length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotPartition {
+    start: TimeStamp,
+    slot_len: TimeDelta,
+    num_slots: usize,
+}
+
+impl SlotPartition {
+    /// Create a slot partition.
+    pub fn new(
+        start: TimeStamp,
+        slot_len: TimeDelta,
+        num_slots: usize,
+    ) -> Result<Self, TypeError> {
+        if num_slots == 0 || !(slot_len.as_minutes() > 0.0) {
+            return Err(TypeError::InvalidSlots { num_slots, slot_len_minutes: slot_len.as_minutes() });
+        }
+        Ok(Self { start, slot_len, num_slots })
+    }
+
+    /// Partition a horizon of `horizon` minutes starting at time zero into
+    /// `num_slots` equal slots — the common case in the experiments
+    /// (e.g. one day of 1440 minutes into 96 slots of 15 minutes).
+    pub fn over_horizon(horizon: TimeDelta, num_slots: usize) -> Result<Self, TypeError> {
+        if num_slots == 0 {
+            return Err(TypeError::InvalidSlots { num_slots, slot_len_minutes: 0.0 });
+        }
+        Self::new(TimeStamp::ZERO, horizon / num_slots as f64, num_slots)
+    }
+
+    /// Start of the horizon.
+    pub fn start(&self) -> TimeStamp {
+        self.start
+    }
+
+    /// Length of one slot.
+    pub fn slot_len(&self) -> TimeDelta {
+        self.slot_len
+    }
+
+    /// Number of slots (the paper's `t` / `α`).
+    pub fn num_slots(&self) -> usize {
+        self.num_slots
+    }
+
+    /// End of the horizon (exclusive).
+    pub fn end(&self) -> TimeStamp {
+        self.start + self.slot_len * self.num_slots as f64
+    }
+
+    /// Total horizon length.
+    pub fn horizon(&self) -> TimeDelta {
+        self.end() - self.start
+    }
+
+    /// Map a timestamp to its slot; times outside the horizon are clamped to
+    /// the first/last slot.
+    pub fn slot_of(&self, t: TimeStamp) -> SlotId {
+        let f = (t - self.start) / self.slot_len;
+        let idx = (f.floor() as isize).clamp(0, self.num_slots as isize - 1) as usize;
+        SlotId(idx)
+    }
+
+    /// Start time of a slot.
+    pub fn slot_start(&self, s: SlotId) -> TimeStamp {
+        self.start + self.slot_len * s.0 as f64
+    }
+
+    /// End time of a slot (exclusive).
+    pub fn slot_end(&self, s: SlotId) -> TimeStamp {
+        self.slot_start(s) + self.slot_len
+    }
+
+    /// Midpoint of a slot.
+    pub fn slot_mid(&self, s: SlotId) -> TimeStamp {
+        self.slot_start(s) + self.slot_len / 2.0
+    }
+
+    /// Iterate over all slot ids.
+    pub fn slots(&self) -> impl Iterator<Item = SlotId> {
+        (0..self.num_slots).map(SlotId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_degenerate_partitions() {
+        assert!(SlotPartition::new(TimeStamp::ZERO, TimeDelta::minutes(0.0), 4).is_err());
+        assert!(SlotPartition::new(TimeStamp::ZERO, TimeDelta::minutes(5.0), 0).is_err());
+        assert!(SlotPartition::over_horizon(TimeDelta::minutes(60.0), 0).is_err());
+    }
+
+    #[test]
+    fn day_of_96_slots() {
+        let p = SlotPartition::over_horizon(TimeDelta::minutes(1440.0), 96).unwrap();
+        assert_eq!(p.slot_len(), TimeDelta::minutes(15.0));
+        assert_eq!(p.num_slots(), 96);
+        assert_eq!(p.slot_of(TimeStamp::minutes(0.0)), SlotId(0));
+        assert_eq!(p.slot_of(TimeStamp::minutes(14.99)), SlotId(0));
+        assert_eq!(p.slot_of(TimeStamp::minutes(15.0)), SlotId(1));
+        assert_eq!(p.slot_of(TimeStamp::minutes(1439.9)), SlotId(95));
+        // Out-of-horizon timestamps are clamped.
+        assert_eq!(p.slot_of(TimeStamp::minutes(-5.0)), SlotId(0));
+        assert_eq!(p.slot_of(TimeStamp::minutes(2000.0)), SlotId(95));
+    }
+
+    #[test]
+    fn slot_boundaries_round_trip() {
+        let p = SlotPartition::new(TimeStamp::minutes(60.0), TimeDelta::minutes(5.0), 12).unwrap();
+        assert_eq!(p.end(), TimeStamp::minutes(120.0));
+        assert_eq!(p.horizon(), TimeDelta::minutes(60.0));
+        for s in p.slots() {
+            assert_eq!(p.slot_of(p.slot_start(s)), s);
+            assert_eq!(p.slot_of(p.slot_mid(s)), s);
+            assert_eq!(p.slot_end(s) - p.slot_start(s), p.slot_len());
+        }
+    }
+}

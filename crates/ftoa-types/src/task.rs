@@ -1,0 +1,86 @@
+//! Tasks (Definition 2 of the paper).
+
+use crate::ids::TaskId;
+use crate::location::Location;
+use crate::time::{TimeDelta, TimeStamp};
+
+/// A task `r = <L_r, S_r, D_r>`: released at location `L_r` at time `S_r`
+/// and must be *reached* by an assigned worker within `D_r` time, i.e. before
+/// `S_r + D_r`; otherwise it disappears from the platform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Task {
+    /// Dense identifier of the task.
+    pub id: TaskId,
+    /// Fixed location of the task.
+    pub location: Location,
+    /// Release time `S_r`.
+    pub release: TimeStamp,
+    /// Patience `D_r`: the task must be reached before `S_r + D_r`.
+    pub patience: TimeDelta,
+}
+
+impl Task {
+    /// Create a new task.
+    pub fn new(id: TaskId, location: Location, release: TimeStamp, patience: TimeDelta) -> Self {
+        Self { id, location, release, patience }
+    }
+
+    /// The absolute deadline `S_r + D_r` by which a worker must arrive.
+    pub fn deadline(&self) -> TimeStamp {
+        self.release + self.patience
+    }
+
+    /// Is the task still waiting to be served at time `t`?
+    pub fn is_pending_at(&self, t: TimeStamp) -> bool {
+        t >= self.release && t <= self.deadline()
+    }
+
+    /// Latest time a worker located at `from` may start travelling (at the
+    /// given velocity) and still reach this task before its deadline.
+    /// Returns `None` when the task is unreachable even with an immediate
+    /// departure at its release time.
+    pub fn latest_departure_from(&self, from: &Location, velocity: f64) -> Option<TimeStamp> {
+        let travel = from.travel_time(&self.location, velocity);
+        let latest = self.deadline() - travel;
+        if latest >= self.release {
+            Some(latest)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_is_release_plus_patience() {
+        let r = Task::new(
+            TaskId(1),
+            Location::new(5.0, 6.0),
+            TimeStamp::minutes(3.0),
+            TimeDelta::minutes(2.0),
+        );
+        assert_eq!(r.deadline(), TimeStamp::minutes(5.0));
+        assert!(r.is_pending_at(TimeStamp::minutes(3.0)));
+        assert!(r.is_pending_at(TimeStamp::minutes(5.0)));
+        assert!(!r.is_pending_at(TimeStamp::minutes(5.5)));
+        assert!(!r.is_pending_at(TimeStamp::minutes(2.9)));
+    }
+
+    #[test]
+    fn latest_departure_accounts_for_travel() {
+        let r = Task::new(
+            TaskId(0),
+            Location::new(10.0, 0.0),
+            TimeStamp::minutes(0.0),
+            TimeDelta::minutes(12.0),
+        );
+        let from = Location::new(0.0, 0.0);
+        // 10 units away at 1 unit/min => must leave by t = 2.
+        assert_eq!(r.latest_departure_from(&from, 1.0), Some(TimeStamp::minutes(2.0)));
+        // At 0.5 units/min the travel takes 20 min > 12 min patience.
+        assert_eq!(r.latest_departure_from(&from, 0.5), None);
+    }
+}

@@ -1,0 +1,242 @@
+//! Timestamps and durations.
+//!
+//! The paper measures time in minutes (e.g. the toy example of Table 1 uses
+//! minute granularity, task deadlines are "2 minutes", worker speed is "one
+//! unit per minute"). We keep time as `f64` minutes so that travel times
+//! (Euclidean distance / velocity) compose without rounding, and wrap it in
+//! newtypes with total ordering so the rest of the code never has to deal
+//! with `PartialOrd` on raw floats.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute point in time, in minutes since the start of the horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TimeStamp(pub f64);
+
+/// A non-negative span of time, in minutes.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TimeDelta(pub f64);
+
+impl TimeStamp {
+    /// The zero timestamp (start of the planning horizon).
+    pub const ZERO: TimeStamp = TimeStamp(0.0);
+
+    /// Construct from raw minutes.
+    pub fn minutes(m: f64) -> Self {
+        TimeStamp(m)
+    }
+
+    /// The raw value in minutes.
+    pub fn as_minutes(self) -> f64 {
+        self.0
+    }
+
+    /// Is the timestamp a finite number?
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Elementwise minimum.
+    pub fn min(self, other: Self) -> Self {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Elementwise maximum.
+    pub fn max(self, other: Self) -> Self {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl TimeDelta {
+    /// The zero duration.
+    pub const ZERO: TimeDelta = TimeDelta(0.0);
+
+    /// Construct from raw minutes.
+    pub fn minutes(m: f64) -> Self {
+        TimeDelta(m)
+    }
+
+    /// Construct from a number of time slots of the given slot length.
+    pub fn slots(n: f64, slot_len: TimeDelta) -> Self {
+        TimeDelta(n * slot_len.0)
+    }
+
+    /// The raw value in minutes.
+    pub fn as_minutes(self) -> f64 {
+        self.0
+    }
+
+    /// Is the duration non-negative (and finite)?
+    pub fn is_valid(self) -> bool {
+        self.0.is_finite() && self.0 >= 0.0
+    }
+}
+
+impl Eq for TimeStamp {}
+impl Eq for TimeDelta {}
+
+impl Ord for TimeStamp {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl PartialOrd for TimeStamp {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TimeDelta {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl PartialOrd for TimeDelta {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add<TimeDelta> for TimeStamp {
+    type Output = TimeStamp;
+    fn add(self, rhs: TimeDelta) -> TimeStamp {
+        TimeStamp(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<TimeDelta> for TimeStamp {
+    fn add_assign(&mut self, rhs: TimeDelta) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<TimeDelta> for TimeStamp {
+    type Output = TimeStamp;
+    fn sub(self, rhs: TimeDelta) -> TimeStamp {
+        TimeStamp(self.0 - rhs.0)
+    }
+}
+
+impl Sub<TimeStamp> for TimeStamp {
+    type Output = TimeDelta;
+    fn sub(self, rhs: TimeStamp) -> TimeDelta {
+        TimeDelta(self.0 - rhs.0)
+    }
+}
+
+impl Add for TimeDelta {
+    type Output = TimeDelta;
+    fn add(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for TimeDelta {
+    fn add_assign(&mut self, rhs: TimeDelta) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for TimeDelta {
+    type Output = TimeDelta;
+    fn sub(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for TimeDelta {
+    fn sub_assign(&mut self, rhs: TimeDelta) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<f64> for TimeDelta {
+    type Output = TimeDelta;
+    fn mul(self, rhs: f64) -> TimeDelta {
+        TimeDelta(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for TimeDelta {
+    type Output = TimeDelta;
+    fn div(self, rhs: f64) -> TimeDelta {
+        TimeDelta(self.0 / rhs)
+    }
+}
+
+impl Div<TimeDelta> for TimeDelta {
+    type Output = f64;
+    fn div(self, rhs: TimeDelta) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl fmt::Display for TimeStamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}min", self.0)
+    }
+}
+
+impl fmt::Display for TimeDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}min", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_round_trips() {
+        let t = TimeStamp::minutes(10.0);
+        let d = TimeDelta::minutes(2.5);
+        assert_eq!((t + d) - t, d);
+        assert_eq!((t + d) - d, t);
+        assert_eq!(d + d, TimeDelta::minutes(5.0));
+        assert_eq!(d * 2.0, TimeDelta::minutes(5.0));
+        assert_eq!(d / 2.5, TimeDelta::minutes(1.0));
+        assert!((TimeDelta::minutes(5.0) / TimeDelta::minutes(2.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_ordering_on_timestamps() {
+        let mut v = vec![
+            TimeStamp::minutes(3.0),
+            TimeStamp::minutes(1.0),
+            TimeStamp::minutes(2.0),
+        ];
+        v.sort();
+        assert_eq!(v[0], TimeStamp::minutes(1.0));
+        assert_eq!(v[2], TimeStamp::minutes(3.0));
+        assert_eq!(TimeStamp::minutes(1.0).max(TimeStamp::minutes(2.0)), TimeStamp::minutes(2.0));
+        assert_eq!(TimeStamp::minutes(1.0).min(TimeStamp::minutes(2.0)), TimeStamp::minutes(1.0));
+    }
+
+    #[test]
+    fn slots_helper_scales_by_slot_length() {
+        let slot_len = TimeDelta::minutes(15.0);
+        assert_eq!(TimeDelta::slots(2.0, slot_len), TimeDelta::minutes(30.0));
+    }
+
+    #[test]
+    fn validity_checks() {
+        assert!(TimeDelta::minutes(0.0).is_valid());
+        assert!(!TimeDelta::minutes(-1.0).is_valid());
+        assert!(!TimeDelta::minutes(f64::NAN).is_valid());
+        assert!(TimeStamp::minutes(5.0).is_finite());
+        assert!(!TimeStamp::minutes(f64::INFINITY).is_finite());
+    }
+}

@@ -1,0 +1,161 @@
+//! Workers (Definition 1 of the paper).
+
+use crate::ids::WorkerId;
+use crate::location::Location;
+use crate::task::Task;
+use crate::time::{TimeDelta, TimeStamp};
+
+/// A worker `w = <L_w, S_w, D_w>`: appears at location `L_w` at time `S_w`
+/// and stays available for `D_w` (its waiting time); after `S_w + D_w` it
+/// leaves the platform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Worker {
+    /// Dense identifier of the worker.
+    pub id: WorkerId,
+    /// Initial location when the worker appears on the platform.
+    pub location: Location,
+    /// Appearance time `S_w`.
+    pub start: TimeStamp,
+    /// Waiting time `D_w` after which the worker leaves.
+    pub wait: TimeDelta,
+}
+
+impl Worker {
+    /// Create a new worker.
+    pub fn new(id: WorkerId, location: Location, start: TimeStamp, wait: TimeDelta) -> Self {
+        Self { id, location, start, wait }
+    }
+
+    /// The time `S_w + D_w` after which the worker no longer serves tasks.
+    pub fn deadline(&self) -> TimeStamp {
+        self.start + self.wait
+    }
+
+    /// Is the worker present on the platform at time `t`?
+    pub fn is_active_at(&self, t: TimeStamp) -> bool {
+        t >= self.start && t <= self.deadline()
+    }
+
+    /// Deadline constraint of Definition 4 evaluated from the worker's
+    /// *initial* location: the task must appear before the worker leaves
+    /// (`S_r < S_w + D_w`) and the worker must be able to reach the task's
+    /// location before the task's deadline
+    /// (`D_r - (S_w - S_r) - d(L_w, L_r) >= 0`, with the travel start never
+    /// earlier than the later of the two appearance times).
+    pub fn can_serve(&self, task: &Task, velocity: f64) -> bool {
+        if task.release >= self.deadline() {
+            return false;
+        }
+        let depart = self.start.max(task.release);
+        let travel = self.location.travel_time(&task.location, velocity);
+        depart + travel <= task.deadline()
+    }
+
+    /// Same feasibility check, but evaluated for a worker that is currently at
+    /// `current_location` at time `now` (e.g. after having been dispatched to
+    /// another grid area by the platform).
+    pub fn can_serve_from(
+        &self,
+        current_location: Location,
+        now: TimeStamp,
+        task: &Task,
+        velocity: f64,
+    ) -> bool {
+        if now > self.deadline() || task.release >= self.deadline() {
+            return false;
+        }
+        let depart = now.max(task.release);
+        let travel = current_location.travel_time(&task.location, velocity);
+        depart + travel <= task.deadline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::TaskId;
+
+    fn worker(x: f64, y: f64, start: f64, wait: f64) -> Worker {
+        Worker::new(
+            WorkerId(0),
+            Location::new(x, y),
+            TimeStamp::minutes(start),
+            TimeDelta::minutes(wait),
+        )
+    }
+
+    fn task(x: f64, y: f64, release: f64, patience: f64) -> Task {
+        Task::new(
+            TaskId(0),
+            Location::new(x, y),
+            TimeStamp::minutes(release),
+            TimeDelta::minutes(patience),
+        )
+    }
+
+    #[test]
+    fn deadline_is_start_plus_wait() {
+        let w = worker(0.0, 0.0, 5.0, 30.0);
+        assert_eq!(w.deadline(), TimeStamp::minutes(35.0));
+        assert!(w.is_active_at(TimeStamp::minutes(5.0)));
+        assert!(w.is_active_at(TimeStamp::minutes(35.0)));
+        assert!(!w.is_active_at(TimeStamp::minutes(35.1)));
+        assert!(!w.is_active_at(TimeStamp::minutes(4.9)));
+    }
+
+    #[test]
+    fn can_serve_respects_travel_time() {
+        // Paper toy example geometry: w1 at (1,6), r1 at (3,6), speed 1/min,
+        // task deadline 2 minutes => reachable exactly at the deadline.
+        let w = worker(1.0, 6.0, 0.0, 30.0);
+        let r = task(3.0, 6.0, 0.0, 2.0);
+        assert!(w.can_serve(&r, 1.0));
+        // One unit further away and it becomes infeasible.
+        let far = task(4.0, 6.0, 0.0, 2.0);
+        assert!(!w.can_serve(&far, 1.0));
+        // But a faster worker makes it feasible again.
+        assert!(w.can_serve(&far, 2.0));
+    }
+
+    #[test]
+    fn can_serve_rejects_tasks_released_after_worker_leaves() {
+        let w = worker(0.0, 0.0, 0.0, 10.0);
+        let late = task(0.0, 0.0, 10.0, 5.0);
+        assert!(!w.can_serve(&late, 1.0));
+        let in_time = task(0.0, 0.0, 9.9, 5.0);
+        assert!(w.can_serve(&in_time, 1.0));
+    }
+
+    #[test]
+    fn task_released_before_worker_starts_uses_worker_start_as_departure() {
+        // Task released at t=0 with 10 minutes patience; worker appears at
+        // t=8 two units away: 8 + 2 = 10 <= 10, feasible.
+        let w = worker(0.0, 0.0, 8.0, 30.0);
+        let r = task(0.0, 2.0, 0.0, 10.0);
+        assert!(w.can_serve(&r, 1.0));
+        // Worker appearing at t=9 misses it.
+        let w_late = worker(0.0, 0.0, 9.0, 30.0);
+        assert!(!w_late.can_serve(&r, 1.0));
+    }
+
+    #[test]
+    fn can_serve_from_moved_position() {
+        let w = worker(0.0, 0.0, 0.0, 30.0);
+        let r = task(10.0, 0.0, 12.0, 2.0);
+        // From the initial location the task is infeasible (needs 10 min
+        // travel but only 2 min patience and it is released at t=12; the
+        // worker could actually pre-move — that is exactly what FTOA allows
+        // and what `can_serve_from` models).
+        assert!(!w.can_serve(&r, 1.0) || w.location.distance(&r.location) <= 2.0);
+        // After being guided to (9,0) by t=12 the task is reachable.
+        assert!(w.can_serve_from(Location::new(9.0, 0.0), TimeStamp::minutes(12.0), &r, 1.0));
+        // But not if the worker's own deadline has passed.
+        let w_short = worker(0.0, 0.0, 0.0, 5.0);
+        assert!(!w_short.can_serve_from(
+            Location::new(9.0, 0.0),
+            TimeStamp::minutes(12.0),
+            &r,
+            1.0
+        ));
+    }
+}

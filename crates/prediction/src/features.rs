@@ -1,0 +1,230 @@
+//! Feature extraction shared by the regression-style predictors (LR, NN,
+//! GBRT).
+//!
+//! For a target `(slot, cell)` on a target day, the feature vector contains:
+//!
+//! 1. the counts at the same `(slot, cell)` on the `k_recent` most recent
+//!    historical days (the paper's "numbers of the 15 most recent
+//!    corresponding periods"), most recent first, padded with the historical
+//!    mean when fewer days are available;
+//! 2. the same-weekday historical mean at the `(slot, cell)`;
+//! 3. the overall historical mean at the `(slot, cell)`;
+//! 4. the target day's weather covariate;
+//! 5. the normalised slot index and normalised cell index;
+//! 6. a constant bias term.
+
+use crate::history::{DayMeta, DayRecord, HistoryStore, Quantity};
+use crate::linalg::DenseMatrix;
+
+/// Configurable feature extractor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureExtractor {
+    /// Number of most recent corresponding periods to include (the paper
+    /// uses 15).
+    pub k_recent: usize,
+    /// Include the exogenous features (weather, position, weekday mean)?
+    /// LR in the paper uses only the recent periods; NN and GBRT use more.
+    pub include_exogenous: bool,
+}
+
+impl FeatureExtractor {
+    /// Extractor matching the paper's LR setup: recent periods only.
+    pub fn recent_only(k_recent: usize) -> Self {
+        Self { k_recent, include_exogenous: false }
+    }
+
+    /// Extractor matching the paper's NN / GBRT setup: recent periods plus
+    /// exogenous covariates.
+    pub fn with_exogenous(k_recent: usize) -> Self {
+        Self { k_recent, include_exogenous: true }
+    }
+
+    /// Dimension of the produced feature vectors (including the bias term).
+    pub fn dim(&self) -> usize {
+        // recent periods + bias (+ weekday mean, overall mean, weather, slot, cell).
+        self.k_recent + 1 + if self.include_exogenous { 5 } else { 0 }
+    }
+
+    /// Features for predicting `(slot, cell)` on a day with metadata `meta`,
+    /// given the chronologically ordered `days` preceding it.
+    pub fn features(
+        &self,
+        days: &[DayRecord],
+        quantity: Quantity,
+        meta: &DayMeta,
+        slot: usize,
+        cell: usize,
+    ) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.dim());
+        let series: Vec<f64> = days.iter().map(|d| d.matrix(quantity).get(slot, cell)).collect();
+        let mean =
+            if series.is_empty() { 0.0 } else { series.iter().sum::<f64>() / series.len() as f64 };
+        // 1. recent periods, most recent first.
+        for i in 0..self.k_recent {
+            let v = if i < series.len() { series[series.len() - 1 - i] } else { mean };
+            out.push(v);
+        }
+        if self.include_exogenous {
+            // 2. same-weekday mean.
+            let same_weekday: Vec<f64> = days
+                .iter()
+                .filter(|d| d.meta.weekday == meta.weekday)
+                .map(|d| d.matrix(quantity).get(slot, cell))
+                .collect();
+            let weekday_mean = if same_weekday.is_empty() {
+                mean
+            } else {
+                same_weekday.iter().sum::<f64>() / same_weekday.len() as f64
+            };
+            out.push(weekday_mean);
+            // 3. overall mean.
+            out.push(mean);
+            // 4. weather.
+            out.push(meta.weather);
+            // 5. normalised positions.
+            let num_slots = days.first().map_or(1, |d| d.workers.num_slots()).max(1);
+            let num_cells = days.first().map_or(1, |d| d.workers.num_cells()).max(1);
+            out.push(slot as f64 / num_slots as f64);
+            out.push(cell as f64 / num_cells as f64);
+        }
+        // 6. bias.
+        out.push(1.0);
+        out
+    }
+
+    /// Build a supervised training set from the history: every day after the
+    /// first `min_history` days contributes one sample per `(slot, cell)`,
+    /// with features computed from the days strictly before it.
+    ///
+    /// `max_samples` caps the training-set size with a deterministic stride
+    /// subsample so that the tree/network trainers stay fast on city-scale
+    /// grids.
+    pub fn training_set(
+        &self,
+        history: &HistoryStore,
+        quantity: Quantity,
+        min_history: usize,
+        max_samples: usize,
+    ) -> (DenseMatrix, Vec<f64>) {
+        let days = history.days();
+        let slots = history.num_slots();
+        let cells = history.num_cells();
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        let mut targets: Vec<f64> = Vec::new();
+        let usable_days = days.len().saturating_sub(min_history.max(1));
+        let total = usable_days * slots * cells;
+        let stride = (total / max_samples.max(1)).max(1);
+        let mut counter = 0usize;
+        for di in min_history.max(1)..days.len() {
+            let (past, rest) = days.split_at(di);
+            let target_day = &rest[0];
+            for s in 0..slots {
+                for c in 0..cells {
+                    if counter % stride == 0 {
+                        rows.push(self.features(past, quantity, &target_day.meta, s, c));
+                        targets.push(target_day.matrix(quantity).get(s, c));
+                    }
+                    counter += 1;
+                }
+            }
+        }
+        if rows.is_empty() {
+            // Degenerate history: return a single zero sample so downstream
+            // solvers have something well-formed to work with.
+            rows.push(vec![0.0; self.dim()]);
+            targets.push(0.0);
+        }
+        (DenseMatrix::from_rows(rows), targets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::SpatioTemporalMatrix;
+
+    fn history(n_days: usize) -> HistoryStore {
+        let mut h = HistoryStore::new();
+        for d in 0..n_days {
+            let mut w = SpatioTemporalMatrix::zeros(2, 2);
+            let mut t = SpatioTemporalMatrix::zeros(2, 2);
+            for s in 0..2 {
+                for c in 0..2 {
+                    w.set(s, c, (d + s + c) as f64);
+                    t.set(s, c, (2 * d + s) as f64);
+                }
+            }
+            h.push(DayRecord { meta: DayMeta::new(d % 7, 0.2), workers: w, tasks: t });
+        }
+        h
+    }
+
+    #[test]
+    fn dimensions_match_configuration() {
+        assert_eq!(FeatureExtractor::recent_only(15).dim(), 16);
+        assert_eq!(FeatureExtractor::with_exogenous(15).dim(), 21);
+    }
+
+    #[test]
+    fn recent_periods_are_most_recent_first() {
+        let h = history(5);
+        let fx = FeatureExtractor::recent_only(3);
+        let f = fx.features(h.days(), Quantity::Workers, &DayMeta::new(0, 0.0), 1, 1);
+        // Worker values at (1,1) are d + 2 => days 0..5 give 2,3,4,5,6.
+        assert_eq!(f[0], 6.0);
+        assert_eq!(f[1], 5.0);
+        assert_eq!(f[2], 4.0);
+        assert_eq!(*f.last().unwrap(), 1.0); // bias
+    }
+
+    #[test]
+    fn short_history_is_padded_with_mean() {
+        let h = history(2);
+        let fx = FeatureExtractor::recent_only(4);
+        let f = fx.features(h.days(), Quantity::Workers, &DayMeta::new(0, 0.0), 0, 0);
+        // Series at (0,0): 0, 1 => mean 0.5; padded entries equal the mean.
+        assert_eq!(f[0], 1.0);
+        assert_eq!(f[1], 0.0);
+        assert_eq!(f[2], 0.5);
+        assert_eq!(f[3], 0.5);
+    }
+
+    #[test]
+    fn exogenous_features_include_weather_and_position() {
+        let h = history(8);
+        let fx = FeatureExtractor::with_exogenous(2);
+        let f = fx.features(h.days(), Quantity::Tasks, &DayMeta::new(1, 0.7), 1, 0);
+        assert_eq!(f.len(), fx.dim());
+        // Weather is at position k_recent + 2.
+        assert_eq!(f[2 + 2], 0.7);
+    }
+
+    #[test]
+    fn training_set_has_matching_rows_and_targets() {
+        let h = history(10);
+        let fx = FeatureExtractor::recent_only(3);
+        let (x, y) = fx.training_set(&h, Quantity::Workers, 3, 1000);
+        assert_eq!(x.rows(), y.len());
+        assert_eq!(x.cols(), fx.dim());
+        // 7 usable days * 4 cells-slots = 28 samples.
+        assert_eq!(y.len(), 28);
+    }
+
+    #[test]
+    fn training_set_respects_max_samples() {
+        let h = history(10);
+        let fx = FeatureExtractor::recent_only(3);
+        let (x, y) = fx.training_set(&h, Quantity::Workers, 3, 10);
+        assert!(y.len() <= 15, "stride subsampling should cap the set, got {}", y.len());
+        assert_eq!(x.rows(), y.len());
+    }
+
+    #[test]
+    fn empty_history_produces_degenerate_but_valid_set() {
+        let h = HistoryStore::new();
+        let fx = FeatureExtractor::recent_only(3);
+        let (x, y) = fx.training_set(&h, Quantity::Workers, 3, 10);
+        assert_eq!(x.rows(), 1);
+        assert_eq!(y, vec![0.0]);
+    }
+}

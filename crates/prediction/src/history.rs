@@ -1,0 +1,183 @@
+//! Multi-day historical record store used to train the predictors.
+
+use crate::matrix::SpatioTemporalMatrix;
+
+/// Which side of the market a prediction refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Quantity {
+    /// Supply: the paper's `a_ij` (taxis / workers).
+    Workers,
+    /// Demand: the paper's `b_ij` (taxi-calling requests / tasks).
+    Tasks,
+}
+
+/// Exogenous metadata of one day.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DayMeta {
+    /// Day of week, `0 = Monday … 6 = Sunday`.
+    pub weekday: usize,
+    /// A scalar weather covariate in `[0, 1]` (0 = clear, 1 = severe). The
+    /// paper's NN predictor uses "other features e.g. the weather condition";
+    /// the city workload generator produces this covariate alongside the
+    /// per-day counts.
+    pub weather: f64,
+}
+
+impl DayMeta {
+    /// Create a day description.
+    pub fn new(weekday: usize, weather: f64) -> Self {
+        assert!(weekday < 7, "weekday must be 0..7");
+        Self { weekday, weather }
+    }
+}
+
+/// One historical day: per-slot/per-cell counts of workers and tasks plus
+/// metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DayRecord {
+    /// Metadata of the day.
+    pub meta: DayMeta,
+    /// Observed worker counts.
+    pub workers: SpatioTemporalMatrix,
+    /// Observed task counts.
+    pub tasks: SpatioTemporalMatrix,
+}
+
+impl DayRecord {
+    /// The matrix for the requested quantity.
+    pub fn matrix(&self, quantity: Quantity) -> &SpatioTemporalMatrix {
+        match quantity {
+            Quantity::Workers => &self.workers,
+            Quantity::Tasks => &self.tasks,
+        }
+    }
+}
+
+/// A chronologically ordered collection of historical days (oldest first).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HistoryStore {
+    days: Vec<DayRecord>,
+}
+
+impl HistoryStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a day (must have the same dimensions as previous days).
+    pub fn push(&mut self, day: DayRecord) {
+        if let Some(first) = self.days.first() {
+            assert_eq!(
+                (first.workers.num_slots(), first.workers.num_cells()),
+                (day.workers.num_slots(), day.workers.num_cells()),
+                "all days must share the same slot/cell dimensions"
+            );
+        }
+        assert_eq!(
+            (day.workers.num_slots(), day.workers.num_cells()),
+            (day.tasks.num_slots(), day.tasks.num_cells()),
+            "worker and task matrices must share dimensions"
+        );
+        self.days.push(day);
+    }
+
+    /// Number of stored days.
+    pub fn len(&self) -> usize {
+        self.days.len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.days.is_empty()
+    }
+
+    /// All days, oldest first.
+    pub fn days(&self) -> &[DayRecord] {
+        &self.days
+    }
+
+    /// Number of slots per day (0 if empty).
+    pub fn num_slots(&self) -> usize {
+        self.days.first().map_or(0, |d| d.workers.num_slots())
+    }
+
+    /// Number of cells (0 if empty).
+    pub fn num_cells(&self) -> usize {
+        self.days.first().map_or(0, |d| d.workers.num_cells())
+    }
+
+    /// The days falling on the given weekday, oldest first.
+    pub fn days_on_weekday(&self, weekday: usize) -> Vec<&DayRecord> {
+        self.days.iter().filter(|d| d.meta.weekday == weekday).collect()
+    }
+
+    /// The `k` most recent days, oldest first (fewer if not enough history).
+    pub fn recent_days(&self, k: usize) -> &[DayRecord] {
+        let start = self.days.len().saturating_sub(k);
+        &self.days[start..]
+    }
+
+    /// The per-day series of counts at a fixed `(slot, cell)` for a quantity,
+    /// oldest first. This is the "15 most recent corresponding periods"
+    /// feature used by the LR and NN predictors and the series ARIMA models.
+    pub fn series_at(&self, quantity: Quantity, slot: usize, cell: usize) -> Vec<f64> {
+        self.days.iter().map(|d| d.matrix(quantity).get(slot, cell)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn day(weekday: usize, fill: f64) -> DayRecord {
+        let mut w = SpatioTemporalMatrix::zeros(2, 3);
+        let mut t = SpatioTemporalMatrix::zeros(2, 3);
+        for s in 0..2 {
+            for c in 0..3 {
+                w.set(s, c, fill);
+                t.set(s, c, fill * 2.0);
+            }
+        }
+        DayRecord { meta: DayMeta::new(weekday, 0.1), workers: w, tasks: t }
+    }
+
+    #[test]
+    fn push_and_query() {
+        let mut h = HistoryStore::new();
+        assert!(h.is_empty());
+        for i in 0..10 {
+            h.push(day(i % 7, i as f64));
+        }
+        assert_eq!(h.len(), 10);
+        assert_eq!(h.num_slots(), 2);
+        assert_eq!(h.num_cells(), 3);
+        assert_eq!(h.days_on_weekday(0).len(), 2); // days 0 and 7
+        assert_eq!(h.recent_days(3).len(), 3);
+        assert_eq!(h.recent_days(100).len(), 10);
+        let series = h.series_at(Quantity::Workers, 1, 2);
+        assert_eq!(series.len(), 10);
+        assert_eq!(series[9], 9.0);
+        let tasks_series = h.series_at(Quantity::Tasks, 0, 0);
+        assert_eq!(tasks_series[4], 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same slot/cell dimensions")]
+    fn dimension_mismatch_is_rejected() {
+        let mut h = HistoryStore::new();
+        h.push(day(0, 1.0));
+        let bad = DayRecord {
+            meta: DayMeta::new(1, 0.0),
+            workers: SpatioTemporalMatrix::zeros(3, 3),
+            tasks: SpatioTemporalMatrix::zeros(3, 3),
+        };
+        h.push(bad);
+    }
+
+    #[test]
+    #[should_panic(expected = "weekday must be 0..7")]
+    fn invalid_weekday_rejected() {
+        DayMeta::new(9, 0.0);
+    }
+}

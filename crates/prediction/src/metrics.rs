@@ -1,0 +1,120 @@
+//! Prediction-quality metrics: Error Rate (ER) and RMLSE.
+//!
+//! The paper (Section 6.3.1) evaluates predictors with
+//!
+//! * `ER = (1/t) Σ_i [ Σ_j |a_ij − ã_ij| / Σ_j a_ij ]`
+//! * `RMLSE = (1/t) Σ_i sqrt( (1/g) Σ_j (log(a_ij + 1) − log(ã_ij + 1))² )`
+//!
+//! where `a` is the ground truth, `ã` the prediction, `t` the number of time
+//! slots and `g` the number of grid cells. Smaller is better for both.
+
+use crate::matrix::SpatioTemporalMatrix;
+
+/// Error Rate between a ground-truth matrix and a prediction.
+///
+/// Slots whose true total is zero are skipped (they would divide by zero);
+/// the average is taken over the remaining slots, matching the convention of
+/// demand-prediction literature.
+pub fn error_rate(truth: &SpatioTemporalMatrix, prediction: &SpatioTemporalMatrix) -> f64 {
+    assert_shapes_match(truth, prediction);
+    let t = truth.num_slots();
+    let g = truth.num_cells();
+    let mut sum = 0.0;
+    let mut counted = 0usize;
+    for i in 0..t {
+        let denom: f64 = (0..g).map(|j| truth.get(i, j)).sum();
+        if denom <= 0.0 {
+            continue;
+        }
+        let num: f64 = (0..g).map(|j| (truth.get(i, j) - prediction.get(i, j)).abs()).sum();
+        sum += num / denom;
+        counted += 1;
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        sum / counted as f64
+    }
+}
+
+/// Root Mean Squared Logarithmic Error between a ground-truth matrix and a
+/// prediction, averaged over slots.
+pub fn rmlse(truth: &SpatioTemporalMatrix, prediction: &SpatioTemporalMatrix) -> f64 {
+    assert_shapes_match(truth, prediction);
+    let t = truth.num_slots();
+    let g = truth.num_cells();
+    if t == 0 || g == 0 {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    for i in 0..t {
+        let mut sq = 0.0;
+        for j in 0..g {
+            let a = (truth.get(i, j).max(0.0) + 1.0).ln();
+            let b = (prediction.get(i, j).max(0.0) + 1.0).ln();
+            sq += (a - b) * (a - b);
+        }
+        sum += (sq / g as f64).sqrt();
+    }
+    sum / t as f64
+}
+
+fn assert_shapes_match(a: &SpatioTemporalMatrix, b: &SpatioTemporalMatrix) {
+    assert_eq!(
+        (a.num_slots(), a.num_cells()),
+        (b.num_slots(), b.num_cells()),
+        "metric operands must have identical shapes"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_has_zero_error() {
+        let truth = SpatioTemporalMatrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(error_rate(&truth, &truth), 0.0);
+        assert_eq!(rmlse(&truth, &truth), 0.0);
+    }
+
+    #[test]
+    fn error_rate_matches_hand_computation() {
+        let truth = SpatioTemporalMatrix::from_vec(1, 2, vec![4.0, 6.0]);
+        let pred = SpatioTemporalMatrix::from_vec(1, 2, vec![2.0, 8.0]);
+        // |4-2| + |6-8| = 4, denom = 10 => 0.4
+        assert!((error_rate(&truth, &pred) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmlse_matches_hand_computation() {
+        let truth = SpatioTemporalMatrix::from_vec(1, 1, vec![(std::f64::consts::E - 1.0)]);
+        let pred = SpatioTemporalMatrix::from_vec(1, 1, vec![0.0]);
+        // log(e) - log(1) = 1 => rmlse = 1.
+        assert!((rmlse(&truth, &pred) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_truth_slots_are_skipped_in_error_rate() {
+        let truth = SpatioTemporalMatrix::from_vec(2, 2, vec![0.0, 0.0, 5.0, 5.0]);
+        let pred = SpatioTemporalMatrix::from_vec(2, 2, vec![3.0, 3.0, 5.0, 5.0]);
+        assert_eq!(error_rate(&truth, &pred), 0.0);
+    }
+
+    #[test]
+    fn worse_predictions_have_larger_errors() {
+        let truth = SpatioTemporalMatrix::from_vec(2, 2, vec![3.0, 7.0, 2.0, 8.0]);
+        let good = SpatioTemporalMatrix::from_vec(2, 2, vec![3.5, 6.5, 2.5, 7.5]);
+        let bad = SpatioTemporalMatrix::from_vec(2, 2, vec![10.0, 0.0, 9.0, 1.0]);
+        assert!(error_rate(&truth, &good) < error_rate(&truth, &bad));
+        assert!(rmlse(&truth, &good) < rmlse(&truth, &bad));
+    }
+
+    #[test]
+    #[should_panic(expected = "identical shapes")]
+    fn shape_mismatch_panics() {
+        let a = SpatioTemporalMatrix::zeros(1, 2);
+        let b = SpatioTemporalMatrix::zeros(2, 1);
+        error_rate(&a, &b);
+    }
+}

@@ -1,0 +1,161 @@
+//! ARIMA(p, d, 0): an autoregressive model fitted independently per
+//! `(slot, cell)` series of day-over-day counts.
+//!
+//! The AR coefficients are estimated by least squares (conditional on the
+//! first `p` observations) on the `d`-times differenced series; the one-step
+//! forecast is then integrated back. Series too short to fit fall back to the
+//! series mean.
+
+use crate::history::{DayMeta, HistoryStore, Quantity};
+use crate::linalg::{ridge_regression, DenseMatrix};
+use crate::matrix::SpatioTemporalMatrix;
+use crate::predictors::Predictor;
+
+/// Autoregressive integrated predictor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Arima {
+    /// Autoregressive order `p`.
+    pub p: usize,
+    /// Differencing order `d` (0 or 1).
+    pub d: usize,
+}
+
+impl Default for Arima {
+    fn default() -> Self {
+        Self { p: 3, d: 1 }
+    }
+}
+
+impl Arima {
+    /// One-step-ahead forecast of a single series.
+    fn forecast_series(&self, series: &[f64]) -> f64 {
+        if series.is_empty() {
+            return 0.0;
+        }
+        let mean = series.iter().sum::<f64>() / series.len() as f64;
+        // Difference the series d times.
+        let mut work: Vec<f64> = series.to_vec();
+        let mut last_levels = Vec::new();
+        for _ in 0..self.d {
+            if work.len() < 2 {
+                return mean;
+            }
+            last_levels.push(*work.last().expect("non-empty"));
+            work = work.windows(2).map(|w| w[1] - w[0]).collect();
+        }
+        let p = self.p;
+        if work.len() <= p + 1 {
+            // Not enough observations to fit the AR part: fall back to the
+            // last level (random-walk forecast) or the mean.
+            return if self.d > 0 { series[series.len() - 1].max(0.0) } else { mean.max(0.0) };
+        }
+        // Build the lagged design matrix.
+        let mut rows = Vec::new();
+        let mut targets = Vec::new();
+        for t in p..work.len() {
+            let mut row = Vec::with_capacity(p + 1);
+            for lag in 1..=p {
+                row.push(work[t - lag]);
+            }
+            row.push(1.0); // intercept
+            rows.push(row);
+            targets.push(work[t]);
+        }
+        let x = DenseMatrix::from_rows(rows);
+        let coeffs = match ridge_regression(&x, &targets, 1e-6) {
+            Some(c) => c,
+            None => return if self.d > 0 { series[series.len() - 1].max(0.0) } else { mean.max(0.0) },
+        };
+        // One-step forecast of the differenced series.
+        let mut forecast = coeffs[p]; // intercept
+        for lag in 1..=p {
+            forecast += coeffs[lag - 1] * work[work.len() - lag];
+        }
+        // Integrate back.
+        for level in last_levels.iter().rev() {
+            forecast += level;
+        }
+        forecast.max(0.0)
+    }
+}
+
+impl Predictor for Arima {
+    fn name(&self) -> &'static str {
+        "ARIMA"
+    }
+
+    fn predict(
+        &self,
+        history: &HistoryStore,
+        quantity: Quantity,
+        _target: &DayMeta,
+    ) -> SpatioTemporalMatrix {
+        let slots = history.num_slots();
+        let cells = history.num_cells();
+        let mut out = SpatioTemporalMatrix::zeros(slots, cells);
+        for s in 0..slots {
+            for c in 0..cells {
+                let series = history.series_at(quantity, s, c);
+                out.set(s, c, self.forecast_series(&series));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::DayRecord;
+    use crate::predictors::test_util;
+
+    #[test]
+    fn forecasts_a_linear_trend() {
+        // Series 1, 2, ..., 12: an ARIMA(1,1,0) forecast should be close to 13.
+        let series: Vec<f64> = (1..=12).map(|v| v as f64).collect();
+        let arima = Arima { p: 1, d: 1 };
+        let f = arima.forecast_series(&series);
+        assert!((f - 13.0).abs() < 0.5, "forecast was {f}");
+    }
+
+    #[test]
+    fn constant_series_forecasts_the_constant() {
+        let series = vec![7.0; 20];
+        let f = Arima::default().forecast_series(&series);
+        assert!((f - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn short_series_falls_back_gracefully() {
+        assert_eq!(Arima::default().forecast_series(&[]), 0.0);
+        let f = Arima::default().forecast_series(&[3.0]);
+        assert!((f - 3.0).abs() < 1e-9);
+        let f2 = Arima { p: 5, d: 0 }.forecast_series(&[2.0, 4.0]);
+        assert!((f2 - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn forecasts_are_never_negative() {
+        let series = vec![5.0, 3.0, 1.0, 0.0, 0.0];
+        assert!(Arima::default().forecast_series(&series) >= 0.0);
+    }
+
+    #[test]
+    fn predicts_full_matrix() {
+        let mut h = HistoryStore::new();
+        for d in 0..10 {
+            let m = SpatioTemporalMatrix::from_vec(1, 2, vec![d as f64, 2.0 * d as f64]);
+            h.push(DayRecord { meta: DayMeta::new(d % 7, 0.0), workers: m.clone(), tasks: m });
+        }
+        let pred = Arima { p: 2, d: 1 }.predict(&h, Quantity::Workers, &DayMeta::new(0, 0.0));
+        assert!((pred.get(0, 0) - 10.0).abs() < 1.0);
+        assert!((pred.get(0, 1) - 20.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn reasonable_accuracy_on_synthetic_fixture() {
+        // ARIMA on the weekly fixture is weaker than HA (it cannot see the
+        // weekday pattern), mirroring its poor showing in Table 5.
+        test_util::assert_reasonable_accuracy(&Arima::default(), 0.8);
+    }
+}

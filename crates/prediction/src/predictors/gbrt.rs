@@ -1,0 +1,172 @@
+//! Gradient Boosted Regression Trees (GBRT).
+//!
+//! Stagewise boosting with squared loss: each stage fits a shallow regression
+//! tree to the residuals of the current ensemble and is added with a
+//! shrinkage factor.
+
+use crate::features::FeatureExtractor;
+use crate::history::{DayMeta, HistoryStore, Quantity};
+use crate::matrix::SpatioTemporalMatrix;
+use crate::predictors::tree::{RegressionTree, TreeParams};
+use crate::predictors::Predictor;
+
+/// Gradient-boosted regression tree predictor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gbrt {
+    /// Number of boosting stages (trees).
+    pub n_trees: usize,
+    /// Shrinkage (learning rate) applied to each tree's contribution.
+    pub learning_rate: f64,
+    /// Parameters of the individual trees.
+    pub tree_params: TreeParams,
+    /// Number of recent corresponding periods used as features.
+    pub k_recent: usize,
+    /// Maximum number of training samples.
+    pub max_samples: usize,
+}
+
+impl Default for Gbrt {
+    fn default() -> Self {
+        Self {
+            n_trees: 25,
+            learning_rate: 0.2,
+            tree_params: TreeParams::default(),
+            k_recent: 15,
+            max_samples: 20_000,
+        }
+    }
+}
+
+/// A fitted boosted ensemble (exposed for testing).
+#[derive(Debug, Clone)]
+pub struct BoostedEnsemble {
+    base: f64,
+    learning_rate: f64,
+    trees: Vec<RegressionTree>,
+}
+
+impl BoostedEnsemble {
+    /// Fit an ensemble on a feature matrix and targets.
+    pub fn fit(
+        x: &crate::linalg::DenseMatrix,
+        y: &[f64],
+        n_trees: usize,
+        learning_rate: f64,
+        tree_params: &TreeParams,
+    ) -> Self {
+        let base = if y.is_empty() { 0.0 } else { y.iter().sum::<f64>() / y.len() as f64 };
+        let mut predictions = vec![base; y.len()];
+        let mut trees = Vec::with_capacity(n_trees);
+        for _ in 0..n_trees {
+            let residuals: Vec<f64> =
+                y.iter().zip(predictions.iter()).map(|(t, p)| t - p).collect();
+            let tree = RegressionTree::fit(x, &residuals, tree_params);
+            for (i, p) in predictions.iter_mut().enumerate() {
+                let row: Vec<f64> = (0..x.cols()).map(|c| x.get(i, c)).collect();
+                *p += learning_rate * tree.predict_row(&row);
+            }
+            trees.push(tree);
+        }
+        Self { base, learning_rate, trees }
+    }
+
+    /// Predict one feature vector.
+    pub fn predict_row(&self, features: &[f64]) -> f64 {
+        let mut out = self.base;
+        for tree in &self.trees {
+            out += self.learning_rate * tree.predict_row(features);
+        }
+        out
+    }
+
+    /// Number of fitted trees.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Predictor for Gbrt {
+    fn name(&self) -> &'static str {
+        "GBRT"
+    }
+
+    fn predict(
+        &self,
+        history: &HistoryStore,
+        quantity: Quantity,
+        target: &DayMeta,
+    ) -> SpatioTemporalMatrix {
+        let slots = history.num_slots();
+        let cells = history.num_cells();
+        let mut out = SpatioTemporalMatrix::zeros(slots, cells);
+        if history.is_empty() {
+            return out;
+        }
+        let k = self.k_recent.min(history.len().saturating_sub(1)).max(1);
+        let fx = FeatureExtractor::with_exogenous(k);
+        let (x, y) = fx.training_set(history, quantity, k, self.max_samples);
+        let ensemble =
+            BoostedEnsemble::fit(&x, &y, self.n_trees, self.learning_rate, &self.tree_params);
+        for s in 0..slots {
+            for c in 0..cells {
+                let f = fx.features(history.days(), quantity, target, s, c);
+                out.set(s, c, ensemble.predict_row(&f).max(0.0));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg::DenseMatrix;
+    use crate::predictors::test_util;
+
+    #[test]
+    fn ensemble_reduces_training_error_with_more_trees() {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..200 {
+            let a = (i % 10) as f64;
+            let b = (i % 3) as f64;
+            rows.push(vec![a, b]);
+            y.push(2.0 * a + 5.0 * b);
+        }
+        let x = DenseMatrix::from_rows(rows.clone());
+        let sse = |ens: &BoostedEnsemble| -> f64 {
+            rows.iter()
+                .zip(y.iter())
+                .map(|(r, &t)| {
+                    let p = ens.predict_row(r);
+                    (p - t) * (p - t)
+                })
+                .sum()
+        };
+        let small = BoostedEnsemble::fit(&x, &y, 2, 0.3, &TreeParams::default());
+        let large = BoostedEnsemble::fit(&x, &y, 40, 0.3, &TreeParams::default());
+        assert_eq!(small.num_trees(), 2);
+        assert_eq!(large.num_trees(), 40);
+        assert!(sse(&large) < sse(&small));
+    }
+
+    #[test]
+    fn empty_targets_predict_zero() {
+        let x = DenseMatrix::zeros(0, 2);
+        let ens = BoostedEnsemble::fit(&x, &[], 5, 0.1, &TreeParams::default());
+        assert_eq!(ens.predict_row(&[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn empty_history_predicts_empty_matrix() {
+        let h = HistoryStore::new();
+        let pred = Gbrt::default().predict(&h, Quantity::Workers, &DayMeta::new(0, 0.0));
+        assert_eq!(pred.num_slots(), 0);
+    }
+
+    #[test]
+    fn reasonable_accuracy_on_synthetic_fixture() {
+        let gbrt = Gbrt { n_trees: 15, max_samples: 4000, ..Gbrt::default() };
+        test_util::assert_reasonable_accuracy(&gbrt, 0.4);
+    }
+}

@@ -1,0 +1,77 @@
+//! Historical Average (HA): the average of the history in the same time slot
+//! and grid area on the same day of week.
+
+use crate::history::{DayMeta, HistoryStore, Quantity};
+use crate::matrix::SpatioTemporalMatrix;
+use crate::predictors::{mean_matrix, Predictor};
+
+/// Historical Average predictor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistoricalAverage;
+
+impl Predictor for HistoricalAverage {
+    fn name(&self) -> &'static str {
+        "HA"
+    }
+
+    fn predict(
+        &self,
+        history: &HistoryStore,
+        quantity: Quantity,
+        target: &DayMeta,
+    ) -> SpatioTemporalMatrix {
+        let slots = history.num_slots();
+        let cells = history.num_cells();
+        let same_weekday: Vec<&SpatioTemporalMatrix> = history
+            .days_on_weekday(target.weekday)
+            .into_iter()
+            .map(|d| d.matrix(quantity))
+            .collect();
+        if !same_weekday.is_empty() {
+            return mean_matrix(&same_weekday, slots, cells);
+        }
+        // Fallback: average over all days when the weekday has no history.
+        let all: Vec<&SpatioTemporalMatrix> =
+            history.days().iter().map(|d| d.matrix(quantity)).collect();
+        mean_matrix(&all, slots, cells)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::DayRecord;
+    use crate::predictors::test_util;
+
+    #[test]
+    fn averages_same_weekday_days() {
+        let mut h = HistoryStore::new();
+        for (weekday, v) in [(0usize, 2.0), (1, 100.0), (0, 4.0)] {
+            let w = SpatioTemporalMatrix::from_vec(1, 1, vec![v]);
+            let t = SpatioTemporalMatrix::from_vec(1, 1, vec![v * 10.0]);
+            h.push(DayRecord { meta: DayMeta::new(weekday, 0.0), workers: w, tasks: t });
+        }
+        let ha = HistoricalAverage;
+        let pred = ha.predict(&h, Quantity::Workers, &DayMeta::new(0, 0.0));
+        assert_eq!(pred.get(0, 0), 3.0);
+        let pred_t = ha.predict(&h, Quantity::Tasks, &DayMeta::new(0, 0.0));
+        assert_eq!(pred_t.get(0, 0), 30.0);
+    }
+
+    #[test]
+    fn falls_back_to_all_days_for_unseen_weekday() {
+        let mut h = HistoryStore::new();
+        for v in [2.0, 4.0] {
+            let w = SpatioTemporalMatrix::from_vec(1, 1, vec![v]);
+            let t = w.clone();
+            h.push(DayRecord { meta: DayMeta::new(0, 0.0), workers: w, tasks: t });
+        }
+        let pred = HistoricalAverage.predict(&h, Quantity::Workers, &DayMeta::new(6, 0.0));
+        assert_eq!(pred.get(0, 0), 3.0);
+    }
+
+    #[test]
+    fn reasonable_accuracy_on_synthetic_fixture() {
+        test_util::assert_reasonable_accuracy(&HistoricalAverage, 0.35);
+    }
+}

@@ -1,0 +1,240 @@
+//! HP-MSI: hierarchical prediction with within-cluster share inference,
+//! following the bike-sharing traffic predictor of Li et al. (GIS 2015) that
+//! the paper selects as its offline prediction component.
+//!
+//! The method has two levels:
+//!
+//! 1. **Hierarchical level.** Grid cells are clustered (k-means) by their
+//!    historical temporal profile, so cells with similar demand rhythms share
+//!    a cluster. For every `(slot, cluster)` the *cluster total* is predicted
+//!    by blending three signals: the same-weekday historical mean, the
+//!    recency-weighted mean of the last few days and the most recent
+//!    observation (trend term).
+//! 2. **Share-inference level (MSI).** The predicted cluster total is
+//!    distributed to the member cells proportionally to each cell's
+//!    historical share of the cluster total at that slot, with Laplace
+//!    smoothing so that cells with sparse history still receive mass.
+//!
+//! This captures the two ideas that make HP-MSI the most accurate method in
+//! Table 5: totals are predicted at an aggregation level where they are
+//! statistically stable, and fine-grained structure is recovered from
+//! historical proportions rather than noisy per-cell regression.
+
+use crate::history::{DayMeta, HistoryStore, Quantity};
+use crate::matrix::SpatioTemporalMatrix;
+use crate::predictors::kmeans::kmeans;
+use crate::predictors::Predictor;
+
+/// Hierarchical prediction + share inference predictor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HpMsi {
+    /// Number of cell clusters at the hierarchical level.
+    pub n_clusters: usize,
+    /// Recency window (days) for the recent-mean component.
+    pub recent_window: usize,
+    /// Blend weight of the same-weekday mean.
+    pub w_weekday: f64,
+    /// Blend weight of the recency-weighted mean.
+    pub w_recent: f64,
+    /// Blend weight of the most recent observation.
+    pub w_trend: f64,
+    /// Laplace smoothing added to every cell share.
+    pub smoothing: f64,
+}
+
+impl Default for HpMsi {
+    fn default() -> Self {
+        Self {
+            n_clusters: 12,
+            recent_window: 7,
+            w_weekday: 0.55,
+            w_recent: 0.35,
+            w_trend: 0.10,
+            smoothing: 0.1,
+        }
+    }
+}
+
+impl HpMsi {
+    /// Cluster cells by their average temporal profile (normalised per cell).
+    fn cluster_cells(&self, history: &HistoryStore, quantity: Quantity) -> Vec<usize> {
+        let slots = history.num_slots();
+        let cells = history.num_cells();
+        let days = history.days();
+        let mut profiles: Vec<Vec<f64>> = vec![vec![0.0; slots]; cells];
+        for day in days {
+            let m = day.matrix(quantity);
+            for s in 0..slots {
+                for (c, profile) in profiles.iter_mut().enumerate() {
+                    profile[s] += m.get(s, c);
+                }
+            }
+        }
+        // Normalise each profile so that clustering groups by *shape and
+        // volume* jointly (volume matters for allocating shares sensibly).
+        for profile in &mut profiles {
+            let total: f64 = profile.iter().sum();
+            let scale = 1.0 / days.len().max(1) as f64;
+            for v in profile.iter_mut() {
+                *v *= scale;
+            }
+            // Append the log-volume as an extra feature dimension.
+            profile.push((total * scale + 1.0).ln());
+        }
+        let k = self.n_clusters.min(cells.max(1));
+        kmeans(&profiles, k, 50).assignment
+    }
+}
+
+impl Predictor for HpMsi {
+    fn name(&self) -> &'static str {
+        "HP-MSI"
+    }
+
+    fn predict(
+        &self,
+        history: &HistoryStore,
+        quantity: Quantity,
+        target: &DayMeta,
+    ) -> SpatioTemporalMatrix {
+        let slots = history.num_slots();
+        let cells = history.num_cells();
+        let mut out = SpatioTemporalMatrix::zeros(slots, cells);
+        if history.is_empty() {
+            return out;
+        }
+        let assignment = self.cluster_cells(history, quantity);
+        let n_clusters = assignment.iter().copied().max().map_or(1, |m| m + 1);
+
+        let same_weekday = history.days_on_weekday(target.weekday);
+        let recent = history.recent_days(self.recent_window);
+        let last_day = history.days().last().expect("non-empty history");
+
+        for s in 0..slots {
+            // Cluster totals for each signal.
+            let mut weekday_total = vec![0.0; n_clusters];
+            let mut recent_total = vec![0.0; n_clusters];
+            let mut trend_total = vec![0.0; n_clusters];
+            // Historical per-cell share accumulators (over all days).
+            let mut cell_hist = vec![0.0; cells];
+            let mut cluster_hist = vec![0.0; n_clusters];
+
+            for day in &same_weekday {
+                let m = day.matrix(quantity);
+                for c in 0..cells {
+                    weekday_total[assignment[c]] += m.get(s, c);
+                }
+            }
+            for day in recent {
+                let m = day.matrix(quantity);
+                for c in 0..cells {
+                    recent_total[assignment[c]] += m.get(s, c);
+                }
+            }
+            {
+                let m = last_day.matrix(quantity);
+                for c in 0..cells {
+                    trend_total[assignment[c]] += m.get(s, c);
+                }
+            }
+            for day in history.days() {
+                let m = day.matrix(quantity);
+                for c in 0..cells {
+                    let v = m.get(s, c);
+                    cell_hist[c] += v;
+                    cluster_hist[assignment[c]] += v;
+                }
+            }
+            // Blend the cluster totals.
+            let weekday_n = same_weekday.len().max(1) as f64;
+            let recent_n = recent.len().max(1) as f64;
+            let cluster_pred: Vec<f64> = (0..n_clusters)
+                .map(|k| {
+                    // Re-normalise the blend when a component has no data.
+                    let mut pred = 0.0;
+                    let mut weight = 0.0;
+                    if !same_weekday.is_empty() {
+                        pred += self.w_weekday * weekday_total[k] / weekday_n;
+                        weight += self.w_weekday;
+                    }
+                    pred += self.w_recent * recent_total[k] / recent_n;
+                    weight += self.w_recent;
+                    pred += self.w_trend * trend_total[k];
+                    weight += self.w_trend;
+                    if weight > 0.0 {
+                        pred / weight
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+            // Distribute to cells by historical share with Laplace smoothing.
+            let mut cluster_sizes = vec![0usize; n_clusters];
+            for c in 0..cells {
+                cluster_sizes[assignment[c]] += 1;
+            }
+            for c in 0..cells {
+                let k = assignment[c];
+                let share = (cell_hist[c] + self.smoothing)
+                    / (cluster_hist[k] + self.smoothing * cluster_sizes[k] as f64);
+                out.set(s, c, (cluster_pred[k] * share).max(0.0));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::DayRecord;
+    use crate::metrics::error_rate;
+    use crate::predictors::ha::HistoricalAverage;
+    use crate::predictors::test_util;
+
+    #[test]
+    fn preserves_cluster_totals_on_a_stationary_history() {
+        // Two cells with stable counts 10 and 30; prediction should be close.
+        let mut h = HistoryStore::new();
+        for d in 0..14 {
+            let m = SpatioTemporalMatrix::from_vec(1, 2, vec![10.0, 30.0]);
+            h.push(DayRecord { meta: DayMeta::new(d % 7, 0.0), workers: m.clone(), tasks: m });
+        }
+        let pred = HpMsi::default().predict(&h, Quantity::Workers, &DayMeta::new(0, 0.0));
+        assert!((pred.get(0, 0) - 10.0).abs() < 1.0);
+        assert!((pred.get(0, 1) - 30.0).abs() < 1.5);
+    }
+
+    #[test]
+    fn empty_history_predicts_empty_matrix() {
+        let h = HistoryStore::new();
+        let pred = HpMsi::default().predict(&h, Quantity::Workers, &DayMeta::new(0, 0.0));
+        assert_eq!(pred.num_slots(), 0);
+    }
+
+    #[test]
+    fn reasonable_accuracy_on_synthetic_fixture() {
+        test_util::assert_reasonable_accuracy(&HpMsi::default(), 0.35);
+    }
+
+    #[test]
+    fn competitive_on_weekly_fixture() {
+        // On this dense, low-noise fixture HA's per-cell averages are already
+        // near-perfect, so we only require HP-MSI to stay within a small
+        // absolute error band. (HP-MSI's advantage in the paper comes from
+        // sparse, noisy per-cell counts, which the city workloads exercise in
+        // the Table 5 harness.)
+        let slots = 8;
+        let cells = 6;
+        let history = test_util::synthetic_history(35, slots, cells);
+        let truth = test_util::ground_truth(0, slots, cells);
+        let target = DayMeta::new(0, 0.1);
+        let hp = HpMsi::default().predict(&history, Quantity::Tasks, &target);
+        let ha = HistoricalAverage.predict(&history, Quantity::Tasks, &target);
+        let mut truth_tasks = truth.clone();
+        truth_tasks.scale(1.2);
+        let er_hp = error_rate(&truth_tasks, &hp);
+        let er_ha = error_rate(&truth_tasks, &ha);
+        assert!(er_hp < 0.2, "HP-MSI error {er_hp} too large (HA was {er_ha})");
+    }
+}

@@ -1,0 +1,125 @@
+//! Lloyd's k-means, used by the HP-MSI predictor to cluster grid cells with
+//! similar temporal demand profiles (the "hierarchical" level of HP-MSI).
+
+/// Result of a k-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansResult {
+    /// Cluster assignment of each point.
+    pub assignment: Vec<usize>,
+    /// Final centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Number of iterations executed.
+    pub iterations: usize,
+}
+
+/// Run Lloyd's algorithm on `points` (each a feature vector of equal length)
+/// with `k` clusters. Deterministic: centroids are initialised by an evenly
+/// strided selection of points, which is reproducible and spreads the seeds
+/// across the data ordering.
+pub fn kmeans(points: &[Vec<f64>], k: usize, max_iters: usize) -> KMeansResult {
+    let n = points.len();
+    if n == 0 || k == 0 {
+        return KMeansResult { assignment: vec![], centroids: vec![], iterations: 0 };
+    }
+    let k = k.min(n);
+    let dim = points[0].len();
+    debug_assert!(points.iter().all(|p| p.len() == dim), "ragged points");
+    // Strided initialisation.
+    let mut centroids: Vec<Vec<f64>> =
+        (0..k).map(|i| points[i * n / k].clone()).collect();
+    let mut assignment = vec![0usize; n];
+    let mut iterations = 0;
+    for it in 0..max_iters {
+        iterations = it + 1;
+        // Assignment step.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (c, centroid) in centroids.iter().enumerate() {
+                let d: f64 = p.iter().zip(centroid.iter()).map(|(a, b)| (a - b) * (a - b)).sum();
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in points.iter().enumerate() {
+            let c = assignment[i];
+            counts[c] += 1;
+            for (d, v) in p.iter().enumerate() {
+                sums[c][d] += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for d in 0..dim {
+                    centroids[c][d] = sums[c][d] / counts[c] as f64;
+                }
+            }
+        }
+        if !changed && it > 0 {
+            break;
+        }
+    }
+    KMeansResult { assignment, centroids, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_two_obvious_clusters() {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(vec![i as f64 * 0.01, 0.0]);
+        }
+        for i in 0..10 {
+            pts.push(vec![100.0 + i as f64 * 0.01, 0.0]);
+        }
+        let r = kmeans(&pts, 2, 50);
+        let first = r.assignment[0];
+        assert!(r.assignment[..10].iter().all(|&a| a == first));
+        assert!(r.assignment[10..].iter().all(|&a| a != first));
+        assert_eq!(r.centroids.len(), 2);
+    }
+
+    #[test]
+    fn k_larger_than_n_is_clamped() {
+        let pts = vec![vec![0.0], vec![1.0]];
+        let r = kmeans(&pts, 10, 10);
+        assert_eq!(r.centroids.len(), 2);
+        assert_eq!(r.assignment.len(), 2);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let r = kmeans(&[], 3, 10);
+        assert!(r.assignment.is_empty());
+        assert!(r.centroids.is_empty());
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_the_mean() {
+        let pts = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let r = kmeans(&pts, 1, 10);
+        assert_eq!(r.centroids[0], vec![2.0, 3.0]);
+        assert_eq!(r.assignment, vec![0, 0]);
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let pts: Vec<Vec<f64>> = (0..30).map(|i| vec![(i % 7) as f64, (i % 3) as f64]).collect();
+        let a = kmeans(&pts, 3, 25);
+        let b = kmeans(&pts, 3, 25);
+        assert_eq!(a.assignment, b.assignment);
+    }
+}

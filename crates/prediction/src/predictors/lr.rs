@@ -1,0 +1,116 @@
+//! Linear Regression (LR): ridge regression over the counts of the most
+//! recent corresponding periods.
+
+use crate::features::FeatureExtractor;
+use crate::history::{DayMeta, HistoryStore, Quantity};
+use crate::linalg::ridge_regression;
+use crate::matrix::SpatioTemporalMatrix;
+use crate::predictors::Predictor;
+
+/// Ridge linear-regression predictor over the `k_recent` most recent
+/// corresponding periods (the paper uses 15).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearRegression {
+    /// Number of most recent corresponding periods used as features.
+    pub k_recent: usize,
+    /// Ridge regularisation strength.
+    pub lambda: f64,
+    /// Maximum number of training samples (stride-subsampled beyond this).
+    pub max_samples: usize,
+}
+
+impl Default for LinearRegression {
+    fn default() -> Self {
+        Self { k_recent: 15, lambda: 1.0, max_samples: 50_000 }
+    }
+}
+
+impl Predictor for LinearRegression {
+    fn name(&self) -> &'static str {
+        "LR"
+    }
+
+    fn predict(
+        &self,
+        history: &HistoryStore,
+        quantity: Quantity,
+        target: &DayMeta,
+    ) -> SpatioTemporalMatrix {
+        let slots = history.num_slots();
+        let cells = history.num_cells();
+        let mut out = SpatioTemporalMatrix::zeros(slots, cells);
+        if history.is_empty() {
+            return out;
+        }
+        let k = self.k_recent.min(history.len().saturating_sub(1)).max(1);
+        let fx = FeatureExtractor::recent_only(k);
+        let (x, y) = fx.training_set(history, quantity, k, self.max_samples);
+        let weights = match ridge_regression(&x, &y, self.lambda) {
+            Some(w) => w,
+            // Singular system (e.g. constant features): fall back to the mean.
+            None => {
+                let mean = y.iter().sum::<f64>() / y.len().max(1) as f64;
+                let mut m = SpatioTemporalMatrix::zeros(slots, cells);
+                for s in 0..slots {
+                    for c in 0..cells {
+                        m.set(s, c, mean);
+                    }
+                }
+                return m;
+            }
+        };
+        for s in 0..slots {
+            for c in 0..cells {
+                let f = fx.features(history.days(), quantity, target, s, c);
+                let pred: f64 = f.iter().zip(weights.iter()).map(|(a, b)| a * b).sum();
+                out.set(s, c, pred.max(0.0));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::DayRecord;
+    use crate::predictors::test_util;
+
+    #[test]
+    fn learns_a_constant_series_exactly() {
+        let mut h = HistoryStore::new();
+        for d in 0..10 {
+            let m = SpatioTemporalMatrix::from_vec(1, 2, vec![5.0, 9.0]);
+            h.push(DayRecord { meta: DayMeta::new(d % 7, 0.0), workers: m.clone(), tasks: m });
+        }
+        let lr = LinearRegression { k_recent: 3, lambda: 1e-6, max_samples: 1000 };
+        let pred = lr.predict(&h, Quantity::Workers, &DayMeta::new(3, 0.0));
+        assert!((pred.get(0, 0) - 5.0).abs() < 0.2);
+        assert!((pred.get(0, 1) - 9.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn empty_history_predicts_empty_matrix() {
+        let h = HistoryStore::new();
+        let pred = LinearRegression::default().predict(&h, Quantity::Tasks, &DayMeta::new(0, 0.0));
+        assert_eq!(pred.num_slots(), 0);
+    }
+
+    #[test]
+    fn predictions_are_non_negative_even_on_decreasing_series() {
+        let mut h = HistoryStore::new();
+        for d in 0..12 {
+            let v = (20.0 - d as f64 * 2.0).max(0.0);
+            let m = SpatioTemporalMatrix::from_vec(1, 1, vec![v]);
+            h.push(DayRecord { meta: DayMeta::new(d % 7, 0.0), workers: m.clone(), tasks: m });
+        }
+        let pred = LinearRegression { k_recent: 4, lambda: 0.1, max_samples: 100 }
+            .predict(&h, Quantity::Workers, &DayMeta::new(5, 0.0));
+        assert!(pred.get(0, 0) >= 0.0);
+    }
+
+    #[test]
+    fn reasonable_accuracy_on_synthetic_fixture() {
+        test_util::assert_reasonable_accuracy(&LinearRegression::default(), 0.45);
+    }
+}

@@ -1,0 +1,149 @@
+//! The seven spatiotemporal predictors compared in Table 5 of the paper.
+
+pub mod arima;
+pub mod gbrt;
+pub mod ha;
+pub mod hp_msi;
+pub mod kmeans;
+pub mod lr;
+pub mod nn;
+pub mod paq;
+pub mod tree;
+
+use crate::history::{DayMeta, HistoryStore, Quantity};
+use crate::matrix::SpatioTemporalMatrix;
+
+/// A spatiotemporal count predictor.
+///
+/// Given the historical per-slot/per-cell counts and the metadata of the
+/// target day (weekday, weather), produce a predicted count matrix for that
+/// day. Implementations are deterministic for a fixed input (stochastic
+/// trainers are seeded internally).
+pub trait Predictor {
+    /// Short name as used in Table 5 of the paper (e.g. `"HP-MSI"`).
+    fn name(&self) -> &'static str;
+
+    /// Predict the counts of the target day.
+    fn predict(
+        &self,
+        history: &HistoryStore,
+        quantity: Quantity,
+        target: &DayMeta,
+    ) -> SpatioTemporalMatrix;
+}
+
+/// Convenience shared by several predictors: the per-entry mean over a set of
+/// day matrices (returns zeros when the set is empty and dimensions when known).
+pub(crate) fn mean_matrix(
+    days: &[&SpatioTemporalMatrix],
+    slots: usize,
+    cells: usize,
+) -> SpatioTemporalMatrix {
+    let mut out = SpatioTemporalMatrix::zeros(slots, cells);
+    if days.is_empty() {
+        return out;
+    }
+    for m in days {
+        out.add_matrix(m);
+    }
+    out.scale(1.0 / days.len() as f64);
+    out
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    //! Shared fixtures for predictor tests: a small synthetic history with a
+    //! stable weekly pattern plus mild noise, so that sensible predictors get
+    //! close to the truth.
+
+    use super::*;
+    use crate::history::DayRecord;
+
+    /// Deterministic pseudo-random in [0,1) from a seed triple.
+    fn hash01(a: usize, b: usize, c: usize) -> f64 {
+        let mut x = (a as u64)
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add((b as u64).wrapping_mul(0xBF58476D1CE4E5B9))
+            .wrapping_add((c as u64).wrapping_mul(0x94D049BB133111EB));
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58476D1CE4E5B9);
+        x ^= x >> 27;
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// The "true" mean count for a (weekday, slot, cell) triple.
+    pub fn true_mean(weekday: usize, slot: usize, cell: usize) -> f64 {
+        let weekday_factor = if weekday >= 5 { 4.0 } else { 8.0 };
+        let slot_peak = 1.0 + 2.0 * (-((slot as f64 - 4.0) * (slot as f64 - 4.0)) / 8.0).exp();
+        let cell_weight = 1.0 + (cell % 3) as f64;
+        weekday_factor * slot_peak * cell_weight / 4.0
+    }
+
+    /// Build a history of `n_days` days on a `slots × cells` grid.
+    pub fn synthetic_history(n_days: usize, slots: usize, cells: usize) -> HistoryStore {
+        let mut h = HistoryStore::new();
+        for d in 0..n_days {
+            let weekday = d % 7;
+            let weather = hash01(d, 0, 999) * 0.5;
+            let mut w = SpatioTemporalMatrix::zeros(slots, cells);
+            let mut t = SpatioTemporalMatrix::zeros(slots, cells);
+            for s in 0..slots {
+                for c in 0..cells {
+                    let base = true_mean(weekday, s, c);
+                    let noise_w = (hash01(d, s, c) - 0.5) * 1.0;
+                    let noise_t = (hash01(d + 1000, s, c) - 0.5) * 1.0;
+                    w.set(s, c, (base + noise_w).max(0.0));
+                    t.set(s, c, (base * 1.2 + noise_t).max(0.0));
+                }
+            }
+            h.push(DayRecord { meta: DayMeta::new(weekday, weather), workers: w, tasks: t });
+        }
+        h
+    }
+
+    /// The noise-free ground truth for a target weekday.
+    pub fn ground_truth(weekday: usize, slots: usize, cells: usize) -> SpatioTemporalMatrix {
+        let mut m = SpatioTemporalMatrix::zeros(slots, cells);
+        for s in 0..slots {
+            for c in 0..cells {
+                m.set(s, c, true_mean(weekday, s, c));
+            }
+        }
+        m
+    }
+
+    /// Assert that a predictor achieves an error rate below `max_er` against
+    /// the noise-free truth on the shared fixture.
+    pub fn assert_reasonable_accuracy(p: &dyn Predictor, max_er: f64) {
+        let slots = 8;
+        let cells = 6;
+        let history = synthetic_history(28, slots, cells);
+        let target = DayMeta::new(0, 0.1);
+        let pred = p.predict(&history, Quantity::Workers, &target);
+        assert_eq!(pred.num_slots(), slots);
+        assert_eq!(pred.num_cells(), cells);
+        assert!(pred.as_slice().iter().all(|v| v.is_finite() && *v >= 0.0), "{}: prediction must be finite and non-negative", p.name());
+        let truth = ground_truth(0, slots, cells);
+        let er = crate::metrics::error_rate(&truth, &pred);
+        assert!(er < max_er, "{}: error rate {er} exceeded bound {max_er}", p.name());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_matrix_of_empty_set_is_zero() {
+        let m = mean_matrix(&[], 2, 2);
+        assert_eq!(m.total(), 0.0);
+    }
+
+    #[test]
+    fn mean_matrix_averages_entries() {
+        let a = SpatioTemporalMatrix::from_vec(1, 2, vec![2.0, 4.0]);
+        let b = SpatioTemporalMatrix::from_vec(1, 2, vec![4.0, 8.0]);
+        let m = mean_matrix(&[&a, &b], 1, 2);
+        assert_eq!(m.as_slice(), &[3.0, 6.0]);
+    }
+}

@@ -1,0 +1,229 @@
+//! Regression trees (CART with squared-error splitting), the weak learner
+//! used by the GBRT predictor.
+
+use crate::linalg::DenseMatrix;
+
+/// A node of a regression tree.
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        /// Index of the left child (samples with `feature <= threshold`).
+        left: usize,
+        /// Index of the right child.
+        right: usize,
+    },
+}
+
+/// Hyper-parameters for tree induction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeParams {
+    /// Maximum depth of the tree (a depth of 0 yields a single leaf).
+    pub max_depth: usize,
+    /// Minimum number of samples required in a leaf.
+    pub min_samples_leaf: usize,
+    /// Maximum number of candidate thresholds examined per feature
+    /// (quantile-based), bounding induction cost on large sample sets.
+    pub max_thresholds: usize,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        Self { max_depth: 3, min_samples_leaf: 5, max_thresholds: 16 }
+    }
+}
+
+/// A fitted regression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+}
+
+impl RegressionTree {
+    /// Fit a tree to minimise squared error of `y` given feature rows `x`.
+    pub fn fit(x: &DenseMatrix, y: &[f64], params: &TreeParams) -> Self {
+        assert_eq!(x.rows(), y.len(), "sample count mismatch");
+        let mut tree = Self { nodes: Vec::new() };
+        let indices: Vec<usize> = (0..y.len()).collect();
+        if indices.is_empty() {
+            tree.nodes.push(Node::Leaf { value: 0.0 });
+        } else {
+            tree.build(x, y, indices, params, 0);
+        }
+        tree
+    }
+
+    /// Number of nodes (for diagnostics/tests).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn build(
+        &mut self,
+        x: &DenseMatrix,
+        y: &[f64],
+        indices: Vec<usize>,
+        params: &TreeParams,
+        depth: usize,
+    ) -> usize {
+        let mean = indices.iter().map(|&i| y[i]).sum::<f64>() / indices.len() as f64;
+        if depth >= params.max_depth || indices.len() < 2 * params.min_samples_leaf {
+            self.nodes.push(Node::Leaf { value: mean });
+            return self.nodes.len() - 1;
+        }
+        match best_split(x, y, &indices, params) {
+            None => {
+                self.nodes.push(Node::Leaf { value: mean });
+                self.nodes.len() - 1
+            }
+            Some((feature, threshold)) => {
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+                    indices.iter().partition(|&&i| x.get(i, feature) <= threshold);
+                if left_idx.len() < params.min_samples_leaf
+                    || right_idx.len() < params.min_samples_leaf
+                {
+                    self.nodes.push(Node::Leaf { value: mean });
+                    return self.nodes.len() - 1;
+                }
+                // Reserve the split node slot first so children follow it.
+                let node_id = self.nodes.len();
+                self.nodes.push(Node::Leaf { value: mean }); // placeholder
+                let left = self.build(x, y, left_idx, params, depth + 1);
+                let right = self.build(x, y, right_idx, params, depth + 1);
+                self.nodes[node_id] = Node::Split { feature, threshold, left, right };
+                node_id
+            }
+        }
+    }
+
+    /// Predict a single feature vector.
+    pub fn predict_row(&self, features: &[f64]) -> f64 {
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { value } => return *value,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if features[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+/// Find the `(feature, threshold)` split minimising the weighted child
+/// variance. Returns `None` when no split reduces the impurity.
+fn best_split(
+    x: &DenseMatrix,
+    y: &[f64],
+    indices: &[usize],
+    params: &TreeParams,
+) -> Option<(usize, f64)> {
+    let n = indices.len() as f64;
+    let total_sum: f64 = indices.iter().map(|&i| y[i]).sum();
+    let total_sq: f64 = indices.iter().map(|&i| y[i] * y[i]).sum();
+    let parent_sse = total_sq - total_sum * total_sum / n;
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
+    for feature in 0..x.cols() {
+        // Candidate thresholds: quantiles of the feature values.
+        let mut values: Vec<f64> = indices.iter().map(|&i| x.get(i, feature)).collect();
+        values.sort_by(|a, b| a.total_cmp(b));
+        values.dedup();
+        if values.len() < 2 {
+            continue;
+        }
+        let step = (values.len() as f64 / params.max_thresholds as f64).max(1.0);
+        let mut t = 0.0;
+        while (t as usize) < values.len() - 1 {
+            let idx = t as usize;
+            let threshold = (values[idx] + values[idx + 1]) / 2.0;
+            let mut left_sum = 0.0;
+            let mut left_sq = 0.0;
+            let mut left_n = 0.0;
+            for &i in indices {
+                if x.get(i, feature) <= threshold {
+                    left_sum += y[i];
+                    left_sq += y[i] * y[i];
+                    left_n += 1.0;
+                }
+            }
+            let right_n = n - left_n;
+            if left_n > 0.0 && right_n > 0.0 {
+                let right_sum = total_sum - left_sum;
+                let right_sq = total_sq - left_sq;
+                let sse = (left_sq - left_sum * left_sum / left_n)
+                    + (right_sq - right_sum * right_sum / right_n);
+                if best.map_or(sse < parent_sse - 1e-12, |(_, _, b)| sse < b) {
+                    best = Some((feature, threshold, sse));
+                }
+            }
+            t += step;
+        }
+    }
+    best.map(|(f, thr, _)| (f, thr))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_target_yields_single_leaf() {
+        let x = DenseMatrix::from_rows((0..10).map(|i| vec![i as f64]).collect());
+        let y = vec![5.0; 10];
+        let tree = RegressionTree::fit(&x, &y, &TreeParams::default());
+        assert_eq!(tree.num_nodes(), 1);
+        assert_eq!(tree.predict_row(&[42.0]), 5.0);
+    }
+
+    #[test]
+    fn learns_a_step_function() {
+        let x = DenseMatrix::from_rows((0..40).map(|i| vec![i as f64]).collect());
+        let y: Vec<f64> = (0..40).map(|i| if i < 20 { 1.0 } else { 9.0 }).collect();
+        let tree = RegressionTree::fit(
+            &x,
+            &y,
+            &TreeParams { max_depth: 2, min_samples_leaf: 2, max_thresholds: 64 },
+        );
+        assert!((tree.predict_row(&[3.0]) - 1.0).abs() < 1e-9);
+        assert!((tree.predict_row(&[33.0]) - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn picks_the_informative_feature() {
+        // Feature 0 is noise-ish, feature 1 determines the target.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..60 {
+            rows.push(vec![(i % 7) as f64, (i % 2) as f64]);
+            y.push(if i % 2 == 0 { 0.0 } else { 10.0 });
+        }
+        let x = DenseMatrix::from_rows(rows);
+        let tree = RegressionTree::fit(&x, &y, &TreeParams::default());
+        assert!((tree.predict_row(&[3.0, 0.0]) - 0.0).abs() < 1.0);
+        assert!((tree.predict_row(&[3.0, 1.0]) - 10.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let x = DenseMatrix::from_rows((0..100).map(|i| vec![i as f64]).collect());
+        let y: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let tree = RegressionTree::fit(
+            &x,
+            &y,
+            &TreeParams { max_depth: 1, min_samples_leaf: 1, max_thresholds: 64 },
+        );
+        // Depth 1 => at most 3 nodes (root + two leaves).
+        assert!(tree.num_nodes() <= 3);
+    }
+
+    #[test]
+    fn empty_training_set_predicts_zero() {
+        let x = DenseMatrix::zeros(0, 3);
+        let tree = RegressionTree::fit(&x, &[], &TreeParams::default());
+        assert_eq!(tree.predict_row(&[1.0, 2.0, 3.0]), 0.0);
+    }
+}

@@ -1,0 +1,287 @@
+//! Dynamic uniform-grid bucket index with filtered nearest-neighbour queries.
+//!
+//! Online greedy algorithms need to answer "what is the nearest *feasible*
+//! pending object to this location?" where feasibility depends on deadlines
+//! and therefore changes over time. The index stores `(Location, payload)`
+//! entries in grid buckets and answers nearest-neighbour queries with an
+//! expanding ring search, applying a caller-supplied predicate to every
+//! candidate so that infeasible entries are skipped without being removed.
+
+use ftoa_types::{BoundingBox, Location};
+
+/// An entry handle returned by [`GridBucketIndex::insert`]; can be used to
+/// remove the entry later in `O(bucket size)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntryHandle {
+    bucket: usize,
+    key: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    key: u64,
+    location: Location,
+    payload: T,
+}
+
+/// A uniform-grid spatial index over a bounded region.
+#[derive(Debug, Clone)]
+pub struct GridBucketIndex<T> {
+    bounds: BoundingBox,
+    nx: usize,
+    ny: usize,
+    buckets: Vec<Vec<Entry<T>>>,
+    next_key: u64,
+    len: usize,
+}
+
+impl<T: Clone> GridBucketIndex<T> {
+    /// Create an index over `bounds` with `nx × ny` buckets.
+    pub fn new(bounds: BoundingBox, nx: usize, ny: usize) -> Self {
+        assert!(nx > 0 && ny > 0, "index must have at least one bucket per axis");
+        Self { bounds, nx, ny, buckets: vec![Vec::new(); nx * ny], next_key: 0, len: 0 }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the index empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn bucket_coords(&self, l: &Location) -> (usize, usize) {
+        let cw = self.bounds.width() / self.nx as f64;
+        let ch = self.bounds.height() / self.ny as f64;
+        let cx = (((l.x - self.bounds.min_x) / cw).floor() as isize).clamp(0, self.nx as isize - 1);
+        let cy = (((l.y - self.bounds.min_y) / ch).floor() as isize).clamp(0, self.ny as isize - 1);
+        (cx as usize, cy as usize)
+    }
+
+    fn bucket_of(&self, l: &Location) -> usize {
+        let (cx, cy) = self.bucket_coords(l);
+        cy * self.nx + cx
+    }
+
+    /// Insert an entry, returning a handle that can be used for removal.
+    pub fn insert(&mut self, location: Location, payload: T) -> EntryHandle {
+        let bucket = self.bucket_of(&location);
+        let key = self.next_key;
+        self.next_key += 1;
+        self.buckets[bucket].push(Entry { key, location, payload });
+        self.len += 1;
+        EntryHandle { bucket, key }
+    }
+
+    /// Remove an entry by handle. Returns the payload if it was still present.
+    pub fn remove(&mut self, handle: EntryHandle) -> Option<T> {
+        let bucket = &mut self.buckets[handle.bucket];
+        if let Some(pos) = bucket.iter().position(|e| e.key == handle.key) {
+            let entry = bucket.swap_remove(pos);
+            self.len -= 1;
+            Some(entry.payload)
+        } else {
+            None
+        }
+    }
+
+    /// Find the nearest entry to `query` (Euclidean distance) among those for
+    /// which `feasible` returns true. Returns `(handle, location, payload,
+    /// distance)`.
+    ///
+    /// The search expands ring by ring; it terminates as soon as the best
+    /// candidate found so far is closer than the inner edge of the next ring,
+    /// so the result is exact.
+    pub fn nearest_where<F>(
+        &self,
+        query: &Location,
+        mut feasible: F,
+    ) -> Option<(EntryHandle, Location, T, f64)>
+    where
+        F: FnMut(&T, &Location) -> bool,
+    {
+        if self.len == 0 {
+            return None;
+        }
+        let cw = self.bounds.width() / self.nx as f64;
+        let ch = self.bounds.height() / self.ny as f64;
+        let min_cell = cw.min(ch);
+        let (qx, qy) = self.bucket_coords(query);
+        let max_ring = self.nx.max(self.ny);
+        let mut best: Option<(EntryHandle, Location, T, f64)> = None;
+
+        for ring in 0..=max_ring {
+            // Once we have a candidate closer than the closest possible point
+            // in this ring, we are done. A point in ring `ring` is at least
+            // `(ring - 1) * min_cell` away from the query.
+            if let Some((_, _, _, best_d)) = &best {
+                if ring >= 1 && *best_d <= (ring as f64 - 1.0) * min_cell {
+                    break;
+                }
+            }
+            let mut any_bucket_in_ring = false;
+            for (bx, by) in ring_coords(qx, qy, ring, self.nx, self.ny) {
+                any_bucket_in_ring = true;
+                for entry in &self.buckets[by * self.nx + bx] {
+                    if !feasible(&entry.payload, &entry.location) {
+                        continue;
+                    }
+                    let d = query.distance(&entry.location);
+                    let better = match &best {
+                        None => true,
+                        Some((_, _, _, bd)) => d < *bd,
+                    };
+                    if better {
+                        best = Some((
+                            EntryHandle { bucket: by * self.nx + bx, key: entry.key },
+                            entry.location,
+                            entry.payload.clone(),
+                            d,
+                        ));
+                    }
+                }
+            }
+            if !any_bucket_in_ring && best.is_some() {
+                break;
+            }
+        }
+        best
+    }
+
+    /// Iterate over all entries (in unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = (&Location, &T)> {
+        self.buckets.iter().flatten().map(|e| (&e.location, &e.payload))
+    }
+
+    /// Retain only the entries for which the predicate returns true.
+    pub fn retain<F>(&mut self, mut keep: F)
+    where
+        F: FnMut(&T, &Location) -> bool,
+    {
+        let mut removed = 0;
+        for bucket in &mut self.buckets {
+            let before = bucket.len();
+            bucket.retain(|e| keep(&e.payload, &e.location));
+            removed += before - bucket.len();
+        }
+        self.len -= removed;
+    }
+}
+
+/// The bucket coordinates forming the square ring at Chebyshev distance
+/// `ring` around `(qx, qy)`, clipped to the index bounds.
+fn ring_coords(
+    qx: usize,
+    qy: usize,
+    ring: usize,
+    nx: usize,
+    ny: usize,
+) -> impl Iterator<Item = (usize, usize)> {
+    let qx = qx as isize;
+    let qy = qy as isize;
+    let r = ring as isize;
+    let mut coords = Vec::new();
+    if ring == 0 {
+        coords.push((qx, qy));
+    } else {
+        for dx in -r..=r {
+            coords.push((qx + dx, qy - r));
+            coords.push((qx + dx, qy + r));
+        }
+        for dy in (-r + 1)..r {
+            coords.push((qx - r, qy + dy));
+            coords.push((qx + r, qy + dy));
+        }
+    }
+    coords
+        .into_iter()
+        .filter(move |&(x, y)| x >= 0 && y >= 0 && (x as usize) < nx && (y as usize) < ny)
+        .map(|(x, y)| (x as usize, y as usize))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index() -> GridBucketIndex<usize> {
+        GridBucketIndex::new(BoundingBox::square(100.0), 10, 10)
+    }
+
+    #[test]
+    fn insert_and_len() {
+        let mut idx = index();
+        assert!(idx.is_empty());
+        idx.insert(Location::new(5.0, 5.0), 1);
+        idx.insert(Location::new(95.0, 95.0), 2);
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.iter().count(), 2);
+    }
+
+    #[test]
+    fn nearest_finds_closest_entry() {
+        let mut idx = index();
+        idx.insert(Location::new(10.0, 10.0), 1);
+        idx.insert(Location::new(50.0, 50.0), 2);
+        idx.insert(Location::new(90.0, 90.0), 3);
+        let (_, loc, payload, d) =
+            idx.nearest_where(&Location::new(48.0, 48.0), |_, _| true).unwrap();
+        assert_eq!(payload, 2);
+        assert_eq!(loc, Location::new(50.0, 50.0));
+        assert!((d - (8.0f64).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nearest_respects_feasibility_filter() {
+        let mut idx = index();
+        idx.insert(Location::new(10.0, 10.0), 1);
+        idx.insert(Location::new(90.0, 90.0), 2);
+        let res = idx.nearest_where(&Location::new(12.0, 12.0), |&p, _| p != 1).unwrap();
+        assert_eq!(res.2, 2);
+        let none = idx.nearest_where(&Location::new(12.0, 12.0), |_, _| false);
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn remove_by_handle() {
+        let mut idx = index();
+        let h1 = idx.insert(Location::new(10.0, 10.0), 1);
+        idx.insert(Location::new(20.0, 20.0), 2);
+        assert_eq!(idx.remove(h1), Some(1));
+        assert_eq!(idx.remove(h1), None);
+        assert_eq!(idx.len(), 1);
+        let res = idx.nearest_where(&Location::new(10.0, 10.0), |_, _| true).unwrap();
+        assert_eq!(res.2, 2);
+    }
+
+    #[test]
+    fn nearest_is_exact_across_ring_boundaries() {
+        // A far point in the same bucket vs. a near point in a neighbouring
+        // bucket: the ring search must not stop too early.
+        let mut idx = GridBucketIndex::new(BoundingBox::square(100.0), 4, 4);
+        idx.insert(Location::new(20.0, 1.0), 1); // same bucket as query, far
+        idx.insert(Location::new(26.0, 1.0), 2); // next bucket, near
+        let res = idx.nearest_where(&Location::new(24.5, 1.0), |_, _| true).unwrap();
+        assert_eq!(res.2, 2);
+    }
+
+    #[test]
+    fn retain_drops_entries() {
+        let mut idx = index();
+        for i in 0..10 {
+            idx.insert(Location::new(i as f64 * 10.0, 5.0), i);
+        }
+        idx.retain(|&p, _| p % 2 == 0);
+        assert_eq!(idx.len(), 5);
+        assert!(idx.iter().all(|(_, &p)| p % 2 == 0));
+    }
+
+    #[test]
+    fn points_outside_bounds_are_clamped_into_edge_buckets() {
+        let mut idx = index();
+        idx.insert(Location::new(-50.0, -50.0), 7);
+        let res = idx.nearest_where(&Location::new(0.0, 0.0), |_, _| true).unwrap();
+        assert_eq!(res.2, 7);
+    }
+}

@@ -1,0 +1,241 @@
+//! Static 2-D KD-tree for nearest-neighbour queries.
+//!
+//! Built once over a point set (e.g. all pending tasks of a batch window in
+//! the GR baseline) and queried many times. Supports exact nearest-neighbour
+//! and filtered nearest-neighbour search.
+
+use ftoa_types::Location;
+
+#[derive(Debug, Clone)]
+struct Node {
+    /// Index into the `points` array of the point stored at this node.
+    point: usize,
+    left: Option<usize>,
+    right: Option<usize>,
+    /// Splitting axis: 0 = x, 1 = y.
+    axis: u8,
+}
+
+/// A static KD-tree over `(Location, payload)` pairs.
+#[derive(Debug, Clone)]
+pub struct KdTree<T> {
+    points: Vec<(Location, T)>,
+    nodes: Vec<Node>,
+    root: Option<usize>,
+}
+
+impl<T> KdTree<T> {
+    /// Build a KD-tree from a list of points.
+    pub fn build(points: Vec<(Location, T)>) -> Self {
+        let n = points.len();
+        let mut indices: Vec<usize> = (0..n).collect();
+        let mut tree = Self { points, nodes: Vec::with_capacity(n), root: None };
+        if n > 0 {
+            let root = tree.build_rec(&mut indices, 0);
+            tree.root = Some(root);
+        }
+        tree
+    }
+
+    fn build_rec(&mut self, indices: &mut [usize], depth: usize) -> usize {
+        let axis = (depth % 2) as u8;
+        indices.sort_unstable_by(|&a, &b| {
+            let ka = if axis == 0 { self.points[a].0.x } else { self.points[a].0.y };
+            let kb = if axis == 0 { self.points[b].0.x } else { self.points[b].0.y };
+            ka.total_cmp(&kb)
+        });
+        let mid = indices.len() / 2;
+        let point = indices[mid];
+        let node_id = self.nodes.len();
+        self.nodes.push(Node { point, left: None, right: None, axis });
+        // Recurse. Split the slice to satisfy the borrow checker.
+        let (left_slice, rest) = indices.split_at_mut(mid);
+        let right_slice = &mut rest[1..];
+        if !left_slice.is_empty() {
+            let l = self.build_rec(left_slice, depth + 1);
+            self.nodes[node_id].left = Some(l);
+        }
+        if !right_slice.is_empty() {
+            let r = self.build_rec(right_slice, depth + 1);
+            self.nodes[node_id].right = Some(r);
+        }
+        node_id
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Is the tree empty?
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Exact nearest neighbour of `query`. Returns `(location, payload,
+    /// distance)`.
+    pub fn nearest(&self, query: &Location) -> Option<(&Location, &T, f64)> {
+        self.nearest_where(query, |_, _| true)
+    }
+
+    /// Exact nearest neighbour among points accepted by `feasible`.
+    pub fn nearest_where<F>(&self, query: &Location, mut feasible: F) -> Option<(&Location, &T, f64)>
+    where
+        F: FnMut(&T, &Location) -> bool,
+    {
+        let root = self.root?;
+        let mut best: Option<(usize, f64)> = None;
+        self.search(root, query, &mut feasible, &mut best);
+        best.map(|(idx, d)| (&self.points[idx].0, &self.points[idx].1, d.sqrt()))
+    }
+
+    fn search<F>(
+        &self,
+        node_id: usize,
+        query: &Location,
+        feasible: &mut F,
+        best: &mut Option<(usize, f64)>,
+    ) where
+        F: FnMut(&T, &Location) -> bool,
+    {
+        let node = &self.nodes[node_id];
+        let (loc, payload) = &self.points[node.point];
+        let d2 = query.distance_sq(loc);
+        if feasible(payload, loc) && best.map_or(true, |(_, bd)| d2 < bd) {
+            *best = Some((node.point, d2));
+        }
+        let diff = if node.axis == 0 { query.x - loc.x } else { query.y - loc.y };
+        let (near, far) =
+            if diff <= 0.0 { (node.left, node.right) } else { (node.right, node.left) };
+        if let Some(n) = near {
+            self.search(n, query, feasible, best);
+        }
+        // Only descend into the far side if the splitting plane is closer
+        // than the current best distance (or no best exists yet).
+        if best.map_or(true, |(_, bd)| diff * diff < bd) {
+            if let Some(f) = far {
+                self.search(f, query, feasible, best);
+            }
+        }
+    }
+
+    /// All points within `radius` of `query`, as `(location, payload, distance)`.
+    pub fn within_radius(&self, query: &Location, radius: f64) -> Vec<(&Location, &T, f64)> {
+        let mut out = Vec::new();
+        if let Some(root) = self.root {
+            self.range_search(root, query, radius, &mut out);
+        }
+        out
+    }
+
+    fn range_search<'a>(
+        &'a self,
+        node_id: usize,
+        query: &Location,
+        radius: f64,
+        out: &mut Vec<(&'a Location, &'a T, f64)>,
+    ) {
+        let node = &self.nodes[node_id];
+        let (loc, payload) = &self.points[node.point];
+        let d = query.distance(loc);
+        if d <= radius {
+            out.push((loc, payload, d));
+        }
+        let diff = if node.axis == 0 { query.x - loc.x } else { query.y - loc.y };
+        let (near, far) =
+            if diff <= 0.0 { (node.left, node.right) } else { (node.right, node.left) };
+        if let Some(n) = near {
+            self.range_search(n, query, radius, out);
+        }
+        if diff.abs() <= radius {
+            if let Some(f) = far {
+                self.range_search(f, query, radius, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_points() -> Vec<(Location, usize)> {
+        let mut pts = Vec::new();
+        let mut id = 0;
+        for x in 0..10 {
+            for y in 0..10 {
+                pts.push((Location::new(x as f64, y as f64), id));
+                id += 1;
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn empty_tree_returns_none() {
+        let t: KdTree<usize> = KdTree::build(vec![]);
+        assert!(t.is_empty());
+        assert!(t.nearest(&Location::ORIGIN).is_none());
+        assert!(t.within_radius(&Location::ORIGIN, 10.0).is_empty());
+    }
+
+    #[test]
+    fn nearest_on_grid_points() {
+        let t = KdTree::build(grid_points());
+        assert_eq!(t.len(), 100);
+        let (loc, _, d) = t.nearest(&Location::new(3.2, 6.9)).unwrap();
+        assert_eq!(*loc, Location::new(3.0, 7.0));
+        assert!((d - (0.04f64 + 0.01).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let pts = grid_points();
+        let t = KdTree::build(pts.clone());
+        for q in [
+            Location::new(-1.0, -1.0),
+            Location::new(4.5, 4.5),
+            Location::new(20.0, 3.0),
+            Location::new(0.49, 8.51),
+        ] {
+            let brute = pts
+                .iter()
+                .map(|(l, _)| q.distance(l))
+                .fold(f64::INFINITY, f64::min);
+            let (_, _, d) = t.nearest(&q).unwrap();
+            assert!((d - brute).abs() < 1e-9, "query {q}");
+        }
+    }
+
+    #[test]
+    fn filtered_nearest_skips_infeasible_points() {
+        let t = KdTree::build(grid_points());
+        // Only points with even payload are feasible.
+        let (_, &payload, _) =
+            t.nearest_where(&Location::new(0.1, 0.1), |&p, _| p % 2 == 1).unwrap();
+        assert_eq!(payload % 2, 1);
+        assert!(t.nearest_where(&Location::ORIGIN, |_, _| false).is_none());
+    }
+
+    #[test]
+    fn within_radius_collects_all_close_points() {
+        let t = KdTree::build(grid_points());
+        let found = t.within_radius(&Location::new(5.0, 5.0), 1.0);
+        // (5,5), (4,5), (6,5), (5,4), (5,6)
+        assert_eq!(found.len(), 5);
+        assert!(found.iter().all(|&(_, _, d)| d <= 1.0));
+    }
+
+    #[test]
+    fn duplicate_points_are_handled() {
+        let pts = vec![
+            (Location::new(1.0, 1.0), 0),
+            (Location::new(1.0, 1.0), 1),
+            (Location::new(2.0, 2.0), 2),
+        ];
+        let t = KdTree::build(pts);
+        let (_, _, d) = t.nearest(&Location::new(1.0, 1.0)).unwrap();
+        assert_eq!(d, 0.0);
+        assert_eq!(t.within_radius(&Location::new(1.0, 1.0), 0.1).len(), 2);
+    }
+}

@@ -1,0 +1,26 @@
+//! Spatial substrate: distance metrics and nearest-neighbour indexes.
+//!
+//! The greedy baselines of the paper (SimpleGreedy and the batched GR
+//! algorithm) repeatedly look for the *nearest feasible* counterpart of a
+//! newly arrived object. This crate provides the spatial machinery for those
+//! queries:
+//!
+//! * [`metric`] — Euclidean / Manhattan / haversine distances behind a common
+//!   [`metric::DistanceMetric`] trait.
+//! * [`grid_index`] — a dynamic uniform-grid bucket index supporting
+//!   insertion, removal and expanding-ring nearest-neighbour queries with an
+//!   arbitrary feasibility predicate. This is the index used online, because
+//!   objects appear and disappear as they are matched or expire.
+//! * [`kdtree`] — a static KD-tree used for bulk nearest-neighbour queries
+//!   (and as an independent oracle in property tests).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod grid_index;
+pub mod kdtree;
+pub mod metric;
+
+pub use grid_index::GridBucketIndex;
+pub use kdtree::KdTree;
+pub use metric::{DistanceMetric, Euclidean, Haversine, Manhattan};

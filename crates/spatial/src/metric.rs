@@ -1,0 +1,96 @@
+//! Distance metrics over [`Location`]s.
+
+use ftoa_types::Location;
+
+/// A distance function between two locations.
+pub trait DistanceMetric {
+    /// The distance from `a` to `b` (non-negative, symmetric, zero iff equal
+    /// for the metrics provided here).
+    fn distance(&self, a: &Location, b: &Location) -> f64;
+}
+
+/// Straight-line (L2) distance in coordinate units — the paper's travel-cost
+/// model (Definition 3).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Euclidean;
+
+impl DistanceMetric for Euclidean {
+    fn distance(&self, a: &Location, b: &Location) -> f64 {
+        a.distance(b)
+    }
+}
+
+/// L1 (taxicab) distance: a common alternative travel model on road grids.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Manhattan;
+
+impl DistanceMetric for Manhattan {
+    fn distance(&self, a: &Location, b: &Location) -> f64 {
+        a.manhattan_distance(b)
+    }
+}
+
+/// Great-circle distance in kilometres, interpreting `x` as longitude and `y`
+/// as latitude in degrees. Used by the city ("real data") workloads where one
+/// grid cell is a 0.01° × 0.01° square.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Haversine;
+
+/// Mean Earth radius in kilometres.
+const EARTH_RADIUS_KM: f64 = 6371.0088;
+
+impl DistanceMetric for Haversine {
+    fn distance(&self, a: &Location, b: &Location) -> f64 {
+        let (lon1, lat1) = (a.x.to_radians(), a.y.to_radians());
+        let (lon2, lat2) = (b.x.to_radians(), b.y.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = lon2 - lon1;
+        let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_KM * h.sqrt().asin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_and_manhattan_basic() {
+        let a = Location::new(0.0, 0.0);
+        let b = Location::new(3.0, 4.0);
+        assert!((Euclidean.distance(&a, &b) - 5.0).abs() < 1e-12);
+        assert!((Manhattan.distance(&a, &b) - 7.0).abs() < 1e-12);
+        assert_eq!(Euclidean.distance(&a, &a), 0.0);
+        assert_eq!(Manhattan.distance(&b, &b), 0.0);
+    }
+
+    #[test]
+    fn metrics_are_symmetric() {
+        let a = Location::new(116.40, 39.90); // Beijing
+        let b = Location::new(120.16, 30.29); // Hangzhou
+        for m in [
+            &Euclidean as &dyn DistanceMetric,
+            &Manhattan as &dyn DistanceMetric,
+            &Haversine as &dyn DistanceMetric,
+        ] {
+            assert!((m.distance(&a, &b) - m.distance(&b, &a)).abs() < 1e-9);
+            assert!(m.distance(&a, &b) > 0.0);
+        }
+    }
+
+    #[test]
+    fn haversine_beijing_to_hangzhou_is_about_1100_km() {
+        let beijing = Location::new(116.40, 39.90);
+        let hangzhou = Location::new(120.16, 30.29);
+        let d = Haversine.distance(&beijing, &hangzhou);
+        assert!((1100.0..1200.0).contains(&d), "distance was {d} km");
+    }
+
+    #[test]
+    fn haversine_one_degree_latitude_is_about_111_km() {
+        let a = Location::new(0.0, 0.0);
+        let b = Location::new(0.0, 1.0);
+        let d = Haversine.distance(&a, &b);
+        assert!((110.0..112.5).contains(&d), "distance was {d} km");
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests: the spatial indexes agree with brute force.
+
+use ftoa_types::{BoundingBox, Location};
+use proptest::prelude::*;
+use spatial::{GridBucketIndex, KdTree};
+
+fn points_strategy() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..120)
+}
+
+fn brute_nearest(pts: &[(f64, f64)], q: &Location) -> f64 {
+    pts.iter()
+        .map(|&(x, y)| q.distance(&Location::new(x, y)))
+        .fold(f64::INFINITY, f64::min)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kdtree_nearest_matches_brute_force(
+        pts in points_strategy(),
+        qx in -10.0f64..110.0,
+        qy in -10.0f64..110.0,
+    ) {
+        let tree = KdTree::build(
+            pts.iter().enumerate().map(|(i, &(x, y))| (Location::new(x, y), i)).collect(),
+        );
+        let q = Location::new(qx, qy);
+        let (_, _, d) = tree.nearest(&q).unwrap();
+        let brute = brute_nearest(&pts, &q);
+        prop_assert!((d - brute).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_index_nearest_matches_brute_force(
+        pts in points_strategy(),
+        qx in 0.0f64..100.0,
+        qy in 0.0f64..100.0,
+    ) {
+        let mut idx = GridBucketIndex::new(BoundingBox::square(100.0), 8, 8);
+        for (i, &(x, y)) in pts.iter().enumerate() {
+            idx.insert(Location::new(x, y), i);
+        }
+        let q = Location::new(qx, qy);
+        let (_, _, _, d) = idx.nearest_where(&q, |_, _| true).unwrap();
+        let brute = brute_nearest(&pts, &q);
+        prop_assert!((d - brute).abs() < 1e-9, "grid {} vs brute {}", d, brute);
+    }
+
+    #[test]
+    fn kdtree_radius_query_matches_brute_force(
+        pts in points_strategy(),
+        qx in 0.0f64..100.0,
+        qy in 0.0f64..100.0,
+        radius in 0.0f64..60.0,
+    ) {
+        let tree = KdTree::build(
+            pts.iter().enumerate().map(|(i, &(x, y))| (Location::new(x, y), i)).collect(),
+        );
+        let q = Location::new(qx, qy);
+        let found = tree.within_radius(&q, radius).len();
+        let brute = pts
+            .iter()
+            .filter(|&&(x, y)| q.distance(&Location::new(x, y)) <= radius)
+            .count();
+        prop_assert_eq!(found, brute);
+    }
+
+    #[test]
+    fn filtered_queries_agree_between_indexes(
+        pts in points_strategy(),
+        qx in 0.0f64..100.0,
+        qy in 0.0f64..100.0,
+        modulus in 2usize..5,
+    ) {
+        let q = Location::new(qx, qy);
+        let tree = KdTree::build(
+            pts.iter().enumerate().map(|(i, &(x, y))| (Location::new(x, y), i)).collect(),
+        );
+        let mut idx = GridBucketIndex::new(BoundingBox::square(100.0), 8, 8);
+        for (i, &(x, y)) in pts.iter().enumerate() {
+            idx.insert(Location::new(x, y), i);
+        }
+        let kd = tree.nearest_where(&q, |&p, _| p % modulus == 0).map(|(_, _, d)| d);
+        let gi = idx.nearest_where(&q, |&p, _| p % modulus == 0).map(|(_, _, _, d)| d);
+        match (kd, gi) {
+            (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9),
+            (None, None) => {}
+            other => prop_assert!(false, "one index found a point, the other did not: {:?}", other),
+        }
+    }
+}

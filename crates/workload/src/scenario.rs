@@ -1,0 +1,121 @@
+//! A fully-specified experiment input: configuration, online arrival stream
+//! and the predicted per-slot/per-cell counts that feed the offline guide.
+
+use ftoa_types::{EventStream, ProblemConfig, TypeKey};
+use prediction::SpatioTemporalMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One ready-to-run problem instance.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Grid / slot / velocity configuration.
+    pub config: ProblemConfig,
+    /// The actual online arrivals (ground truth).
+    pub stream: EventStream,
+    /// Predicted worker counts `a_ij` used to build the offline guide.
+    pub predicted_workers: SpatioTemporalMatrix,
+    /// Predicted task counts `b_ij` used to build the offline guide.
+    pub predicted_tasks: SpatioTemporalMatrix,
+}
+
+impl Scenario {
+    /// The actual (realised) per-slot/per-cell counts of the stream, useful
+    /// for measuring prediction error or building a "perfect prediction"
+    /// scenario.
+    pub fn actual_counts(&self) -> (SpatioTemporalMatrix, SpatioTemporalMatrix) {
+        let slots = self.config.slots.num_slots();
+        let cells = self.config.grid.num_cells();
+        let mut workers = SpatioTemporalMatrix::zeros(slots, cells);
+        let mut tasks = SpatioTemporalMatrix::zeros(slots, cells);
+        for w in self.stream.workers() {
+            let key = TypeKey::new(
+                self.config.slots.slot_of(w.start),
+                self.config.grid.cell_of(&w.location),
+            );
+            workers.increment_key(key);
+        }
+        for r in self.stream.tasks() {
+            let key = TypeKey::new(
+                self.config.slots.slot_of(r.release),
+                self.config.grid.cell_of(&r.location),
+            );
+            tasks.increment_key(key);
+        }
+        (workers, tasks)
+    }
+
+    /// Replace the predictions with the realised counts ("oracle prediction"),
+    /// useful as an upper bound in ablation studies.
+    pub fn with_perfect_prediction(mut self) -> Self {
+        let (w, t) = self.actual_counts();
+        self.predicted_workers = w;
+        self.predicted_tasks = t;
+        self
+    }
+
+    /// Inject multiplicative noise into the predictions: each entry is scaled
+    /// by a factor drawn uniformly from `[1 - noise, 1 + noise]`. Used by the
+    /// prediction-error ablation.
+    pub fn with_prediction_noise(mut self, noise: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut perturb = |m: &SpatioTemporalMatrix| {
+            m.map(|v| {
+                let factor = 1.0 + (rng.gen::<f64>() * 2.0 - 1.0) * noise;
+                (v * factor).max(0.0)
+            })
+        };
+        self.predicted_workers = perturb(&self.predicted_workers);
+        self.predicted_tasks = perturb(&self.predicted_tasks);
+        self
+    }
+
+    /// Total number of arrival events.
+    pub fn len(&self) -> usize {
+        self.stream.len()
+    }
+
+    /// Is the scenario empty?
+    pub fn is_empty(&self) -> bool {
+        self.stream.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::synthetic::SyntheticConfig;
+
+    #[test]
+    fn actual_counts_total_matches_stream_size() {
+        let scenario = SyntheticConfig { num_workers: 200, num_tasks: 300, ..Default::default() }
+            .generate(7);
+        let (w, t) = scenario.actual_counts();
+        assert_eq!(w.total() as usize, 200);
+        assert_eq!(t.total() as usize, 300);
+        assert_eq!(scenario.len(), 500);
+        assert!(!scenario.is_empty());
+    }
+
+    #[test]
+    fn perfect_prediction_matches_actuals() {
+        let scenario = SyntheticConfig { num_workers: 100, num_tasks: 100, ..Default::default() }
+            .generate(3)
+            .with_perfect_prediction();
+        let (w, t) = scenario.actual_counts();
+        assert_eq!(scenario.predicted_workers, w);
+        assert_eq!(scenario.predicted_tasks, t);
+    }
+
+    #[test]
+    fn prediction_noise_keeps_counts_non_negative_and_changes_them() {
+        let base = SyntheticConfig { num_workers: 500, num_tasks: 500, ..Default::default() }
+            .generate(11)
+            .with_perfect_prediction();
+        let noisy = base.clone().with_prediction_noise(0.5, 99);
+        assert!(noisy.predicted_tasks.as_slice().iter().all(|&v| v >= 0.0));
+        assert_ne!(noisy.predicted_tasks, base.predicted_tasks);
+        // Zero noise leaves predictions untouched.
+        let same = base.clone().with_prediction_noise(0.0, 99);
+        assert_eq!(same.predicted_workers, base.predicted_workers);
+    }
+}

@@ -1,0 +1,13 @@
+//! Facade crate for the FTOA reproduction workspace.
+//!
+//! Re-exports the public API of every subsystem crate so that downstream
+//! users (and the examples/integration tests in this repository) can depend
+//! on a single `ftoa` crate.
+
+pub use experiments;
+pub use flow;
+pub use ftoa_core as core_algorithms;
+pub use ftoa_types as types;
+pub use prediction;
+pub use spatial;
+pub use workload;

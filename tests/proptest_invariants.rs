@@ -1,0 +1,164 @@
+//! Property-based invariants across the whole pipeline: for arbitrary small
+//! instances, every algorithm must produce a valid matching bounded by OPT,
+//! and the guide construction must respect the predicted counts.
+
+use ftoa::core_algorithms::{
+    BatchGreedy, Instance, OfflineGuide, OnlineAlgorithm, Opt, Polar, PolarOp, SimpleGreedy,
+};
+use ftoa::prediction::SpatioTemporalMatrix;
+use ftoa::types::{
+    EventStream, GridPartition, Location, ProblemConfig, SlotPartition, Task, TaskId, TimeDelta,
+    TimeStamp, TypeKey, Worker, WorkerId,
+};
+use proptest::prelude::*;
+
+const SIDE: f64 = 20.0;
+const HORIZON: f64 = 60.0;
+
+fn config() -> ProblemConfig {
+    ProblemConfig::new(
+        GridPartition::square(SIDE, 4).unwrap(),
+        SlotPartition::over_horizon(TimeDelta::minutes(HORIZON), 6).unwrap(),
+        1.0,
+        TimeDelta::minutes(20.0),
+        TimeDelta::minutes(8.0),
+    )
+}
+
+/// Strategy: a list of (x, y, t) triples inside the region/horizon.
+fn objects(max: usize) -> impl Strategy<Value = Vec<(f64, f64, f64)>> {
+    proptest::collection::vec((0.0..SIDE, 0.0..SIDE, 0.0..HORIZON - 1.0), 0..max)
+}
+
+fn build_instance(
+    config: &ProblemConfig,
+    workers_raw: &[(f64, f64, f64)],
+    tasks_raw: &[(f64, f64, f64)],
+) -> (EventStream, SpatioTemporalMatrix, SpatioTemporalMatrix) {
+    let workers: Vec<Worker> = workers_raw
+        .iter()
+        .map(|&(x, y, t)| {
+            Worker::new(
+                WorkerId(0),
+                Location::new(x, y),
+                TimeStamp::minutes(t),
+                config.default_worker_wait,
+            )
+        })
+        .collect();
+    let tasks: Vec<Task> = tasks_raw
+        .iter()
+        .map(|&(x, y, t)| {
+            Task::new(
+                TaskId(0),
+                Location::new(x, y),
+                TimeStamp::minutes(t),
+                config.default_task_patience,
+            )
+        })
+        .collect();
+    let stream = EventStream::new(workers, tasks);
+    let mut pw = SpatioTemporalMatrix::zeros(config.slots.num_slots(), config.grid.num_cells());
+    let mut pt = pw.clone();
+    for w in stream.workers() {
+        pw.increment_key(TypeKey::new(config.slots.slot_of(w.start), config.grid.cell_of(&w.location)));
+    }
+    for r in stream.tasks() {
+        pt.increment_key(TypeKey::new(config.slots.slot_of(r.release), config.grid.cell_of(&r.location)));
+    }
+    (stream, pw, pt)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every algorithm returns a feasible matching whose size never exceeds
+    /// OPT's, and OPT never exceeds min(|W|, |R|).
+    #[test]
+    fn all_algorithms_produce_valid_matchings_bounded_by_opt(
+        workers_raw in objects(25),
+        tasks_raw in objects(25),
+    ) {
+        let config = config();
+        let (stream, pw, pt) = build_instance(&config, &workers_raw, &tasks_raw);
+        let instance = Instance::new(&config, &stream, &pw, &pt);
+        let opt = Opt::exact().run(&instance);
+        prop_assert!(opt.matching_size() <= stream.num_workers().min(stream.num_tasks()));
+        let algorithms: Vec<Box<dyn OnlineAlgorithm>> = vec![
+            Box::new(SimpleGreedy),
+            Box::new(BatchGreedy::default()),
+            Box::new(Polar::default()),
+            Box::new(PolarOp::default()),
+        ];
+        for alg in &algorithms {
+            let result = alg.run(&instance);
+            prop_assert!(
+                result.matching_size() <= opt.matching_size(),
+                "{} produced {} > OPT {}",
+                alg.name(), result.matching_size(), opt.matching_size()
+            );
+            prop_assert!(result
+                .assignments
+                .validate_flexible(stream.workers(), stream.tasks(), config.velocity)
+                .is_ok());
+        }
+    }
+
+    /// The guide never instantiates more nodes than the predicted totals and
+    /// its matching is bounded by both sides.
+    #[test]
+    fn guide_respects_predicted_counts(
+        workers_raw in objects(30),
+        tasks_raw in objects(30),
+    ) {
+        let config = config();
+        let (_stream, pw, pt) = build_instance(&config, &workers_raw, &tasks_raw);
+        let guide = OfflineGuide::build(&config, &pw, &pt);
+        prop_assert_eq!(guide.num_worker_nodes(), pw.total().round() as usize);
+        prop_assert_eq!(guide.num_task_nodes(), pt.total().round() as usize);
+        prop_assert!(guide.matching_size() <= guide.num_worker_nodes().min(guide.num_task_nodes()));
+        // Partner links are symmetric.
+        for (w_idx, node) in guide.worker_nodes().iter().enumerate() {
+            if let Some(r_idx) = node.partner {
+                prop_assert_eq!(guide.task_nodes()[r_idx].partner, Some(w_idx));
+            }
+        }
+    }
+
+    /// POLAR-OP is never worse than POLAR when both use the same guide — the
+    /// node-reuse optimisation can only help.
+    #[test]
+    fn polar_op_dominates_polar(
+        workers_raw in objects(25),
+        tasks_raw in objects(25),
+    ) {
+        let config = config();
+        let (stream, pw, pt) = build_instance(&config, &workers_raw, &tasks_raw);
+        let instance = Instance::new(&config, &stream, &pw, &pt);
+        let guide = OfflineGuide::build(&config, &pw, &pt);
+        let polar = Polar::default().run_with_guide(&instance, &guide);
+        let polar_op = PolarOp::default().run_with_guide(&instance, &guide);
+        prop_assert!(polar_op.matching_size() >= polar.matching_size());
+    }
+
+    /// Perfect predictions make POLAR-OP meet the 0.47 bound empirically on
+    /// instances that have at least a few feasible pairs.
+    #[test]
+    fn polar_op_meets_the_047_bound_with_perfect_prediction(
+        workers_raw in objects(40),
+        tasks_raw in objects(40),
+    ) {
+        let config = config();
+        let (stream, pw, pt) = build_instance(&config, &workers_raw, &tasks_raw);
+        let instance = Instance::new(&config, &stream, &pw, &pt);
+        let opt = Opt::exact().run(&instance);
+        prop_assume!(opt.matching_size() >= 5);
+        let polar_op = PolarOp::default().run(&instance);
+        prop_assert!(
+            polar_op.competitive_ratio(&opt) >= 0.3,
+            "POLAR-OP ratio {} too low (opt {})",
+            polar_op.competitive_ratio(&opt),
+            opt.matching_size()
+        );
+    }
+}
