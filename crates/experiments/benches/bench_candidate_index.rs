@@ -1,0 +1,152 @@
+//! Candidate-index benchmark: linear-scan vs. grid-index candidate search on
+//! the ~100k-event scalability scenario (`SyntheticConfig::scalability`).
+//!
+//! Both index-driven algorithms are timed end to end through the
+//! `SimulationEngine` — SimpleGreedy (nearest-feasible queries bounded by the
+//! reachable disk) and GR (per-task reachable-disk range queries feeding the
+//! batch matching) — once per backend. Besides wall-clock times the run
+//! records the deterministic `candidates_examined` counters, which measure
+//! the pruning independently of machine noise, and writes everything to
+//! `BENCH_engine.json` at the repository root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftoa_core::{
+    AlgorithmResult, BatchGreedy, IndexBackend, Instance, SimpleGreedy, SimulationEngine,
+};
+use std::time::{Duration, Instant};
+use workload::SyntheticConfig;
+
+struct Measured {
+    seconds: f64,
+    matching: usize,
+    candidates: u64,
+}
+
+fn measure(run: impl Fn() -> AlgorithmResult) -> Measured {
+    // One warm-up, then the best of three timed runs (the scenario is large
+    // enough that per-run noise is small; min is robust against interference).
+    let _ = run();
+    let mut best: Option<(Duration, AlgorithmResult)> = None;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let result = run();
+        let elapsed = start.elapsed();
+        if best.as_ref().is_none_or(|(b, _)| elapsed < *b) {
+            best = Some((elapsed, result));
+        }
+    }
+    let (elapsed, result) = best.expect("three runs happened");
+    Measured {
+        seconds: elapsed.as_secs_f64(),
+        matching: result.matching_size(),
+        candidates: result.stats.candidates_examined,
+    }
+}
+
+fn entry(m: &Measured) -> String {
+    format!(
+        "{{\"seconds\": {:.6}, \"matching_size\": {}, \"candidates_examined\": {}}}",
+        m.seconds, m.matching, m.candidates
+    )
+}
+
+fn bench_candidate_index(c: &mut Criterion) {
+    let config = SyntheticConfig::scalability();
+    let scenario = config.generate(2017);
+    let instance = Instance::new(
+        &scenario.config,
+        &scenario.stream,
+        &scenario.predicted_workers,
+        &scenario.predicted_tasks,
+    );
+    println!(
+        "scalability scenario: {} workers, {} tasks, {} events (max task patience {} min)",
+        scenario.stream.num_workers(),
+        scenario.stream.num_tasks(),
+        scenario.stream.len(),
+        instance.max_task_patience().as_minutes(),
+    );
+
+    let run_greedy = |backend: IndexBackend| {
+        measure(|| SimulationEngine::new(backend).run(&instance, &mut SimpleGreedy.policy()))
+    };
+    let run_gr = |backend: IndexBackend| {
+        measure(|| {
+            SimulationEngine::new(backend).run(&instance, &mut BatchGreedy::default().policy())
+        })
+    };
+
+    let greedy_linear = run_greedy(IndexBackend::LinearScan);
+    let greedy_grid = run_greedy(IndexBackend::Grid);
+    assert_eq!(
+        greedy_linear.matching, greedy_grid.matching,
+        "index backends must agree on SimpleGreedy's total utility"
+    );
+    let gr_linear = run_gr(IndexBackend::LinearScan);
+    let gr_grid = run_gr(IndexBackend::Grid);
+    assert_eq!(
+        gr_linear.matching, gr_grid.matching,
+        "index backends must agree on GR's total utility"
+    );
+
+    for (name, linear, grid) in
+        [("SimpleGreedy", &greedy_linear, &greedy_grid), ("GR", &gr_linear, &gr_grid)]
+    {
+        println!(
+            "{name}: linear-scan {:.3}s ({} candidates) vs grid-index {:.3}s ({} candidates) — {:.1}x speedup",
+            linear.seconds,
+            linear.candidates,
+            grid.seconds,
+            grid.candidates,
+            linear.seconds / grid.seconds.max(1e-9),
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"scenario\": {{\"workers\": {}, \"tasks\": {}, \"events\": {}, \"seed\": 2017}},\n  \
+         \"simple_greedy\": {{\n    \"linear_scan\": {},\n    \"grid_index\": {},\n    \
+         \"speedup\": {:.2}\n  }},\n  \"gr\": {{\n    \"linear_scan\": {},\n    \
+         \"grid_index\": {},\n    \"speedup\": {:.2}\n  }}\n}}\n",
+        scenario.stream.num_workers(),
+        scenario.stream.num_tasks(),
+        scenario.stream.len(),
+        entry(&greedy_linear),
+        entry(&greedy_grid),
+        greedy_linear.seconds / greedy_grid.seconds.max(1e-9),
+        entry(&gr_linear),
+        entry(&gr_grid),
+        gr_linear.seconds / gr_grid.seconds.max(1e-9),
+    );
+    let out =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_engine.json");
+    std::fs::write(&out, &json).expect("write BENCH_engine.json");
+    println!("wrote {}", out.display());
+
+    // Also register the grid-backed runs with the criterion harness so the
+    // bench integrates with the usual `cargo bench` reporting.
+    let mut group = c.benchmark_group("candidate_index");
+    group.sample_size(3);
+    group.measurement_time(Duration::from_secs(3));
+    group.bench_function("SimpleGreedy/grid-index", |b| {
+        b.iter(|| {
+            SimulationEngine::new(IndexBackend::Grid)
+                .run(&instance, &mut SimpleGreedy.policy())
+                .matching_size()
+        })
+    });
+    group.bench_function("GR/grid-index", |b| {
+        b.iter(|| {
+            SimulationEngine::new(IndexBackend::Grid)
+                .run(&instance, &mut BatchGreedy::default().policy())
+                .matching_size()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_candidate_index
+}
+criterion_main!(benches);

@@ -20,9 +20,7 @@ fn bench_fig4(c: &mut Criterion) {
     });
 
     println!("{}", figures::fig4_vary_tasks(SCALE, &opts).to_text());
-    group.bench_function("vary_tasks", |b| {
-        b.iter(|| figures::fig4_vary_tasks(SCALE, &opts).len())
-    });
+    group.bench_function("vary_tasks", |b| b.iter(|| figures::fig4_vary_tasks(SCALE, &opts).len()));
 
     println!("{}", figures::fig4_vary_deadline(SCALE, &opts).to_text());
     group.bench_function("vary_deadline", |b| {
@@ -30,9 +28,7 @@ fn bench_fig4(c: &mut Criterion) {
     });
 
     println!("{}", figures::fig4_vary_grid(SCALE, &opts).to_text());
-    group.bench_function("vary_grid", |b| {
-        b.iter(|| figures::fig4_vary_grid(SCALE, &opts).len())
-    });
+    group.bench_function("vary_grid", |b| b.iter(|| figures::fig4_vary_grid(SCALE, &opts).len()));
 
     group.finish();
 }

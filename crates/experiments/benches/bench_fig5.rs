@@ -14,9 +14,7 @@ fn bench_fig5(c: &mut Criterion) {
     group.sample_size(10);
 
     println!("{}", figures::fig5_vary_slots(SCALE, &opts).to_text());
-    group.bench_function("vary_slots", |b| {
-        b.iter(|| figures::fig5_vary_slots(SCALE, &opts).len())
-    });
+    group.bench_function("vary_slots", |b| b.iter(|| figures::fig5_vary_slots(SCALE, &opts).len()));
 
     println!("{}", figures::fig5_scalability(SCALE / 10.0, &opts).to_text());
     group.bench_function("scalability", |b| {

@@ -19,9 +19,8 @@ fn bench_fig6(c: &mut Criterion) {
         ("vary_cov", Fig6Parameter::SpatialCov),
     ] {
         println!("{}", fig6_vary_distribution(param, SCALE, &opts).to_text());
-        group.bench_function(name, |b| {
-            b.iter(|| fig6_vary_distribution(param, SCALE, &opts).len())
-        });
+        group
+            .bench_function(name, |b| b.iter(|| fig6_vary_distribution(param, SCALE, &opts).len()));
     }
     group.finish();
 }

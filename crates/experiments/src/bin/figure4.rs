@@ -14,7 +14,8 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let sweep = arg_value(&args, "--sweep").unwrap_or_else(|| "all".to_string());
     let scale: f64 = arg_value(&args, "--scale").and_then(|v| v.parse().ok()).unwrap_or(0.25);
-    let opts = SuiteOptions { include_opt: !args.iter().any(|a| a == "--no-opt"), ..Default::default() };
+    let opts =
+        SuiteOptions { include_opt: !args.iter().any(|a| a == "--no-opt"), ..Default::default() };
 
     println!("Figure 4 reproduction (object scale {scale}, OPT included: {})\n", opts.include_opt);
     let run = |name: &str| sweep == "all" || sweep == name;

@@ -18,11 +18,10 @@ fn main() {
     let scale: f64 = arg_value(&args, "--scale").and_then(|v| v.parse().ok()).unwrap_or(0.25);
     let city_scale_down: usize =
         arg_value(&args, "--city-scale-down").and_then(|v| v.parse().ok()).unwrap_or(10);
-    let opts = SuiteOptions { include_opt: !args.iter().any(|a| a == "--no-opt"), ..Default::default() };
+    let opts =
+        SuiteOptions { include_opt: !args.iter().any(|a| a == "--no-opt"), ..Default::default() };
 
-    println!(
-        "Figure 5 reproduction (object scale {scale}, city scale-down 1/{city_scale_down})\n"
-    );
+    println!("Figure 5 reproduction (object scale {scale}, city scale-down 1/{city_scale_down})\n");
     let run = |name: &str| sweep == "all" || sweep == name;
     if run("slots") {
         println!("{}", figures::fig5_vary_slots(scale, &opts).to_text());

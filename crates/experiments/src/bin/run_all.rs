@@ -13,9 +13,11 @@ use workload::CityConfig;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let scale: f64 = arg_value(&args, "--scale")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(if quick { 0.02 } else { 0.25 });
+    let scale: f64 = arg_value(&args, "--scale").and_then(|v| v.parse().ok()).unwrap_or(if quick {
+        0.02
+    } else {
+        0.25
+    });
     let city_scale_down: usize = arg_value(&args, "--city-scale-down")
         .and_then(|v| v.parse().ok())
         .unwrap_or(if quick { 100 } else { 10 });

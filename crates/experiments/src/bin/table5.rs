@@ -19,8 +19,11 @@ fn main() {
     println!(
         "Table 5 reproduction (city scale-down 1/{scale_down}, {history_days} days of history)\n"
     );
-    let table =
-        Table5::evaluate(&[CityConfig::beijing(), CityConfig::hangzhou()], scale_down, history_days);
+    let table = Table5::evaluate(
+        &[CityConfig::beijing(), CityConfig::hangzhou()],
+        scale_down,
+        history_days,
+    );
     if args.iter().any(|a| a == "--csv") {
         println!("{}", table.to_csv());
     } else {

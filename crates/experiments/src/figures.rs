@@ -19,7 +19,7 @@ use workload::synthetic::DistributionParams;
 use workload::{CityConfig, Scenario, SyntheticConfig};
 
 /// Base RNG seed used by all sweeps (one per sweep point offset).
-const BASE_SEED: u64 = 0x0F70A_2017;
+const BASE_SEED: u64 = 0x0000_F70A_2017;
 
 fn scaled(count: usize, object_scale: f64) -> usize {
     ((count as f64 * object_scale).round() as usize).max(10)
@@ -61,10 +61,10 @@ pub fn fig4_vary_workers(object_scale: f64, opts: &SuiteOptions) -> SweepReport 
         .iter()
         .map(|&w| {
             let base = default_synthetic(object_scale);
-            (
-                w.to_string(),
-                move || SyntheticConfig { num_workers: scaled(w, object_scale), ..base.clone() },
-            )
+            (w.to_string(), move || SyntheticConfig {
+                num_workers: scaled(w, object_scale),
+                ..base.clone()
+            })
         })
         .collect();
     sweep_synthetic("Figure 4(a,e,i): varying |W|", "|W|", &values, opts)
@@ -76,10 +76,10 @@ pub fn fig4_vary_tasks(object_scale: f64, opts: &SuiteOptions) -> SweepReport {
         .iter()
         .map(|&r| {
             let base = default_synthetic(object_scale);
-            (
-                r.to_string(),
-                move || SyntheticConfig { num_tasks: scaled(r, object_scale), ..base.clone() },
-            )
+            (r.to_string(), move || SyntheticConfig {
+                num_tasks: scaled(r, object_scale),
+                ..base.clone()
+            })
         })
         .collect();
     sweep_synthetic("Figure 4(b,f,j): varying |R|", "|R|", &values, opts)
@@ -115,18 +115,15 @@ pub fn fig5_vary_slots(object_scale: f64, opts: &SuiteOptions) -> SweepReport {
         .iter()
         .map(|&t| {
             let base = default_synthetic(object_scale);
-            (
-                t.to_string(),
-                move || SyntheticConfig {
-                    num_slots: t,
-                    // Keep the horizon (12 h) and physical velocity fixed as in
-                    // the paper: one slot is 720/t minutes, velocity stays
-                    // 1/3 unit per minute, deadlines stay 2 slots.
-                    slot_minutes: 720.0 / t as f64,
-                    velocity_units_per_slot: 5.0 * (48.0 / t as f64),
-                    ..base.clone()
-                },
-            )
+            (t.to_string(), move || SyntheticConfig {
+                num_slots: t,
+                // Keep the horizon (12 h) and physical velocity fixed as in
+                // the paper: one slot is 720/t minutes, velocity stays
+                // 1/3 unit per minute, deadlines stay 2 slots.
+                slot_minutes: 720.0 / t as f64,
+                velocity_units_per_slot: 5.0 * (48.0 / t as f64),
+                ..base.clone()
+            })
         })
         .collect();
     sweep_synthetic("Figure 5(a,e,i): varying the number of time slots", "slots", &values, opts)
@@ -143,14 +140,11 @@ pub fn fig5_scalability(object_scale: f64, opts: &SuiteOptions) -> SweepReport {
         .iter()
         .map(|&n| {
             let base = default_synthetic(object_scale);
-            (
-                n.to_string(),
-                move || SyntheticConfig {
-                    num_workers: scaled(n, object_scale),
-                    num_tasks: scaled(n, object_scale),
-                    ..base.clone()
-                },
-            )
+            (n.to_string(), move || SyntheticConfig {
+                num_workers: scaled(n, object_scale),
+                num_tasks: scaled(n, object_scale),
+                ..base.clone()
+            })
         })
         .collect();
     sweep_synthetic("Figure 5(b,f,j): scalability test", "|W| = |R|", &values, &opts)
@@ -229,19 +223,16 @@ pub fn fig6_vary_distribution(
         .iter()
         .map(|&v| {
             let base = default_synthetic(object_scale);
-            (
-                format!("{v}"),
-                move || {
-                    let mut tasks = DistributionParams::tasks_default();
-                    match param {
-                        Fig6Parameter::TemporalMu => tasks.temporal_mu = v,
-                        Fig6Parameter::TemporalSigma => tasks.temporal_sigma = v,
-                        Fig6Parameter::SpatialMean => tasks.spatial_mean = v,
-                        Fig6Parameter::SpatialCov => tasks.spatial_cov = v,
-                    }
-                    SyntheticConfig { tasks, ..base.clone() }
-                },
-            )
+            (format!("{v}"), move || {
+                let mut tasks = DistributionParams::tasks_default();
+                match param {
+                    Fig6Parameter::TemporalMu => tasks.temporal_mu = v,
+                    Fig6Parameter::TemporalSigma => tasks.temporal_sigma = v,
+                    Fig6Parameter::SpatialMean => tasks.spatial_mean = v,
+                    Fig6Parameter::SpatialCov => tasks.spatial_cov = v,
+                }
+                SyntheticConfig { tasks, ..base.clone() }
+            })
         })
         .collect();
     sweep_synthetic(
@@ -260,8 +251,7 @@ pub fn ablation_prediction_noise(
     noise_levels: &[f64],
     opts: &SuiteOptions,
 ) -> SweepReport {
-    let mut report =
-        SweepReport::new("Ablation: prediction noise sensitivity", "noise");
+    let mut report = SweepReport::new("Ablation: prediction noise sensitivity", "noise");
     let base: Scenario =
         default_synthetic(object_scale).generate(BASE_SEED + 991).with_perfect_prediction();
     for (i, &noise) in noise_levels.iter().enumerate() {
@@ -295,11 +285,15 @@ pub fn ablation_guide_objective(object_scale: f64, opts: &SuiteOptions) -> Sweep
             objective,
             GuideEngine::Dinic,
         );
-        let polar = Polar { objective, strict_feasibility: opts.strict_feasibility, ..Polar::default() }
-            .run_with_guide(&instance, &guide);
-        let polar_op =
-            PolarOp { objective, strict_feasibility: opts.strict_feasibility, ..PolarOp::default() }
+        let polar =
+            Polar { objective, strict_feasibility: opts.strict_feasibility, ..Polar::default() }
                 .run_with_guide(&instance, &guide);
+        let polar_op = PolarOp {
+            objective,
+            strict_feasibility: opts.strict_feasibility,
+            ..PolarOp::default()
+        }
+        .run_with_guide(&instance, &guide);
         report.record(label, &[polar, polar_op]);
     }
     report
@@ -367,8 +361,7 @@ mod tests {
 
     #[test]
     fn noise_ablation_degrades_or_preserves_polar_matchings() {
-        let report =
-            ablation_prediction_noise(0.01, &[0.0, 1.0], &tiny_opts());
+        let report = ablation_prediction_noise(0.01, &[0.0, 1.0], &tiny_opts());
         assert_eq!(report.len(), 2);
         let polar_op = report.series("POLAR-OP", "matching size").unwrap();
         // With heavy noise POLAR-OP should not get *better* than with the

@@ -148,6 +148,7 @@ mod tests {
             preprocessing: Duration::ZERO,
             runtime: Duration::from_millis(10 * (size as u64 + 1)),
             memory_bytes: 1024 * 1024,
+            stats: ftoa_core::EngineStats::default(),
         }
     }
 

@@ -1,9 +1,14 @@
 //! Running the full algorithm suite on one scenario.
+//!
+//! Every algorithm is driven through the shared
+//! [`ftoa_core::SimulationEngine`]; [`SuiteOptions::index_backend`] selects
+//! the candidate-index backend (linear-scan reference vs. grid index) for
+//! the whole suite.
 
 use ftoa_core::algorithms::OptMode;
 use ftoa_core::{
-    AlgorithmResult, BatchGreedy, Instance, OfflineGuide, OnlineAlgorithm, Opt, Polar, PolarOp,
-    SimpleGreedy,
+    AlgorithmResult, BatchGreedy, IndexBackend, Instance, OfflineGuide, Opt, Polar, PolarOp,
+    SimpleGreedy, SimulationEngine,
 };
 use std::time::Instant;
 use workload::Scenario;
@@ -19,6 +24,8 @@ pub struct SuiteOptions {
     pub gr_window_minutes: f64,
     /// Verify physical feasibility when POLAR / POLAR-OP commit assignments.
     pub strict_feasibility: bool,
+    /// Candidate-index backend used by the simulation engine.
+    pub index_backend: IndexBackend,
 }
 
 impl Default for SuiteOptions {
@@ -28,6 +35,7 @@ impl Default for SuiteOptions {
             opt_mode: OptMode::Exact,
             gr_window_minutes: 3.0,
             strict_feasibility: true,
+            index_backend: IndexBackend::Grid,
         }
     }
 }
@@ -38,6 +46,11 @@ impl SuiteOptions {
     /// in memory (the paper likewise omits OPT's time/memory at this scale).
     pub fn scalability() -> Self {
         Self { opt_mode: OptMode::TypeAggregated, ..Self::default() }
+    }
+
+    /// The same options with a different candidate-index backend.
+    pub fn with_backend(self, index_backend: IndexBackend) -> Self {
+        Self { index_backend, ..self }
     }
 }
 
@@ -53,10 +66,13 @@ pub fn run_suite(scenario: &Scenario, opts: &SuiteOptions) -> Vec<AlgorithmResul
         &scenario.predicted_workers,
         &scenario.predicted_tasks,
     );
+    let engine = SimulationEngine::new(opts.index_backend);
     let mut results = Vec::new();
 
-    results.push(SimpleGreedy.run(&instance));
-    results.push(BatchGreedy { window_minutes: opts.gr_window_minutes }.run(&instance));
+    results.push(engine.run(&instance, &mut SimpleGreedy.policy()));
+    results.push(
+        engine.run(&instance, &mut BatchGreedy { window_minutes: opts.gr_window_minutes }.policy()),
+    );
 
     let guide_start = Instant::now();
     let guide = OfflineGuide::build(
@@ -67,17 +83,17 @@ pub fn run_suite(scenario: &Scenario, opts: &SuiteOptions) -> Vec<AlgorithmResul
     let preprocessing = guide_start.elapsed();
 
     let polar = Polar { strict_feasibility: opts.strict_feasibility, ..Polar::default() };
-    let mut polar_result = polar.run_with_guide(&instance, &guide);
+    let mut polar_result = engine.run(&instance, &mut polar.policy(&instance, &guide));
     polar_result.preprocessing = preprocessing;
     results.push(polar_result);
 
     let polar_op = PolarOp { strict_feasibility: opts.strict_feasibility, ..PolarOp::default() };
-    let mut polar_op_result = polar_op.run_with_guide(&instance, &guide);
+    let mut polar_op_result = engine.run(&instance, &mut polar_op.policy(&instance, &guide));
     polar_op_result.preprocessing = preprocessing;
     results.push(polar_op_result);
 
     if opts.include_opt {
-        results.push(Opt { mode: opts.opt_mode }.run(&instance));
+        results.push(engine.run(&instance, &mut Opt { mode: opts.opt_mode }.policy()));
     }
     results
 }
@@ -129,6 +145,26 @@ mod tests {
         let polar = results.iter().find(|r| r.algorithm == "POLAR").unwrap().matching_size();
         let polar_op = results.iter().find(|r| r.algorithm == "POLAR-OP").unwrap().matching_size();
         assert!(polar_op >= polar);
+    }
+
+    #[test]
+    fn index_backends_agree_on_every_matching_size() {
+        let scenario = small_scenario();
+        let grid = run_suite(&scenario, &SuiteOptions::default());
+        let linear =
+            run_suite(&scenario, &SuiteOptions::default().with_backend(IndexBackend::LinearScan));
+        for (g, l) in grid.iter().zip(&linear) {
+            assert_eq!(g.algorithm, l.algorithm);
+            assert_eq!(
+                g.matching_size(),
+                l.matching_size(),
+                "{} disagrees between index backends",
+                g.algorithm
+            );
+        }
+        // The grid index must prune: strictly fewer candidates examined on
+        // the index-driven algorithms (SimpleGreedy here).
+        assert!(grid[0].stats.candidates_examined < linear[0].stats.candidates_examined);
     }
 
     #[test]

@@ -180,11 +180,8 @@ impl BipartiteGraph {
             ml.iter().map(|&r| if r == usize::MAX { None } else { Some(r) }).collect();
         let right_to_left: Vec<Option<usize>> =
             mr.iter().map(|&l| if l == usize::MAX { None } else { Some(l) }).collect();
-        let pairs: Vec<(usize, usize)> = left_to_right
-            .iter()
-            .enumerate()
-            .filter_map(|(l, r)| r.map(|r| (l, r)))
-            .collect();
+        let pairs: Vec<(usize, usize)> =
+            left_to_right.iter().enumerate().filter_map(|(l, r)| r.map(|r| (l, r))).collect();
         Matching { pairs, left_to_right, right_to_left, total_cost: 0 }
     }
 

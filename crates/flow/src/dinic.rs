@@ -71,8 +71,7 @@ fn dfs_augment(
     loop {
         if current == sink {
             // Found a path; compute bottleneck and push.
-            let bottleneck =
-                path.iter().map(|&e| net.residual_capacity(e)).min().unwrap_or(0);
+            let bottleneck = path.iter().map(|&e| net.residual_capacity(e)).min().unwrap_or(0);
             for &e in &path {
                 net.push(e, bottleneck);
             }

@@ -39,7 +39,13 @@ pub struct McmfNetwork {
 impl McmfNetwork {
     /// Create a network with `n` nodes.
     pub fn with_nodes(n: usize) -> Self {
-        Self { to: vec![], cap: vec![], cost: vec![], adj: vec![Vec::new(); n], forward_arcs: vec![] }
+        Self {
+            to: vec![],
+            cap: vec![],
+            cost: vec![],
+            adj: vec![Vec::new(); n],
+            forward_arcs: vec![],
+        }
     }
 
     /// Number of nodes.

@@ -88,7 +88,7 @@ impl FlowNetwork {
 
     /// The flow currently routed through a forward edge.
     pub fn flow_on(&self, e: EdgeId) -> i64 {
-        debug_assert!(e % 2 == 0, "flow_on expects a forward edge id");
+        debug_assert!(e.is_multiple_of(2), "flow_on expects a forward edge id");
         self.original_cap[e] - self.edges[e].cap
     }
 

@@ -5,14 +5,20 @@
 //! that are available at that moment (workers still on the platform, tasks
 //! not yet expired), under the wait-in-place feasibility model. Objects left
 //! unmatched stay available for later windows until they expire.
+//!
+//! The window pools are the engine's candidate indexes, so the feasibility
+//! graph of each batch is built from per-task *reachable disk* range queries
+//! instead of scanning every worker×task pair: a worker can reach task `r`
+//! departing at the batch instant `t` iff it lies within
+//! `velocity · (deadline_r − t)` of `L_r`.
 
 use crate::algorithms::OnlineAlgorithm;
+use crate::engine::{EngineContext, OnlinePolicy, SimulationEngine};
 use crate::instance::Instance;
-use crate::memory::{vec_bytes, MemoryTracker};
+use crate::memory::vec_bytes;
 use crate::result::AlgorithmResult;
 use flow::BipartiteGraph;
-use ftoa_types::{Assignment, AssignmentSet, Event, Task, TimeDelta, TimeStamp, Worker};
-use std::time::Instant;
+use ftoa_types::{Task, TimeDelta, TimeStamp, Worker};
 
 /// The GR baseline.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -30,102 +36,141 @@ impl Default for BatchGreedy {
     }
 }
 
+impl BatchGreedy {
+    /// The incremental policy implementing GR on the engine.
+    pub fn policy(&self) -> BatchPolicy {
+        BatchPolicy { window: TimeDelta::minutes(self.window_minutes.max(1e-6)), window_end: None }
+    }
+}
+
+/// Per-event batching logic of GR.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchPolicy {
+    window: TimeDelta,
+    /// End of the currently open window (`None` until the first arrival).
+    window_end: Option<TimeStamp>,
+}
+
+impl BatchPolicy {
+    /// Process every window that closed before `now`.
+    fn catch_up(&mut self, ctx: &mut EngineContext<'_>, now: TimeStamp) {
+        let mut window_end = match self.window_end {
+            Some(t) => t,
+            None => {
+                self.window_end = Some(now + self.window);
+                return;
+            }
+        };
+        while now >= window_end {
+            flush(ctx, window_end);
+            window_end += self.window;
+        }
+        self.window_end = Some(window_end);
+    }
+}
+
+impl OnlinePolicy for BatchPolicy {
+    fn name(&self) -> &'static str {
+        "GR"
+    }
+
+    fn on_worker_arrival(&mut self, ctx: &mut EngineContext<'_>, w: &Worker) {
+        self.catch_up(ctx, ctx.now());
+        ctx.admit_worker(w);
+    }
+
+    fn on_task_arrival(&mut self, ctx: &mut EngineContext<'_>, r: &Task) {
+        self.catch_up(ctx, ctx.now());
+        ctx.admit_task(r);
+    }
+
+    fn on_finish(&mut self, ctx: &mut EngineContext<'_>) {
+        if let Some(window_end) = self.window_end {
+            flush(ctx, window_end);
+        }
+    }
+
+    fn expiry_cutoff(&self, now: TimeStamp) -> TimeStamp {
+        // Objects that were alive at the pending batch boundary must stay
+        // visible to its flush even if their deadline passes before the
+        // event that triggers it.
+        self.window_end.unwrap_or(now)
+    }
+}
+
+/// Compute and commit the maximum wait-in-place matching among the objects
+/// available at the batch instant `t`.
+///
+/// Node and edge order reproduce the pre-refactor loop exactly (objects in
+/// arrival order, edges worker-major), so the committed pairs — not just the
+/// matching size — are identical to the historical behaviour regardless of
+/// the index backend.
+fn flush(ctx: &mut EngineContext<'_>, t: TimeStamp) {
+    let velocity = ctx.velocity();
+    let mut workers: Vec<Worker> = Vec::new();
+    ctx.idle_workers().for_each(&mut |w| {
+        if w.deadline() >= t {
+            workers.push(*w);
+        }
+    });
+    if workers.is_empty() {
+        return;
+    }
+    let mut tasks: Vec<Task> = Vec::new();
+    ctx.pending_tasks().for_each(&mut |r| {
+        if r.deadline() >= t {
+            tasks.push(*r);
+        }
+    });
+    if tasks.is_empty() {
+        return;
+    }
+    // Arrival order (the event stream breaks time ties by id).
+    workers.sort_by(|a, b| a.start.cmp(&b.start).then(a.id.cmp(&b.id)));
+    tasks.sort_by(|a, b| a.release.cmp(&b.release).then(a.id.cmp(&b.id)));
+
+    // Feasibility graph at the batch time: every pooled object arrived
+    // before `t`, so a worker departs at `t` and must reach `L_r` by the
+    // task deadline — i.e. lie inside the task's reachable disk at `t`.
+    // The range query prunes the candidate pairs; the exact travel-time
+    // check below keeps the edge set identical to the full double loop.
+    let worker_slot: std::collections::HashMap<usize, usize> =
+        workers.iter().enumerate().map(|(wi, w)| (w.id.index(), wi)).collect();
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for (ri, r) in tasks.iter().enumerate() {
+        let radius = r.reach_radius_at(t, velocity);
+        let location = r.location;
+        let deadline = r.deadline();
+        ctx.idle_workers().for_each_within(&location, radius, &mut |w| {
+            if let Some(&wi) = worker_slot.get(&w.id.index()) {
+                if t + w.location.travel_time(&location, velocity) <= deadline {
+                    edges.push((wi, ri));
+                }
+            }
+        });
+    }
+    edges.sort_unstable();
+    let mut graph = BipartiteGraph::new(workers.len(), tasks.len());
+    for &(wi, ri) in &edges {
+        graph.add_edge(wi, ri);
+    }
+    ctx.memory_mut().allocate(vec_bytes::<(usize, usize)>(edges.len()));
+    let matching = graph.max_matching();
+    for &(wi, ri) in &matching.pairs {
+        let worker_id = workers[wi].id;
+        let task_id = tasks[ri].id;
+        ctx.assign_at(worker_id, task_id, t);
+    }
+    ctx.memory_mut().release(vec_bytes::<(usize, usize)>(edges.len()));
+}
+
 impl OnlineAlgorithm for BatchGreedy {
     fn name(&self) -> &'static str {
         "GR"
     }
 
     fn run(&self, instance: &Instance<'_>) -> AlgorithmResult {
-        let start = Instant::now();
-        let velocity = instance.config.velocity;
-        let window = TimeDelta::minutes(self.window_minutes.max(1e-6));
-        let mut assignments =
-            AssignmentSet::with_capacity(instance.num_workers().min(instance.num_tasks()));
-        let mut memory = MemoryTracker::new();
-
-        let mut available_workers: Vec<Worker> = Vec::new();
-        let mut pending_tasks: Vec<Task> = Vec::new();
-        let mut window_end = match instance.stream.events().first() {
-            Some(e) => e.time() + window,
-            None => TimeStamp::ZERO,
-        };
-
-        let flush = |now: TimeStamp,
-                         available_workers: &mut Vec<Worker>,
-                         pending_tasks: &mut Vec<Task>,
-                         assignments: &mut AssignmentSet,
-                         memory: &mut MemoryTracker| {
-            // Drop expired objects.
-            available_workers.retain(|w| w.deadline() >= now);
-            pending_tasks.retain(|r| r.deadline() >= now);
-            if available_workers.is_empty() || pending_tasks.is_empty() {
-                return;
-            }
-            // Build the wait-in-place feasibility graph at the batch time.
-            let mut graph = BipartiteGraph::new(available_workers.len(), pending_tasks.len());
-            for (wi, w) in available_workers.iter().enumerate() {
-                for (ri, r) in pending_tasks.iter().enumerate() {
-                    let depart = now.max(r.release);
-                    if depart + w.location.travel_time(&r.location, velocity) <= r.deadline() {
-                        graph.add_edge(wi, ri);
-                    }
-                }
-            }
-            memory.allocate(vec_bytes::<(usize, usize)>(graph.num_edges()));
-            let matching = graph.max_matching();
-            // Commit the matched pairs and remove them from the pools.
-            let mut matched_workers = vec![false; available_workers.len()];
-            let mut matched_tasks = vec![false; pending_tasks.len()];
-            for &(wi, ri) in &matching.pairs {
-                assignments
-                    .push(Assignment::new(available_workers[wi].id, pending_tasks[ri].id, now))
-                    .expect("batch matching is a matching");
-                matched_workers[wi] = true;
-                matched_tasks[ri] = true;
-            }
-            memory.release(vec_bytes::<(usize, usize)>(graph.num_edges()));
-            let mut wi = 0;
-            available_workers.retain(|_| {
-                let keep = !matched_workers[wi];
-                wi += 1;
-                keep
-            });
-            let mut ri = 0;
-            pending_tasks.retain(|_| {
-                let keep = !matched_tasks[ri];
-                ri += 1;
-                keep
-            });
-        };
-
-        for event in instance.stream.iter() {
-            let now = event.time();
-            // Process any windows that ended before this event.
-            while now >= window_end {
-                flush(window_end, &mut available_workers, &mut pending_tasks, &mut assignments, &mut memory);
-                window_end = window_end + window;
-            }
-            match event {
-                Event::WorkerArrival(w) => {
-                    available_workers.push(*w);
-                    memory.allocate(vec_bytes::<Worker>(1));
-                }
-                Event::TaskArrival(r) => {
-                    pending_tasks.push(*r);
-                    memory.allocate(vec_bytes::<Task>(1));
-                }
-            }
-        }
-        // Final flush for the last window.
-        flush(window_end, &mut available_workers, &mut pending_tasks, &mut assignments, &mut memory);
-
-        AlgorithmResult {
-            algorithm: self.name().to_string(),
-            assignments,
-            preprocessing: std::time::Duration::ZERO,
-            runtime: start.elapsed(),
-            memory_bytes: memory.peak_with_overhead(),
-        }
+        SimulationEngine::default().run(instance, &mut self.policy())
     }
 }
 
@@ -133,6 +178,7 @@ impl OnlineAlgorithm for BatchGreedy {
 mod tests {
     use super::*;
     use crate::algorithms::example1;
+    use crate::engine::IndexBackend;
     use crate::instance::Instance;
 
     fn run_example(window: f64) -> AlgorithmResult {
@@ -183,6 +229,24 @@ mod tests {
     }
 
     #[test]
+    fn both_index_backends_match_the_same_number_of_pairs() {
+        let config = example1::config();
+        let stream = example1::stream();
+        let (pw, pt) = example1::prediction(&config, &stream);
+        let instance = Instance::new(&config, &stream, &pw, &pt);
+        for window in [0.5, 1.0, 3.0] {
+            let gr = BatchGreedy { window_minutes: window };
+            let linear = SimulationEngine::new(IndexBackend::LinearScan)
+                .run(&instance, &mut gr.policy())
+                .matching_size();
+            let grid = SimulationEngine::new(IndexBackend::Grid)
+                .run(&instance, &mut gr.policy())
+                .matching_size();
+            assert_eq!(linear, grid, "window {window}");
+        }
+    }
+
+    #[test]
     fn batch_matching_can_beat_pure_greedy_ordering() {
         use ftoa_types::{Location, Task, TaskId, TimeDelta, TimeStamp, Worker, WorkerId};
         // Two tasks and two workers arriving within one window, where the
@@ -190,12 +254,32 @@ mod tests {
         // w0 is close to both tasks, w1 can only serve r0.
         let config = example1::config();
         let workers = vec![
-            Worker::new(WorkerId(0), Location::new(4.0, 4.0), TimeStamp::minutes(0.0), TimeDelta::minutes(30.0)),
-            Worker::new(WorkerId(1), Location::new(4.0, 6.0), TimeStamp::minutes(0.0), TimeDelta::minutes(30.0)),
+            Worker::new(
+                WorkerId(0),
+                Location::new(4.0, 4.0),
+                TimeStamp::minutes(0.0),
+                TimeDelta::minutes(30.0),
+            ),
+            Worker::new(
+                WorkerId(1),
+                Location::new(4.0, 6.0),
+                TimeStamp::minutes(0.0),
+                TimeDelta::minutes(30.0),
+            ),
         ];
         let tasks = vec![
-            Task::new(TaskId(0), Location::new(4.0, 5.0), TimeStamp::minutes(0.2), TimeDelta::minutes(2.0)),
-            Task::new(TaskId(1), Location::new(4.0, 3.2), TimeStamp::minutes(0.3), TimeDelta::minutes(2.0)),
+            Task::new(
+                TaskId(0),
+                Location::new(4.0, 5.0),
+                TimeStamp::minutes(0.2),
+                TimeDelta::minutes(2.0),
+            ),
+            Task::new(
+                TaskId(1),
+                Location::new(4.0, 3.2),
+                TimeStamp::minutes(0.3),
+                TimeDelta::minutes(2.0),
+            ),
         ];
         let stream = ftoa_types::EventStream::new(workers, tasks);
         let (pw, pt) = example1::prediction(&config, &stream);

@@ -33,7 +33,7 @@ pub trait OnlineAlgorithm {
 /// in the order the paper's legends use.
 pub fn default_algorithm_suite() -> Vec<Box<dyn OnlineAlgorithm>> {
     vec![
-        Box::new(SimpleGreedy::default()),
+        Box::new(SimpleGreedy),
         Box::new(BatchGreedy::default()),
         Box::new(Polar::default()),
         Box::new(PolarOp::default()),

@@ -7,7 +7,9 @@
 //! guide and its partner node is already occupied, the two real objects are
 //! assigned to each other; otherwise a worker is dispatched towards the area
 //! of its partner node (to be ready for the predicted future task) and a task
-//! simply waits until its deadline. Each arrival is processed in `O(1)` time.
+//! simply waits until its deadline. Each arrival is processed in `O(1)` time,
+//! so [`PolarPolicy`] never queries the engine's candidate indexes — the
+//! guide *is* its index.
 //!
 //! The theoretical analysis (Lemmas 1–2) assumes every guide-matched pair is
 //! feasible in reality. By default this implementation *verifies* real
@@ -18,12 +20,13 @@
 //! accounting of the analysis.
 
 use crate::algorithms::OnlineAlgorithm;
+use crate::engine::{EngineContext, OnlinePolicy, SimulationEngine};
 use crate::guide::{GuideEngine, GuideObjective, OfflineGuide};
 use crate::instance::Instance;
-use crate::memory::{map_bytes, vec_bytes, MemoryTracker};
+use crate::memory::{map_bytes, vec_bytes};
 use crate::movement::WorkerPlan;
 use crate::result::AlgorithmResult;
-use ftoa_types::{Assignment, AssignmentSet, Event, Task, TimeStamp, TypeKey, Worker};
+use ftoa_types::{Task, TimeStamp, TypeKey, Worker};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -49,131 +52,137 @@ impl Default for Polar {
 }
 
 impl Polar {
+    /// The incremental policy implementing POLAR against a pre-built guide.
+    pub fn policy<'g>(&self, instance: &Instance<'_>, guide: &'g OfflineGuide) -> PolarPolicy<'g> {
+        PolarPolicy {
+            strict_feasibility: self.strict_feasibility,
+            guide,
+            worker_occupant: vec![None; guide.num_worker_nodes()],
+            task_occupant: vec![None; guide.num_task_nodes()],
+            cursor_w: HashMap::new(),
+            cursor_r: HashMap::new(),
+            plans: vec![None; instance.stream.num_workers()],
+        }
+    }
+
     /// Run POLAR against a pre-built offline guide (lets callers share one
     /// guide between POLAR and POLAR-OP; the paper excludes guide
     /// construction from the online running time).
     pub fn run_with_guide(&self, instance: &Instance<'_>, guide: &OfflineGuide) -> AlgorithmResult {
-        let start = Instant::now();
-        let config = instance.config;
-        let velocity = config.velocity;
-        let stream = instance.stream;
-
-        let mut worker_occupant: Vec<Option<usize>> = vec![None; guide.num_worker_nodes()];
-        let mut task_occupant: Vec<Option<usize>> = vec![None; guide.num_task_nodes()];
-        let mut cursor_w: HashMap<TypeKey, usize> = HashMap::new();
-        let mut cursor_r: HashMap<TypeKey, usize> = HashMap::new();
-        let mut plans: Vec<Option<WorkerPlan>> = vec![None; stream.num_workers()];
-        let mut assignments =
-            AssignmentSet::with_capacity(guide.matching_size().min(stream.num_tasks()));
-
-        for event in stream.iter() {
-            let now = event.time();
-            match event {
-                Event::WorkerArrival(w) => {
-                    let key = object_key(config, now, &w.location);
-                    let nodes = guide.worker_nodes_of_type(key);
-                    let cur = cursor_w.entry(key).or_insert(0);
-                    if *cur >= nodes.len() {
-                        // Prediction under-estimated this type: the worker is
-                        // ignored by POLAR (Algorithm 2, line 3 comment).
-                        continue;
-                    }
-                    let node = nodes[*cur];
-                    *cur += 1;
-                    worker_occupant[node] = Some(w.id.index());
-                    match guide.worker_nodes()[node].partner {
-                        None => {
-                            plans[w.id.index()] = Some(WorkerPlan::wait(w));
-                        }
-                        Some(r_node) => {
-                            if let Some(task_idx) = task_occupant[r_node] {
-                                // The predicted task has already arrived and
-                                // is waiting: assign immediately.
-                                let plan = WorkerPlan::wait(w);
-                                plans[w.id.index()] = Some(plan);
-                                self.try_assign(
-                                    &mut assignments,
-                                    w,
-                                    &plan,
-                                    &stream.tasks()[task_idx],
-                                    now,
-                                    velocity,
-                                );
-                            } else {
-                                // Dispatch the worker to the area of the
-                                // predicted partner task.
-                                let target_key = guide.task_nodes()[r_node].key;
-                                let target = config.grid.cell_center(target_key.cell);
-                                plans[w.id.index()] =
-                                    Some(WorkerPlan::move_to(w, target, w.start, velocity));
-                            }
-                        }
-                    }
-                }
-                Event::TaskArrival(r) => {
-                    let key = object_key(config, now, &r.location);
-                    let nodes = guide.task_nodes_of_type(key);
-                    let cur = cursor_r.entry(key).or_insert(0);
-                    if *cur >= nodes.len() {
-                        continue;
-                    }
-                    let node = nodes[*cur];
-                    *cur += 1;
-                    task_occupant[node] = Some(r.id.index());
-                    if let Some(w_node) = guide.task_nodes()[node].partner {
-                        if let Some(worker_idx) = worker_occupant[w_node] {
-                            let worker = &stream.workers()[worker_idx];
-                            if let Some(plan) = plans[worker_idx] {
-                                self.try_assign(
-                                    &mut assignments,
-                                    worker,
-                                    &plan,
-                                    r,
-                                    now,
-                                    velocity,
-                                );
-                            }
-                        }
-                    }
-                    // Otherwise the task waits until its deadline (line 13).
-                }
-            }
-        }
-
-        let mut memory = MemoryTracker::with_baseline(guide.memory_bytes());
-        memory.allocate(
-            vec_bytes::<Option<usize>>(worker_occupant.len() + task_occupant.len())
-                + vec_bytes::<Option<WorkerPlan>>(plans.len())
-                + map_bytes::<TypeKey, usize>(cursor_w.len() + cursor_r.len()),
-        );
-        AlgorithmResult {
-            algorithm: self.name().to_string(),
-            assignments,
-            preprocessing: std::time::Duration::ZERO,
-            runtime: start.elapsed(),
-            memory_bytes: memory.peak_with_overhead(),
-        }
+        SimulationEngine::default().run(instance, &mut self.policy(instance, guide))
     }
+}
 
+/// Per-event decision logic of POLAR.
+pub struct PolarPolicy<'g> {
+    strict_feasibility: bool,
+    guide: &'g OfflineGuide,
+    worker_occupant: Vec<Option<usize>>,
+    task_occupant: Vec<Option<usize>>,
+    cursor_w: HashMap<TypeKey, usize>,
+    cursor_r: HashMap<TypeKey, usize>,
+    plans: Vec<Option<WorkerPlan>>,
+}
+
+impl PolarPolicy<'_> {
     fn try_assign(
         &self,
-        assignments: &mut AssignmentSet,
+        ctx: &mut EngineContext<'_>,
         worker: &Worker,
         plan: &WorkerPlan,
         task: &Task,
         now: TimeStamp,
-        velocity: f64,
     ) {
-        if assignments.worker_matched(worker.id) || assignments.task_matched(task.id) {
+        if ctx.assignments().worker_matched(worker.id) || ctx.assignments().task_matched(task.id) {
             return;
         }
         let feasible = !self.strict_feasibility
-            || plan.can_reach(now, worker.deadline(), &task.location, task.deadline(), velocity);
+            || plan.can_reach(
+                now,
+                worker.deadline(),
+                &task.location,
+                task.deadline(),
+                ctx.velocity(),
+            );
         if feasible {
-            assignments
-                .push(Assignment::new(worker.id, task.id, now))
-                .expect("occupancy guarantees at most one partner per object");
+            ctx.assign(worker.id, task.id);
         }
+    }
+}
+
+impl OnlinePolicy for PolarPolicy<'_> {
+    fn name(&self) -> &'static str {
+        "POLAR"
+    }
+
+    fn on_worker_arrival(&mut self, ctx: &mut EngineContext<'_>, w: &Worker) {
+        let now = ctx.now();
+        let key = object_key(ctx.config, now, &w.location);
+        let nodes = self.guide.worker_nodes_of_type(key);
+        let cur = self.cursor_w.entry(key).or_insert(0);
+        if *cur >= nodes.len() {
+            // Prediction under-estimated this type: the worker is ignored by
+            // POLAR (Algorithm 2, line 3 comment).
+            return;
+        }
+        let node = nodes[*cur];
+        *cur += 1;
+        self.worker_occupant[node] = Some(w.id.index());
+        match self.guide.worker_nodes()[node].partner {
+            None => {
+                self.plans[w.id.index()] = Some(WorkerPlan::wait(w));
+            }
+            Some(r_node) => {
+                if let Some(task_idx) = self.task_occupant[r_node] {
+                    // The predicted task has already arrived and is waiting:
+                    // assign immediately.
+                    let plan = WorkerPlan::wait(w);
+                    self.plans[w.id.index()] = Some(plan);
+                    let task = ctx.stream.tasks()[task_idx];
+                    self.try_assign(ctx, w, &plan, &task, now);
+                } else {
+                    // Dispatch the worker to the area of the predicted
+                    // partner task.
+                    let target_key = self.guide.task_nodes()[r_node].key;
+                    let target = ctx.config.grid.cell_center(target_key.cell);
+                    self.plans[w.id.index()] =
+                        Some(WorkerPlan::move_to(w, target, w.start, ctx.velocity()));
+                }
+            }
+        }
+    }
+
+    fn on_task_arrival(&mut self, ctx: &mut EngineContext<'_>, r: &Task) {
+        let now = ctx.now();
+        let key = object_key(ctx.config, now, &r.location);
+        let nodes = self.guide.task_nodes_of_type(key);
+        let cur = self.cursor_r.entry(key).or_insert(0);
+        if *cur >= nodes.len() {
+            return;
+        }
+        let node = nodes[*cur];
+        *cur += 1;
+        self.task_occupant[node] = Some(r.id.index());
+        if let Some(w_node) = self.guide.task_nodes()[node].partner {
+            if let Some(worker_idx) = self.worker_occupant[w_node] {
+                let worker = ctx.stream.workers()[worker_idx];
+                if let Some(plan) = self.plans[worker_idx] {
+                    self.try_assign(ctx, &worker, &plan, r, now);
+                }
+            }
+        }
+        // Otherwise the task waits until its deadline (line 13).
+    }
+
+    fn on_finish(&mut self, ctx: &mut EngineContext<'_>) {
+        // POLAR's own structures dominate its footprint (it never pools
+        // objects in the engine's candidate indexes).
+        ctx.memory_mut().allocate(
+            self.guide.memory_bytes()
+                + vec_bytes::<Option<usize>>(self.worker_occupant.len() + self.task_occupant.len())
+                + vec_bytes::<Option<WorkerPlan>>(self.plans.len())
+                + map_bytes::<TypeKey, usize>(self.cursor_w.len() + self.cursor_r.len()),
+        );
     }
 }
 
@@ -251,9 +260,8 @@ mod tests {
         let (pw, pt) = example1::prediction(&config, &stream);
         let instance = Instance::new(&config, &stream, &pw, &pt);
         let strict = Polar::default().run(&instance).matching_size();
-        let ideal = Polar { strict_feasibility: false, ..Polar::default() }
-            .run(&instance)
-            .matching_size();
+        let ideal =
+            Polar { strict_feasibility: false, ..Polar::default() }.run(&instance).matching_size();
         assert!(ideal >= strict);
     }
 

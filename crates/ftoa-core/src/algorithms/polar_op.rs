@@ -8,16 +8,19 @@
 //! ratio from `(1 − 1/e)² ≈ 0.40` to `≈ 0.47` (Lemma 3 / Theorem 2).
 //!
 //! As in [`super::polar::Polar`], real-world feasibility is verified at
-//! assignment time by default.
+//! assignment time by default. Like POLAR, the policy is `O(1)` per arrival
+//! and never queries the engine's candidate indexes; the engine still owns
+//! stream iteration, timing and accounting.
 
 use crate::algorithms::polar::object_key;
 use crate::algorithms::OnlineAlgorithm;
+use crate::engine::{EngineContext, OnlinePolicy, SimulationEngine};
 use crate::guide::{GuideEngine, GuideObjective, OfflineGuide};
 use crate::instance::Instance;
-use crate::memory::{map_bytes, vec_bytes, MemoryTracker};
+use crate::memory::{map_bytes, vec_bytes};
 use crate::movement::WorkerPlan;
 use crate::result::AlgorithmResult;
-use ftoa_types::{Assignment, AssignmentSet, Event, TypeKey};
+use ftoa_types::{Task, TypeKey, Worker};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -43,13 +46,13 @@ impl Default for PolarOp {
 }
 
 impl PolarOp {
-    /// Run POLAR-OP against a pre-built offline guide.
-    pub fn run_with_guide(&self, instance: &Instance<'_>, guide: &OfflineGuide) -> AlgorithmResult {
-        let start = Instant::now();
-        let config = instance.config;
-        let velocity = config.velocity;
-        let stream = instance.stream;
-
+    /// The incremental policy implementing POLAR-OP against a pre-built
+    /// guide.
+    pub fn policy<'g>(
+        &self,
+        instance: &Instance<'_>,
+        guide: &'g OfflineGuide,
+    ) -> PolarOpPolicy<'g> {
         // Matched nodes per type (only nodes with a guide partner can ever
         // produce an assignment; they are reused round-robin).
         let mut matched_w_nodes: HashMap<TypeKey, Vec<usize>> = HashMap::new();
@@ -64,113 +67,141 @@ impl PolarOp {
                 matched_r_nodes.entry(n.key).or_default().push(i);
             }
         }
-        let mut rr_w: HashMap<TypeKey, usize> = HashMap::new();
-        let mut rr_r: HashMap<TypeKey, usize> = HashMap::new();
-
-        // Unmatched real objects currently associated with each node.
-        let mut waiting_workers_at: Vec<Vec<usize>> = vec![Vec::new(); guide.num_worker_nodes()];
-        let mut waiting_tasks_at: Vec<Vec<usize>> = vec![Vec::new(); guide.num_task_nodes()];
-        let mut plans: Vec<Option<WorkerPlan>> = vec![None; stream.num_workers()];
-        let mut assignments =
-            AssignmentSet::with_capacity(stream.num_workers().min(stream.num_tasks()));
-        let mut peak_waiting = 0usize;
-
-        for event in stream.iter() {
-            let now = event.time();
-            match event {
-                Event::WorkerArrival(w) => {
-                    let key = object_key(config, now, &w.location);
-                    let Some(node) = pick_node(&matched_w_nodes, &mut rr_w, key) else {
-                        // No matched node of this type exists: the worker can
-                        // never be assigned through the guide; it waits in
-                        // place (and, like in POLAR, is effectively ignored).
-                        plans[w.id.index()] = Some(WorkerPlan::wait(w));
-                        continue;
-                    };
-                    let r_node =
-                        guide.worker_nodes()[node].partner.expect("only matched nodes picked");
-                    // Any unmatched task already associated with the partner?
-                    let plan_here = WorkerPlan::wait(w);
-                    let picked = take_first_feasible(
-                        &mut waiting_tasks_at[r_node],
-                        |&task_idx| {
-                            let task = &stream.tasks()[task_idx];
-                            !assignments.task_matched(task.id)
-                                && (!self.strict_feasibility
-                                    || plan_here.can_reach(
-                                        now,
-                                        w.deadline(),
-                                        &task.location,
-                                        task.deadline(),
-                                        velocity,
-                                    ))
-                        },
-                        |&task_idx| stream.tasks()[task_idx].deadline() < now,
-                    );
-                    if let Some(task_idx) = picked {
-                        plans[w.id.index()] = Some(plan_here);
-                        assignments
-                            .push(Assignment::new(w.id, stream.tasks()[task_idx].id, now))
-                            .expect("taken tasks are unmatched");
-                    } else {
-                        // Dispatch towards the partner's area and wait there.
-                        let target_key = guide.task_nodes()[r_node].key;
-                        let target = config.grid.cell_center(target_key.cell);
-                        plans[w.id.index()] = Some(WorkerPlan::move_to(w, target, w.start, velocity));
-                        waiting_workers_at[node].push(w.id.index());
-                        peak_waiting = peak_waiting.max(total_len(&waiting_workers_at));
-                    }
-                }
-                Event::TaskArrival(r) => {
-                    let key = object_key(config, now, &r.location);
-                    let Some(node) = pick_node(&matched_r_nodes, &mut rr_r, key) else {
-                        continue;
-                    };
-                    let w_node =
-                        guide.task_nodes()[node].partner.expect("only matched nodes picked");
-                    let picked = take_first_feasible(
-                        &mut waiting_workers_at[w_node],
-                        |&worker_idx| {
-                            let worker = &stream.workers()[worker_idx];
-                            let plan = plans[worker_idx].unwrap_or(WorkerPlan::wait(worker));
-                            !assignments.worker_matched(worker.id)
-                                && (!self.strict_feasibility
-                                    || plan.can_reach(
-                                        now,
-                                        worker.deadline(),
-                                        &r.location,
-                                        r.deadline(),
-                                        velocity,
-                                    ))
-                        },
-                        |&worker_idx| stream.workers()[worker_idx].deadline() < now,
-                    );
-                    if let Some(worker_idx) = picked {
-                        assignments
-                            .push(Assignment::new(stream.workers()[worker_idx].id, r.id, now))
-                            .expect("taken workers are unmatched");
-                    } else {
-                        waiting_tasks_at[node].push(r.id.index());
-                        peak_waiting = peak_waiting.max(total_len(&waiting_tasks_at));
-                    }
-                }
-            }
+        PolarOpPolicy {
+            strict_feasibility: self.strict_feasibility,
+            guide,
+            matched_w_nodes,
+            matched_r_nodes,
+            rr_w: HashMap::new(),
+            rr_r: HashMap::new(),
+            waiting_workers_at: vec![Vec::new(); guide.num_worker_nodes()],
+            waiting_tasks_at: vec![Vec::new(); guide.num_task_nodes()],
+            plans: vec![None; instance.stream.num_workers()],
+            peak_waiting: 0,
         }
+    }
 
-        let mut memory = MemoryTracker::with_baseline(guide.memory_bytes());
-        memory.allocate(
-            vec_bytes::<Vec<usize>>(waiting_workers_at.len() + waiting_tasks_at.len())
-                + vec_bytes::<usize>(peak_waiting)
-                + vec_bytes::<Option<WorkerPlan>>(plans.len())
-                + map_bytes::<TypeKey, Vec<usize>>(matched_w_nodes.len() + matched_r_nodes.len()),
+    /// Run POLAR-OP against a pre-built offline guide.
+    pub fn run_with_guide(&self, instance: &Instance<'_>, guide: &OfflineGuide) -> AlgorithmResult {
+        SimulationEngine::default().run(instance, &mut self.policy(instance, guide))
+    }
+}
+
+/// Per-event decision logic of POLAR-OP.
+pub struct PolarOpPolicy<'g> {
+    strict_feasibility: bool,
+    guide: &'g OfflineGuide,
+    matched_w_nodes: HashMap<TypeKey, Vec<usize>>,
+    matched_r_nodes: HashMap<TypeKey, Vec<usize>>,
+    rr_w: HashMap<TypeKey, usize>,
+    rr_r: HashMap<TypeKey, usize>,
+    /// Unmatched real objects currently associated with each node.
+    waiting_workers_at: Vec<Vec<usize>>,
+    waiting_tasks_at: Vec<Vec<usize>>,
+    plans: Vec<Option<WorkerPlan>>,
+    peak_waiting: usize,
+}
+
+impl OnlinePolicy for PolarOpPolicy<'_> {
+    fn name(&self) -> &'static str {
+        "POLAR-OP"
+    }
+
+    fn on_worker_arrival(&mut self, ctx: &mut EngineContext<'_>, w: &Worker) {
+        let now = ctx.now();
+        let velocity = ctx.velocity();
+        let key = object_key(ctx.config, now, &w.location);
+        let Some(node) = pick_node(&self.matched_w_nodes, &mut self.rr_w, key) else {
+            // No matched node of this type exists: the worker can never be
+            // assigned through the guide; it waits in place (and, like in
+            // POLAR, is effectively ignored).
+            self.plans[w.id.index()] = Some(WorkerPlan::wait(w));
+            return;
+        };
+        let r_node = self.guide.worker_nodes()[node].partner.expect("only matched nodes picked");
+        // Any unmatched task already associated with the partner?
+        let plan_here = WorkerPlan::wait(w);
+        let strict = self.strict_feasibility;
+        let assignments = ctx.assignments();
+        let stream = ctx.stream;
+        let picked = take_first_feasible(
+            &mut self.waiting_tasks_at[r_node],
+            |&task_idx| {
+                let task = &stream.tasks()[task_idx];
+                !assignments.task_matched(task.id)
+                    && (!strict
+                        || plan_here.can_reach(
+                            now,
+                            w.deadline(),
+                            &task.location,
+                            task.deadline(),
+                            velocity,
+                        ))
+            },
+            |&task_idx| stream.tasks()[task_idx].deadline() < now,
         );
-        AlgorithmResult {
-            algorithm: self.name().to_string(),
-            assignments,
-            preprocessing: std::time::Duration::ZERO,
-            runtime: start.elapsed(),
-            memory_bytes: memory.peak_with_overhead(),
+        if let Some(task_idx) = picked {
+            self.plans[w.id.index()] = Some(plan_here);
+            ctx.assign(w.id, stream.tasks()[task_idx].id);
+        } else {
+            // Dispatch towards the partner's area and wait there.
+            let target_key = self.guide.task_nodes()[r_node].key;
+            let target = ctx.config.grid.cell_center(target_key.cell);
+            self.plans[w.id.index()] = Some(WorkerPlan::move_to(w, target, w.start, velocity));
+            self.waiting_workers_at[node].push(w.id.index());
+            self.peak_waiting = self.peak_waiting.max(total_len(&self.waiting_workers_at));
         }
+    }
+
+    fn on_task_arrival(&mut self, ctx: &mut EngineContext<'_>, r: &Task) {
+        let now = ctx.now();
+        let velocity = ctx.velocity();
+        let key = object_key(ctx.config, now, &r.location);
+        let Some(node) = pick_node(&self.matched_r_nodes, &mut self.rr_r, key) else {
+            return;
+        };
+        let w_node = self.guide.task_nodes()[node].partner.expect("only matched nodes picked");
+        let strict = self.strict_feasibility;
+        let assignments = ctx.assignments();
+        let stream = ctx.stream;
+        let plans = &self.plans;
+        let picked = take_first_feasible(
+            &mut self.waiting_workers_at[w_node],
+            |&worker_idx| {
+                let worker = &stream.workers()[worker_idx];
+                let plan = plans[worker_idx].unwrap_or(WorkerPlan::wait(worker));
+                !assignments.worker_matched(worker.id)
+                    && (!strict
+                        || plan.can_reach(
+                            now,
+                            worker.deadline(),
+                            &r.location,
+                            r.deadline(),
+                            velocity,
+                        ))
+            },
+            |&worker_idx| stream.workers()[worker_idx].deadline() < now,
+        );
+        if let Some(worker_idx) = picked {
+            ctx.assign(stream.workers()[worker_idx].id, r.id);
+        } else {
+            self.waiting_tasks_at[node].push(r.id.index());
+            self.peak_waiting = self.peak_waiting.max(total_len(&self.waiting_tasks_at));
+        }
+    }
+
+    fn on_finish(&mut self, ctx: &mut EngineContext<'_>) {
+        ctx.memory_mut().allocate(
+            self.guide.memory_bytes()
+                + vec_bytes::<Vec<usize>>(
+                    self.waiting_workers_at.len() + self.waiting_tasks_at.len(),
+                )
+                + vec_bytes::<usize>(self.peak_waiting)
+                + vec_bytes::<Option<WorkerPlan>>(self.plans.len())
+                + map_bytes::<TypeKey, Vec<usize>>(
+                    self.matched_w_nodes.len() + self.matched_r_nodes.len(),
+                ),
+        );
     }
 }
 
@@ -282,12 +313,32 @@ mod tests {
         use ftoa_types::{Location, Task, TaskId, TimeDelta, TimeStamp, Worker, WorkerId};
         let config = example1::config();
         let workers = vec![
-            Worker::new(WorkerId(0), Location::new(1.0, 1.0), TimeStamp::minutes(0.0), TimeDelta::minutes(30.0)),
-            Worker::new(WorkerId(1), Location::new(1.2, 1.0), TimeStamp::minutes(0.5), TimeDelta::minutes(30.0)),
+            Worker::new(
+                WorkerId(0),
+                Location::new(1.0, 1.0),
+                TimeStamp::minutes(0.0),
+                TimeDelta::minutes(30.0),
+            ),
+            Worker::new(
+                WorkerId(1),
+                Location::new(1.2, 1.0),
+                TimeStamp::minutes(0.5),
+                TimeDelta::minutes(30.0),
+            ),
         ];
         let tasks = vec![
-            Task::new(TaskId(0), Location::new(1.1, 1.0), TimeStamp::minutes(1.0), TimeDelta::minutes(2.0)),
-            Task::new(TaskId(1), Location::new(1.3, 1.0), TimeStamp::minutes(1.5), TimeDelta::minutes(2.0)),
+            Task::new(
+                TaskId(0),
+                Location::new(1.1, 1.0),
+                TimeStamp::minutes(1.0),
+                TimeDelta::minutes(2.0),
+            ),
+            Task::new(
+                TaskId(1),
+                Location::new(1.3, 1.0),
+                TimeStamp::minutes(1.5),
+                TimeDelta::minutes(2.0),
+            ),
         ];
         let stream = ftoa_types::EventStream::new(workers, tasks);
         let mut pw = prediction::SpatioTemporalMatrix::zeros(2, 4);

@@ -1,23 +1,94 @@
 //! SimpleGreedy (Section 2.2): the baseline extended from the wait-in-place
 //! online model.
 //!
-//! For every newly arrived object (worker or task) it scans the currently
-//! available objects of the other side, keeps those satisfying the deadline
-//! constraint, and assigns the one at the shortest distance. Unmatched
-//! workers wait at their appearance location; unmatched tasks wait until
-//! their deadline.
+//! For every newly arrived object (worker or task) it asks the engine's
+//! candidate index for the nearest available object of the other side that
+//! satisfies the deadline constraint, and assigns it. Unmatched workers wait
+//! at their appearance location; unmatched tasks wait until their deadline.
+//! All pool and expiry bookkeeping lives in the
+//! [`crate::engine::SimulationEngine`]; this module only contains the
+//! per-event greedy decision ([`GreedyPolicy`]).
 
 use crate::algorithms::OnlineAlgorithm;
+use crate::engine::{EngineContext, OnlinePolicy, SimulationEngine};
 use crate::instance::Instance;
-use crate::memory::{vec_bytes, MemoryTracker};
 use crate::result::AlgorithmResult;
-use ftoa_types::{Assignment, AssignmentSet, Event, Task, TimeStamp, Worker};
-use spatial::GridBucketIndex;
-use std::time::Instant;
+use ftoa_types::{Task, TimeStamp, Worker};
 
 /// The SimpleGreedy baseline.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SimpleGreedy;
+
+impl SimpleGreedy {
+    /// The incremental policy implementing SimpleGreedy on the engine.
+    pub fn policy(&self) -> GreedyPolicy {
+        GreedyPolicy::default()
+    }
+}
+
+/// Per-event decision logic of SimpleGreedy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyPolicy {
+    /// Largest task patience seen in the stream (computed lazily): bounds
+    /// the reachable disk of worker-arrival queries, since every pending
+    /// task was released no later than `now` and therefore expires within
+    /// `max_patience` of it.
+    max_patience: Option<ftoa_types::TimeDelta>,
+}
+
+impl GreedyPolicy {
+    fn max_patience(&mut self, ctx: &EngineContext<'_>) -> ftoa_types::TimeDelta {
+        *self.max_patience.get_or_insert_with(|| ctx.stream.max_task_patience())
+    }
+}
+
+impl OnlinePolicy for GreedyPolicy {
+    fn name(&self) -> &'static str {
+        "SimpleGreedy"
+    }
+
+    fn on_worker_arrival(&mut self, ctx: &mut EngineContext<'_>, w: &Worker) {
+        let now = ctx.now();
+        let velocity = ctx.velocity();
+        // Nearest pending task this worker can still reach in time. A worker
+        // with zero waiting time is already past its (strict) deadline. Any
+        // feasible pending task lies within `v · max_patience` of the worker
+        // (its deadline is at most `now + max_patience`), so the search is
+        // bounded to that disk.
+        let radius = velocity * self.max_patience(ctx).as_minutes();
+        let found = if now < w.deadline() {
+            let origin = w.location;
+            ctx.pending_tasks().nearest_within(&origin, radius, &mut |task| {
+                task_still_feasible(task, &origin, now, velocity)
+            })
+        } else {
+            None
+        };
+        if let Some((task_index, _)) = found {
+            let task = ctx.claim_task(task_index).expect("candidate came from the pool");
+            ctx.assign(w.id, task.id);
+        } else {
+            ctx.admit_worker(w);
+        }
+    }
+
+    fn on_task_arrival(&mut self, ctx: &mut EngineContext<'_>, r: &Task) {
+        let now = ctx.now();
+        let velocity = ctx.velocity();
+        // A serving worker must depart now and arrive by the task deadline:
+        // it lies inside the task's reachable disk at `now`.
+        let radius = r.reach_radius_at(now, velocity);
+        let found = ctx.idle_workers().nearest_within(&r.location, radius, &mut |worker| {
+            worker_can_serve_now(worker, r, now, velocity)
+        });
+        if let Some((worker_index, _)) = found {
+            let worker = ctx.claim_worker(worker_index).expect("candidate came from the pool");
+            ctx.assign(worker.id, r.id);
+        } else {
+            ctx.admit_task(r);
+        }
+    }
+}
 
 impl OnlineAlgorithm for SimpleGreedy {
     fn name(&self) -> &'static str {
@@ -25,104 +96,36 @@ impl OnlineAlgorithm for SimpleGreedy {
     }
 
     fn run(&self, instance: &Instance<'_>) -> AlgorithmResult {
-        let start = Instant::now();
-        let config = instance.config;
-        let velocity = config.velocity;
-        let grid = &config.grid;
-        // Index resolution: reuse the problem grid but cap the bucket count so
-        // tiny instances do not pay for thousands of empty buckets.
-        let nx = grid.nx().min(64).max(1);
-        let ny = grid.ny().min(64).max(1);
-        let mut idle_workers: GridBucketIndex<Worker> =
-            GridBucketIndex::new(*grid.bounds(), nx, ny);
-        let mut pending_tasks: GridBucketIndex<Task> =
-            GridBucketIndex::new(*grid.bounds(), nx, ny);
-        let mut assignments = AssignmentSet::with_capacity(
-            instance.num_workers().min(instance.num_tasks()),
-        );
-        let mut memory = MemoryTracker::new();
-
-        for event in instance.stream.iter() {
-            let now = event.time();
-            match event {
-                Event::WorkerArrival(w) => {
-                    // Nearest pending task this worker can still reach in time.
-                    let found = pending_tasks.nearest_where(&w.location, |task, loc| {
-                        task_still_feasible(task, loc, &w.location, now, velocity)
-                            && now < w.deadline()
-                    });
-                    if let Some((handle, _loc, task, _d)) = found {
-                        pending_tasks.remove(handle);
-                        memory.release(vec_bytes::<Task>(1));
-                        assignments
-                            .push(Assignment::new(w.id, task.id, now))
-                            .expect("greedy never double-assigns");
-                    } else {
-                        idle_workers.insert(w.location, *w);
-                        memory.allocate(vec_bytes::<Worker>(1));
-                    }
-                }
-                Event::TaskArrival(r) => {
-                    let found = idle_workers.nearest_where(&r.location, |worker, loc| {
-                        worker_can_serve_now(worker, loc, r, now, velocity)
-                    });
-                    if let Some((handle, _loc, worker, _d)) = found {
-                        idle_workers.remove(handle);
-                        memory.release(vec_bytes::<Worker>(1));
-                        assignments
-                            .push(Assignment::new(worker.id, r.id, now))
-                            .expect("greedy never double-assigns");
-                    } else {
-                        pending_tasks.insert(r.location, *r);
-                        memory.allocate(vec_bytes::<Task>(1));
-                    }
-                }
-            }
-        }
-        // Account for the index buckets themselves.
-        memory.allocate(vec_bytes::<Vec<Worker>>(nx * ny) + vec_bytes::<Vec<Task>>(nx * ny));
-        AlgorithmResult {
-            algorithm: self.name().to_string(),
-            assignments,
-            preprocessing: std::time::Duration::ZERO,
-            runtime: start.elapsed(),
-            memory_bytes: memory.peak_with_overhead(),
-        }
+        SimulationEngine::default().run(instance, &mut self.policy())
     }
 }
 
 /// A waiting worker (wait-in-place model) can serve a newly released task if
 /// it has not left the platform and can reach the task before its deadline,
 /// departing now from where it waits.
-fn worker_can_serve_now(
-    worker: &Worker,
-    worker_loc: &ftoa_types::Location,
-    task: &Task,
-    now: TimeStamp,
-    velocity: f64,
-) -> bool {
+fn worker_can_serve_now(worker: &Worker, task: &Task, now: TimeStamp, velocity: f64) -> bool {
     if now > worker.deadline() {
         return false;
     }
-    now + worker_loc.travel_time(&task.location, velocity) <= task.deadline()
+    now + worker.location.travel_time(&task.location, velocity) <= task.deadline()
 }
 
 /// A pending task is still feasible for a newly arrived worker if its
 /// deadline allows the worker to travel there starting now.
 fn task_still_feasible(
     task: &Task,
-    task_loc: &ftoa_types::Location,
     worker_loc: &ftoa_types::Location,
     now: TimeStamp,
     velocity: f64,
 ) -> bool {
-    now + worker_loc.travel_time(task_loc, velocity) <= task.deadline()
+    now + worker_loc.travel_time(&task.location, velocity) <= task.deadline()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::algorithms::example1;
+    use crate::engine::IndexBackend;
     use crate::instance::Instance;
 
     #[test]
@@ -154,6 +157,21 @@ mod tests {
             .assignments
             .validate_static(stream.workers(), stream.tasks(), config.velocity)
             .is_ok());
+    }
+
+    #[test]
+    fn both_index_backends_serve_the_same_number_of_tasks() {
+        let config = example1::config();
+        let stream = example1::stream();
+        let (pw, pt) = example1::prediction(&config, &stream);
+        let instance = Instance::new(&config, &stream, &pw, &pt);
+        let linear = SimulationEngine::new(IndexBackend::LinearScan)
+            .run(&instance, &mut GreedyPolicy::default());
+        let grid =
+            SimulationEngine::new(IndexBackend::Grid).run(&instance, &mut GreedyPolicy::default());
+        assert_eq!(linear.matching_size(), grid.matching_size());
+        assert_eq!(linear.stats.backend, "linear-scan");
+        assert_eq!(grid.stats.backend, "grid-index");
     }
 
     #[test]
@@ -211,6 +229,9 @@ mod tests {
         let stream = ftoa_types::EventStream::new(workers, tasks);
         let (pw, pt) = example1::prediction(&config, &stream);
         let instance = Instance::new(&config, &stream, &pw, &pt);
-        assert_eq!(SimpleGreedy.run(&instance).matching_size(), 0);
+        let result = SimpleGreedy.run(&instance);
+        assert_eq!(result.matching_size(), 0);
+        // The engine's expiry queue removed the task before the worker event.
+        assert_eq!(result.stats.expired_tasks, 1);
     }
 }

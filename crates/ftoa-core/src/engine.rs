@@ -1,0 +1,738 @@
+//! The unified streaming simulation engine.
+//!
+//! Every online algorithm of the paper processes the same kind of arrival
+//! stream: workers and tasks appear one by one, decisions are irrevocable,
+//! and objects silently leave the platform when their deadlines pass. The
+//! seed implementation repeated that event loop — stream iteration, pool
+//! bookkeeping, expiry handling, runtime/memory accounting — inside every
+//! algorithm. [`SimulationEngine`] extracts the loop into one place:
+//!
+//! * the **engine** owns stream iteration, the active worker/task pools, the
+//!   deadline-expiry priority queues, and per-event metrics (runtime, memory,
+//!   candidate-examination counts, assembled into [`EngineStats`]);
+//! * an **algorithm** shrinks to an [`OnlinePolicy`]: a handful of
+//!   incremental callbacks (`on_worker_arrival`, `on_task_arrival`, the
+//!   expiry hooks and `on_finish`) that react to one event at a time through
+//!   the [`EngineContext`] handed to them;
+//! * **candidate generation** goes through the [`CandidateIndex`] trait so
+//!   that the same policy code runs against either the exhaustive
+//!   [`LinearScanIndex`] (the reference/oracle backend) or the
+//!   [`GridCandidateIndex`] built on [`spatial::GridBucketIndex`], which
+//!   answers nearest-feasible and reachable-disk range queries by scanning
+//!   only nearby buckets.
+//!
+//! The existing [`crate::algorithms::OnlineAlgorithm::run`] entry points are
+//! thin adapters that instantiate a policy and hand it to the engine, so all
+//! previous callers keep working unchanged. Equivalence between the two
+//! index backends — and against straight ports of the pre-refactor event
+//! loops — is enforced by the property tests in
+//! `tests/proptest_engine_equivalence.rs` at the workspace root.
+
+use crate::instance::Instance;
+use crate::memory::{vec_bytes, MemoryTracker};
+use crate::result::{AlgorithmResult, EngineStats};
+use ftoa_types::{
+    Assignment, AssignmentSet, Event, EventStream, Location, ProblemConfig, Task, TaskId,
+    TimeStamp, Worker, WorkerId,
+};
+use spatial::GridBucketIndex;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+/// An object that can live in a [`CandidateIndex`]: it has a dense index, a
+/// location and a deadline after which it leaves the platform.
+pub trait SpatialItem: Copy {
+    /// Dense 0-based identifier (`WorkerId` / `TaskId` index).
+    fn item_index(&self) -> usize;
+    /// Where the object is (its appearance location).
+    fn item_location(&self) -> Location;
+    /// When the object leaves the platform.
+    fn item_deadline(&self) -> TimeStamp;
+}
+
+impl SpatialItem for Worker {
+    fn item_index(&self) -> usize {
+        self.id.index()
+    }
+    fn item_location(&self) -> Location {
+        self.location
+    }
+    fn item_deadline(&self) -> TimeStamp {
+        self.deadline()
+    }
+}
+
+impl SpatialItem for Task {
+    fn item_index(&self) -> usize {
+        self.id.index()
+    }
+    fn item_location(&self) -> Location {
+        self.location
+    }
+    fn item_deadline(&self) -> TimeStamp {
+        self.release + self.patience
+    }
+}
+
+/// A dynamic pool of spatial objects answering the two candidate queries the
+/// online algorithms need: *nearest feasible* and *all within a reachable
+/// disk*. Implementations must visit candidates deterministically so runs
+/// are reproducible; they additionally count how many candidates each query
+/// examines, which is the backend-independent measure of pruning quality
+/// reported in [`EngineStats`].
+pub trait CandidateIndex<T: SpatialItem> {
+    /// Insert an object (keyed by its dense index).
+    fn insert(&mut self, item: T);
+
+    /// Remove an object by dense index, returning it if it was present.
+    fn remove(&mut self, index: usize) -> Option<T>;
+
+    /// Is an object with this dense index present?
+    fn contains(&self, index: usize) -> bool;
+
+    /// Number of live objects.
+    fn len(&self) -> usize;
+
+    /// Is the pool empty?
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The nearest live object (Euclidean distance from `query`) accepted by
+    /// `feasible`, as `(dense index, distance)`.
+    fn nearest_where(
+        &mut self,
+        query: &Location,
+        feasible: &mut dyn FnMut(&T) -> bool,
+    ) -> Option<(usize, f64)> {
+        self.nearest_within(query, f64::INFINITY, feasible)
+    }
+
+    /// Like [`Self::nearest_where`], restricted to objects within
+    /// `max_radius` of `query` (inclusive). Policies pass the reachable-disk
+    /// radius implied by the deadline constraint so that hopeless queries
+    /// terminate without examining distant candidates.
+    fn nearest_within(
+        &mut self,
+        query: &Location,
+        max_radius: f64,
+        feasible: &mut dyn FnMut(&T) -> bool,
+    ) -> Option<(usize, f64)>;
+
+    /// Visit every live object within `radius` of `center` (inclusive).
+    fn for_each_within(&mut self, center: &Location, radius: f64, visit: &mut dyn FnMut(&T));
+
+    /// Visit every live object in ascending dense-index order.
+    fn for_each(&self, visit: &mut dyn FnMut(&T));
+
+    /// Stored entries *scanned* by queries so far (distance computed or
+    /// feasibility checked). The linear backend scans every live entry per
+    /// query; the grid backend scans only the entries in the buckets its
+    /// ring/range search visits — the ratio between the two is the pruning
+    /// factor, independent of machine speed.
+    fn candidates_examined(&self) -> u64;
+
+    /// Estimated bytes held by the index structure itself (excluding the
+    /// per-object bytes, which the engine accounts for on admit/claim).
+    fn structure_bytes(&self) -> usize;
+}
+
+/// Reference backend: an exhaustive scan over a dense slot vector. O(n) per
+/// query, deterministic (ascending index order), with no spatial pruning —
+/// the oracle the indexed backend is tested against.
+#[derive(Debug, Clone)]
+pub struct LinearScanIndex<T> {
+    slots: Vec<Option<T>>,
+    live: usize,
+    examined: u64,
+}
+
+impl<T: SpatialItem> LinearScanIndex<T> {
+    /// Create an empty pool.
+    pub fn new() -> Self {
+        Self { slots: Vec::new(), live: 0, examined: 0 }
+    }
+}
+
+impl<T: SpatialItem> Default for LinearScanIndex<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: SpatialItem> CandidateIndex<T> for LinearScanIndex<T> {
+    fn insert(&mut self, item: T) {
+        let idx = item.item_index();
+        if idx >= self.slots.len() {
+            self.slots.resize_with(idx + 1, || None);
+        }
+        if self.slots[idx].replace(item).is_none() {
+            self.live += 1;
+        }
+    }
+
+    fn remove(&mut self, index: usize) -> Option<T> {
+        let removed = self.slots.get_mut(index)?.take();
+        if removed.is_some() {
+            self.live -= 1;
+        }
+        removed
+    }
+
+    fn contains(&self, index: usize) -> bool {
+        matches!(self.slots.get(index), Some(Some(_)))
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn nearest_within(
+        &mut self,
+        query: &Location,
+        max_radius: f64,
+        feasible: &mut dyn FnMut(&T) -> bool,
+    ) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for item in self.slots.iter().flatten() {
+            self.examined += 1;
+            let d = query.distance(&item.item_location());
+            if d > max_radius {
+                continue;
+            }
+            if !feasible(item) {
+                continue;
+            }
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((item.item_index(), d));
+            }
+        }
+        best
+    }
+
+    fn for_each_within(&mut self, center: &Location, radius: f64, visit: &mut dyn FnMut(&T)) {
+        let r2 = radius * radius;
+        for item in self.slots.iter().flatten() {
+            self.examined += 1;
+            if center.distance_sq(&item.item_location()) <= r2 {
+                visit(item);
+            }
+        }
+    }
+
+    fn for_each(&self, visit: &mut dyn FnMut(&T)) {
+        for item in self.slots.iter().flatten() {
+            visit(item);
+        }
+    }
+
+    fn candidates_examined(&self) -> u64 {
+        self.examined
+    }
+
+    fn structure_bytes(&self) -> usize {
+        vec_bytes::<Option<T>>(self.slots.len())
+    }
+}
+
+/// Indexed backend: objects live in a [`spatial::GridBucketIndex`] keyed by
+/// location, so nearest-feasible queries expand ring by ring and reachable-
+/// disk range queries touch only the overlapping buckets. Removal by dense
+/// index is O(bucket) via a handle table.
+pub struct GridCandidateIndex<T> {
+    grid: GridBucketIndex<T>,
+    handles: Vec<Option<spatial::grid_index::EntryHandle>>,
+    examined: u64,
+    buckets: usize,
+}
+
+impl<T: SpatialItem + Clone> GridCandidateIndex<T> {
+    /// Create a pool over the problem's grid bounds. The bucket resolution
+    /// reuses the problem grid but is capped at 64×64 so tiny instances do
+    /// not pay for thousands of empty buckets.
+    pub fn for_config(config: &ProblemConfig) -> Self {
+        let nx = config.grid.nx().clamp(1, 64);
+        let ny = config.grid.ny().clamp(1, 64);
+        Self {
+            grid: GridBucketIndex::new(*config.grid.bounds(), nx, ny),
+            handles: Vec::new(),
+            examined: 0,
+            buckets: nx * ny,
+        }
+    }
+}
+
+impl<T: SpatialItem + Clone> CandidateIndex<T> for GridCandidateIndex<T> {
+    fn insert(&mut self, item: T) {
+        let idx = item.item_index();
+        if idx >= self.handles.len() {
+            self.handles.resize(idx + 1, None);
+        }
+        if let Some(handle) = self.handles[idx].take() {
+            self.grid.remove(handle);
+        }
+        self.handles[idx] = Some(self.grid.insert(item.item_location(), item));
+    }
+
+    fn remove(&mut self, index: usize) -> Option<T> {
+        let handle = self.handles.get_mut(index)?.take()?;
+        self.grid.remove(handle)
+    }
+
+    fn contains(&self, index: usize) -> bool {
+        matches!(self.handles.get(index), Some(Some(_)))
+    }
+
+    fn len(&self) -> usize {
+        self.grid.len()
+    }
+
+    fn nearest_within(
+        &mut self,
+        query: &Location,
+        max_radius: f64,
+        feasible: &mut dyn FnMut(&T) -> bool,
+    ) -> Option<(usize, f64)> {
+        let (found, scanned) =
+            self.grid.nearest_within_counted(query, max_radius, |item, _| feasible(item));
+        self.examined += scanned;
+        found.map(|(_, _, item, d)| (item.item_index(), d))
+    }
+
+    fn for_each_within(&mut self, center: &Location, radius: f64, visit: &mut dyn FnMut(&T)) {
+        let scanned = self.grid.for_each_within_counted(center, radius, |_, item| visit(item));
+        self.examined += scanned;
+    }
+
+    fn for_each(&self, visit: &mut dyn FnMut(&T)) {
+        let mut items: Vec<&T> = self.grid.iter().map(|(_, item)| item).collect();
+        items.sort_by_key(|item| item.item_index());
+        for item in items {
+            visit(item);
+        }
+    }
+
+    fn candidates_examined(&self) -> u64 {
+        self.examined
+    }
+
+    fn structure_bytes(&self) -> usize {
+        vec_bytes::<Vec<T>>(self.buckets)
+            + vec_bytes::<Option<spatial::grid_index::EntryHandle>>(self.handles.len())
+    }
+}
+
+/// Which [`CandidateIndex`] backend the engine instantiates for its pools.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexBackend {
+    /// Exhaustive linear scan (reference / oracle).
+    LinearScan,
+    /// Uniform-grid bucket index with ring and range pruning.
+    #[default]
+    Grid,
+}
+
+impl IndexBackend {
+    /// Short display name (used in stats and bench output).
+    pub fn name(self) -> &'static str {
+        match self {
+            IndexBackend::LinearScan => "linear-scan",
+            IndexBackend::Grid => "grid-index",
+        }
+    }
+
+    fn make<T: SpatialItem + Clone + 'static>(
+        self,
+        config: &ProblemConfig,
+    ) -> Box<dyn CandidateIndex<T>> {
+        match self {
+            IndexBackend::LinearScan => Box::new(LinearScanIndex::new()),
+            IndexBackend::Grid => Box::new(GridCandidateIndex::for_config(config)),
+        }
+    }
+}
+
+/// The engine-owned state a policy sees while handling one event.
+pub struct EngineContext<'a> {
+    /// Problem configuration (grid, slots, velocity, default deadlines).
+    pub config: &'a ProblemConfig,
+    /// The full stream (for id → object lookups; policies must not iterate
+    /// ahead of the current event — the engine drives the iteration).
+    pub stream: &'a EventStream,
+    now: TimeStamp,
+    idle_workers: Box<dyn CandidateIndex<Worker>>,
+    pending_tasks: Box<dyn CandidateIndex<Task>>,
+    assignments: AssignmentSet,
+    memory: MemoryTracker,
+    worker_expiry: BinaryHeap<Reverse<(TimeStamp, usize)>>,
+    task_expiry: BinaryHeap<Reverse<(TimeStamp, usize)>>,
+    stats: EngineStats,
+}
+
+impl<'a> EngineContext<'a> {
+    /// The current simulation time (the arrival time of the event being
+    /// processed; after the stream ends, the time of the last event).
+    pub fn now(&self) -> TimeStamp {
+        self.now
+    }
+
+    /// The shared worker velocity.
+    pub fn velocity(&self) -> f64 {
+        self.config.velocity
+    }
+
+    /// Admit a worker into the idle pool (it will be offered as a candidate
+    /// and expired automatically when its deadline passes).
+    pub fn admit_worker(&mut self, worker: &Worker) {
+        self.idle_workers.insert(*worker);
+        self.worker_expiry.push(Reverse((worker.deadline(), worker.id.index())));
+        self.memory.allocate(vec_bytes::<Worker>(1));
+    }
+
+    /// Admit a task into the pending pool.
+    pub fn admit_task(&mut self, task: &Task) {
+        self.pending_tasks.insert(*task);
+        self.task_expiry.push(Reverse((task.deadline(), task.id.index())));
+        self.memory.allocate(vec_bytes::<Task>(1));
+    }
+
+    /// The idle-worker pool.
+    pub fn idle_workers(&mut self) -> &mut dyn CandidateIndex<Worker> {
+        self.idle_workers.as_mut()
+    }
+
+    /// The pending-task pool.
+    pub fn pending_tasks(&mut self) -> &mut dyn CandidateIndex<Task> {
+        self.pending_tasks.as_mut()
+    }
+
+    /// Remove a worker from the idle pool (e.g. because it was matched).
+    pub fn claim_worker(&mut self, index: usize) -> Option<Worker> {
+        let w = self.idle_workers.remove(index);
+        if w.is_some() {
+            self.memory.release(vec_bytes::<Worker>(1));
+        }
+        w
+    }
+
+    /// Remove a task from the pending pool.
+    pub fn claim_task(&mut self, index: usize) -> Option<Task> {
+        let t = self.pending_tasks.remove(index);
+        if t.is_some() {
+            self.memory.release(vec_bytes::<Task>(1));
+        }
+        t
+    }
+
+    /// Commit an irrevocable assignment at the current time. Both objects are
+    /// removed from the pools if present. Panics if either side is already
+    /// matched — policies guarantee single assignment by construction.
+    pub fn assign(&mut self, worker: WorkerId, task: TaskId) {
+        self.assign_at(worker, task, self.now);
+    }
+
+    /// Commit an assignment with an explicit timestamp (used by offline
+    /// policies that reconstruct a matching after the stream has ended).
+    pub fn assign_at(&mut self, worker: WorkerId, task: TaskId, at: TimeStamp) {
+        // Claim (not raw-remove) so the pooled objects' bytes are released
+        // whether or not the policy claimed them beforehand.
+        self.claim_worker(worker.index());
+        self.claim_task(task.index());
+        self.assignments
+            .push(Assignment::new(worker, task, at))
+            .expect("policy must not double-assign a worker or task");
+    }
+
+    /// The assignments committed so far.
+    pub fn assignments(&self) -> &AssignmentSet {
+        &self.assignments
+    }
+
+    /// The engine's memory tracker, for policy-specific structures.
+    pub fn memory_mut(&mut self) -> &mut MemoryTracker {
+        &mut self.memory
+    }
+
+    /// Expire due objects: pop everything with a deadline strictly before
+    /// `now` from the expiry queues, remove it from the pools and inform the
+    /// policy. Objects whose deadline equals `now` remain live (deadlines are
+    /// inclusive throughout the model).
+    fn run_expiries(&mut self, now: TimeStamp, policy: &mut dyn OnlinePolicy) {
+        while let Some(&Reverse((deadline, index))) = self.worker_expiry.peek() {
+            if deadline >= now {
+                break;
+            }
+            self.worker_expiry.pop();
+            if let Some(worker) = self.claim_worker(index) {
+                self.stats.expired_workers += 1;
+                policy.on_worker_expiry(self, &worker);
+            }
+        }
+        while let Some(&Reverse((deadline, index))) = self.task_expiry.peek() {
+            if deadline >= now {
+                break;
+            }
+            self.task_expiry.pop();
+            if let Some(task) = self.claim_task(index) {
+                self.stats.expired_tasks += 1;
+                policy.on_task_expiry(self, &task);
+            }
+        }
+    }
+}
+
+/// An online task-assignment policy: the algorithm-specific reaction to each
+/// event of the stream. All pool/queue/metric bookkeeping lives in the
+/// engine; the policy only decides.
+pub trait OnlinePolicy {
+    /// Display name (becomes [`AlgorithmResult::algorithm`]).
+    fn name(&self) -> &'static str;
+
+    /// A worker appeared.
+    fn on_worker_arrival(&mut self, ctx: &mut EngineContext<'_>, worker: &Worker);
+
+    /// A task was released.
+    fn on_task_arrival(&mut self, ctx: &mut EngineContext<'_>, task: &Task);
+
+    /// A pooled worker's deadline passed (it has already been removed from
+    /// the pool when this is called).
+    fn on_worker_expiry(&mut self, _ctx: &mut EngineContext<'_>, _worker: &Worker) {}
+
+    /// A pooled task's deadline passed.
+    fn on_task_expiry(&mut self, _ctx: &mut EngineContext<'_>, _task: &Task) {}
+
+    /// The stream ended (flush batches, solve offline, final accounting).
+    fn on_finish(&mut self, _ctx: &mut EngineContext<'_>) {}
+
+    /// Up to which instant the engine may expire pooled objects before
+    /// handing over the event at `now`. The default (`now`) removes
+    /// everything whose deadline has strictly passed. Batched policies
+    /// return their last unprocessed batch boundary so objects that were
+    /// still alive *at the batch instant* remain visible to the flush;
+    /// offline policies return [`TimeStamp::ZERO`] to keep every object
+    /// until `on_finish`.
+    fn expiry_cutoff(&self, now: TimeStamp) -> TimeStamp {
+        now
+    }
+}
+
+/// The unified streaming simulation engine. See the module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimulationEngine {
+    /// Candidate-index backend used for the active pools.
+    pub backend: IndexBackend,
+}
+
+impl SimulationEngine {
+    /// An engine using the given backend.
+    pub fn new(backend: IndexBackend) -> Self {
+        Self { backend }
+    }
+
+    /// Drive `policy` over the instance's arrival stream and assemble the
+    /// result (assignments, runtime, memory and [`EngineStats`]).
+    pub fn run(&self, instance: &Instance<'_>, policy: &mut dyn OnlinePolicy) -> AlgorithmResult {
+        let start = Instant::now();
+        let mut ctx = EngineContext {
+            config: instance.config,
+            stream: instance.stream,
+            now: TimeStamp::ZERO,
+            idle_workers: self.backend.make::<Worker>(instance.config),
+            pending_tasks: self.backend.make::<Task>(instance.config),
+            assignments: AssignmentSet::with_capacity(
+                instance.num_workers().min(instance.num_tasks()),
+            ),
+            memory: MemoryTracker::new(),
+            worker_expiry: BinaryHeap::new(),
+            task_expiry: BinaryHeap::new(),
+            stats: EngineStats { backend: self.backend.name(), ..EngineStats::default() },
+        };
+
+        for event in instance.stream.iter() {
+            let now = event.time();
+            ctx.now = now;
+            let cutoff = policy.expiry_cutoff(now).min(now);
+            ctx.run_expiries(cutoff, policy);
+            ctx.stats.events += 1;
+            match event {
+                Event::WorkerArrival(w) => policy.on_worker_arrival(&mut ctx, w),
+                Event::TaskArrival(r) => policy.on_task_arrival(&mut ctx, r),
+            }
+        }
+        policy.on_finish(&mut ctx);
+
+        // Index structures are part of the peak footprint.
+        ctx.memory
+            .allocate(ctx.idle_workers.structure_bytes() + ctx.pending_tasks.structure_bytes());
+        ctx.stats.candidates_examined =
+            ctx.idle_workers.candidates_examined() + ctx.pending_tasks.candidates_examined();
+
+        AlgorithmResult {
+            algorithm: policy.name().to_string(),
+            assignments: ctx.assignments,
+            preprocessing: std::time::Duration::ZERO,
+            runtime: start.elapsed(),
+            memory_bytes: ctx.memory.peak_with_overhead(),
+            stats: ctx.stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftoa_types::{GridPartition, SlotPartition, TimeDelta};
+
+    fn config() -> ProblemConfig {
+        ProblemConfig::new(
+            GridPartition::square(10.0, 5).unwrap(),
+            SlotPartition::over_horizon(TimeDelta::minutes(60.0), 4).unwrap(),
+            1.0,
+            TimeDelta::minutes(10.0),
+            TimeDelta::minutes(5.0),
+        )
+    }
+
+    fn worker(i: usize, x: f64, y: f64, t: f64) -> Worker {
+        Worker::new(
+            WorkerId(i),
+            Location::new(x, y),
+            TimeStamp::minutes(t),
+            TimeDelta::minutes(10.0),
+        )
+    }
+
+    fn task(i: usize, x: f64, y: f64, t: f64) -> Task {
+        Task::new(TaskId(i), Location::new(x, y), TimeStamp::minutes(t), TimeDelta::minutes(5.0))
+    }
+
+    fn backends() -> Vec<Box<dyn CandidateIndex<Worker>>> {
+        vec![Box::new(LinearScanIndex::new()), Box::new(GridCandidateIndex::for_config(&config()))]
+    }
+
+    #[test]
+    fn both_backends_support_insert_remove_contains() {
+        for mut idx in backends() {
+            assert!(idx.is_empty());
+            idx.insert(worker(3, 1.0, 1.0, 0.0));
+            idx.insert(worker(7, 9.0, 9.0, 0.0));
+            assert_eq!(idx.len(), 2);
+            assert!(idx.contains(3));
+            assert!(!idx.contains(5));
+            let w = idx.remove(3).unwrap();
+            assert_eq!(w.id, WorkerId(3));
+            assert!(idx.remove(3).is_none());
+            assert_eq!(idx.len(), 1);
+        }
+    }
+
+    #[test]
+    fn nearest_where_agrees_between_backends() {
+        for mut idx in backends() {
+            for (i, (x, y)) in [(1.0, 1.0), (5.0, 5.0), (9.0, 2.0)].iter().enumerate() {
+                idx.insert(worker(i, *x, *y, 0.0));
+            }
+            let q = Location::new(4.5, 4.5);
+            let (best, d) = idx.nearest_where(&q, &mut |_| true).unwrap();
+            assert_eq!(best, 1);
+            assert!((d - Location::new(5.0, 5.0).distance(&q)).abs() < 1e-12);
+            // Filtered query skips the nearest.
+            let (second, _) = idx.nearest_where(&q, &mut |w| w.id.index() != 1).unwrap();
+            assert_eq!(second, 0);
+            assert!(idx.candidates_examined() > 0);
+        }
+    }
+
+    #[test]
+    fn range_query_agrees_between_backends() {
+        for mut idx in backends() {
+            for i in 0..20 {
+                idx.insert(worker(i, (i % 5) as f64 * 2.0, (i / 5) as f64 * 2.0, 0.0));
+            }
+            let mut found = Vec::new();
+            idx.for_each_within(&Location::new(0.0, 0.0), 2.5, &mut |w| found.push(w.id.index()));
+            found.sort_unstable();
+            // (0,0), (2,0), (0,2) are within 2.5; (2,2) is at 2.83.
+            assert_eq!(found, vec![0, 1, 5]);
+        }
+    }
+
+    struct CountingPolicy {
+        arrivals: usize,
+        expiries: usize,
+        finished: bool,
+    }
+
+    impl OnlinePolicy for CountingPolicy {
+        fn name(&self) -> &'static str {
+            "counting"
+        }
+        fn on_worker_arrival(&mut self, ctx: &mut EngineContext<'_>, w: &Worker) {
+            self.arrivals += 1;
+            ctx.admit_worker(w);
+        }
+        fn on_task_arrival(&mut self, ctx: &mut EngineContext<'_>, r: &Task) {
+            self.arrivals += 1;
+            ctx.admit_task(r);
+        }
+        fn on_worker_expiry(&mut self, _ctx: &mut EngineContext<'_>, _w: &Worker) {
+            self.expiries += 1;
+        }
+        fn on_task_expiry(&mut self, _ctx: &mut EngineContext<'_>, _r: &Task) {
+            self.expiries += 1;
+        }
+        fn on_finish(&mut self, _ctx: &mut EngineContext<'_>) {
+            self.finished = true;
+        }
+    }
+
+    #[test]
+    fn engine_drives_arrivals_and_expiries_in_order() {
+        let cfg = config();
+        // Worker at t=0 (deadline 10), task at t=3 (deadline 8), and a late
+        // worker at t=20 by which time both earlier objects have expired.
+        let stream = EventStream::new(
+            vec![worker(0, 1.0, 1.0, 0.0), worker(0, 2.0, 2.0, 20.0)],
+            vec![task(0, 5.0, 5.0, 3.0)],
+        );
+        let pw = prediction::SpatioTemporalMatrix::zeros(4, 25);
+        let instance = Instance::new(&cfg, &stream, &pw, &pw);
+        let mut policy = CountingPolicy { arrivals: 0, expiries: 0, finished: false };
+        let result = SimulationEngine::new(IndexBackend::Grid).run(&instance, &mut policy);
+        assert_eq!(policy.arrivals, 3);
+        assert_eq!(policy.expiries, 2, "first worker and the task expire before t=20");
+        assert!(policy.finished);
+        assert_eq!(result.stats.events, 3);
+        assert_eq!(result.stats.expired_workers, 1);
+        assert_eq!(result.stats.expired_tasks, 1);
+        assert_eq!(result.stats.backend, "grid-index");
+    }
+
+    #[test]
+    fn assign_removes_both_sides_from_pools() {
+        let cfg = config();
+        let stream = EventStream::new(vec![worker(0, 1.0, 1.0, 0.0)], vec![task(0, 1.5, 1.0, 1.0)]);
+        let pw = prediction::SpatioTemporalMatrix::zeros(4, 25);
+        let instance = Instance::new(&cfg, &stream, &pw, &pw);
+
+        struct AssignOnce;
+        impl OnlinePolicy for AssignOnce {
+            fn name(&self) -> &'static str {
+                "assign-once"
+            }
+            fn on_worker_arrival(&mut self, ctx: &mut EngineContext<'_>, w: &Worker) {
+                ctx.admit_worker(w);
+            }
+            fn on_task_arrival(&mut self, ctx: &mut EngineContext<'_>, r: &Task) {
+                let found = ctx.idle_workers().nearest_where(&r.location, &mut |_| true);
+                if let Some((wi, _)) = found {
+                    ctx.assign(WorkerId(wi), r.id);
+                }
+            }
+        }
+        let result = SimulationEngine::default().run(&instance, &mut AssignOnce);
+        assert_eq!(result.matching_size(), 1);
+        assert_eq!(result.assignments.pairs()[0].assigned_at, TimeStamp::minutes(1.0));
+    }
+}

@@ -15,8 +15,8 @@
 //! `O(m + n)`), and the result is then expanded back into individual guide
 //! nodes, which is the granularity the online algorithms need.
 
-use flow::{dinic, edmonds_karp, FlowNetwork};
 use flow::min_cost::{min_cost_max_flow, McmfNetwork};
+use flow::{dinic, edmonds_karp, FlowNetwork};
 use ftoa_types::{CellId, ProblemConfig, SlotId, TimeStamp, TypeKey};
 use prediction::SpatioTemporalMatrix;
 use std::collections::HashMap;
@@ -107,8 +107,8 @@ impl OfflineGuide {
             let sw = config.slots.slot_mid(wkey.slot);
             let lw = config.grid.cell_center(wkey.cell);
             let (lo_slot, hi_slot) = feasible_task_slot_range(config, sw);
-            for slot in lo_slot..=hi_slot {
-                for &ri in &right_by_slot[slot] {
+            for by_slot in &right_by_slot[lo_slot..=hi_slot] {
+                for &ri in by_slot {
                     let (rkey, _) = right[ri];
                     let sr = config.slots.slot_mid(rkey.slot);
                     let lr = config.grid.cell_center(rkey.cell);
@@ -123,9 +123,7 @@ impl OfflineGuide {
 
         // Solve the type-level matching.
         let pair_flows = match objective {
-            GuideObjective::MaxCardinality => {
-                solve_cardinality(&left, &right, &edges, engine)
-            }
+            GuideObjective::MaxCardinality => solve_cardinality(&left, &right, &edges, engine),
             GuideObjective::MinCostMaxCardinality => solve_min_cost(&left, &right, &edges),
         };
 
@@ -239,11 +237,8 @@ pub fn instantiate_counts(matrix: &SpatioTemporalMatrix) -> Vec<usize> {
     let mut counts: Vec<usize> = values.iter().map(|&v| v.max(0.0).floor() as usize).collect();
     let floor_total: usize = counts.iter().sum();
     if total_target > floor_total {
-        let mut remainders: Vec<(usize, f64)> = values
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| (i, v.max(0.0) - v.max(0.0).floor()))
-            .collect();
+        let mut remainders: Vec<(usize, f64)> =
+            values.iter().enumerate().map(|(i, &v)| (i, v.max(0.0) - v.max(0.0).floor())).collect();
         remainders.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         for &(i, _) in remainders.iter().take(total_target - floor_total) {
             counts[i] += 1;
@@ -257,9 +252,7 @@ fn nonzero_types(counts: &[usize], num_cells: usize) -> Vec<(TypeKey, usize)> {
         .iter()
         .enumerate()
         .filter(|&(_, &c)| c > 0)
-        .map(|(i, &c)| {
-            (TypeKey::new(SlotId(i / num_cells), CellId(i % num_cells)), c)
-        })
+        .map(|(i, &c)| (TypeKey::new(SlotId(i / num_cells), CellId(i % num_cells)), c))
         .collect()
 }
 

@@ -12,15 +12,21 @@
 //!   nodes, CR ≈ 0.40), [`algorithms::PolarOp`] (Algorithm 3, reusable guide
 //!   nodes, CR ≈ 0.47) and [`algorithms::Opt`] (the offline optimum with full
 //!   knowledge and free worker movement).
+//! * [`engine`] — the unified streaming simulation engine: every algorithm
+//!   is an incremental [`engine::OnlinePolicy`] driven by
+//!   [`engine::SimulationEngine`], with candidate generation behind the
+//!   [`engine::CandidateIndex`] trait (linear-scan reference vs.
+//!   grid-index backend built on the `spatial` crate).
 //! * [`movement`] — the worker movement model used when the platform guides a
 //!   worker to another grid area.
 //! * [`instance`] / [`result`] — the common input/output types of all
-//!   algorithms, including runtime and memory accounting.
+//!   algorithms, including runtime, memory and per-event engine accounting.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod algorithms;
+pub mod engine;
 pub mod guide;
 pub mod instance;
 pub mod memory;
@@ -28,6 +34,10 @@ pub mod movement;
 pub mod result;
 
 pub use algorithms::{BatchGreedy, OnlineAlgorithm, Opt, Polar, PolarOp, SimpleGreedy};
+pub use engine::{
+    CandidateIndex, EngineContext, GridCandidateIndex, IndexBackend, LinearScanIndex, OnlinePolicy,
+    SimulationEngine,
+};
 pub use guide::{GuideEngine, GuideNode, GuideObjective, OfflineGuide};
 pub use instance::Instance;
-pub use result::AlgorithmResult;
+pub use result::{AlgorithmResult, EngineStats};

@@ -147,7 +147,8 @@ mod tests {
         // at t=12 with deadline t=14 is reachable (the worker is already
         // there), whereas a wait-in-place worker could not make it.
         let w = worker(0.0, 0.0, 0.0);
-        let moving = WorkerPlan::move_to(&w, Location::new(10.0, 0.0), TimeStamp::minutes(0.0), 1.0);
+        let moving =
+            WorkerPlan::move_to(&w, Location::new(10.0, 0.0), TimeStamp::minutes(0.0), 1.0);
         let waiting = WorkerPlan::wait(&w);
         let deadline = TimeStamp::minutes(14.0);
         let now = TimeStamp::minutes(12.0);

@@ -3,6 +3,36 @@
 use ftoa_types::AssignmentSet;
 use std::time::Duration;
 
+/// Per-event counters collected by the simulation engine
+/// ([`crate::engine::SimulationEngine`]). The candidate counter is the
+/// backend-independent measure of how much work candidate generation did,
+/// which is what the linear-scan vs. grid-index comparisons report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Candidate-index backend used for the active pools.
+    pub backend: &'static str,
+    /// Arrival events processed.
+    pub events: usize,
+    /// Workers that left the platform unmatched (deadline expiry).
+    pub expired_workers: usize,
+    /// Tasks that expired unmatched.
+    pub expired_tasks: usize,
+    /// Candidates examined across all index queries (feasibility checks).
+    pub candidates_examined: u64,
+}
+
+impl Default for EngineStats {
+    fn default() -> Self {
+        Self {
+            backend: "none",
+            events: 0,
+            expired_workers: 0,
+            expired_tasks: 0,
+            candidates_examined: 0,
+        }
+    }
+}
+
 /// The outcome of running one algorithm on one instance.
 #[derive(Debug, Clone)]
 pub struct AlgorithmResult {
@@ -18,6 +48,8 @@ pub struct AlgorithmResult {
     pub runtime: Duration,
     /// Estimated peak size of the algorithm's data structures in bytes.
     pub memory_bytes: usize,
+    /// Event/expiry/candidate counters from the simulation engine.
+    pub stats: EngineStats,
 }
 
 impl AlgorithmResult {
@@ -65,6 +97,7 @@ mod tests {
             preprocessing: Duration::from_millis(5),
             runtime: Duration::from_millis(20),
             memory_bytes: 2 * 1024 * 1024,
+            stats: EngineStats::default(),
         }
     }
 

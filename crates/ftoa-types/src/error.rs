@@ -45,10 +45,9 @@ impl fmt::Display for TypeError {
             TypeError::InvalidGrid { nx, ny } => {
                 write!(f, "invalid grid partition: {nx} x {ny} cells")
             }
-            TypeError::InvalidSlots { num_slots, slot_len_minutes } => write!(
-                f,
-                "invalid slot partition: {num_slots} slots of {slot_len_minutes} minutes"
-            ),
+            TypeError::InvalidSlots { num_slots, slot_len_minutes } => {
+                write!(f, "invalid slot partition: {num_slots} slots of {slot_len_minutes} minutes")
+            }
             TypeError::UnknownWorker(w) => write!(f, "assignment references unknown worker {w}"),
             TypeError::UnknownTask(r) => write!(f, "assignment references unknown task {r}"),
             TypeError::DuplicateWorker(w) => write!(f, "worker {w} assigned more than once"),

@@ -59,10 +59,7 @@ impl Location {
     /// `frac = 0` returns `self`, `frac = 1` returns `other`. Used by the
     /// simulator to place a moving worker part-way along its guided route.
     pub fn lerp(&self, other: &Location, frac: f64) -> Location {
-        Location {
-            x: self.x + (other.x - self.x) * frac,
-            y: self.y + (other.y - self.y) * frac,
-        }
+        Location { x: self.x + (other.x - self.x) * frac, y: self.y + (other.y - self.y) * frac }
     }
 
     /// Are both coordinates finite?

@@ -35,13 +35,12 @@ pub struct SlotPartition {
 
 impl SlotPartition {
     /// Create a slot partition.
-    pub fn new(
-        start: TimeStamp,
-        slot_len: TimeDelta,
-        num_slots: usize,
-    ) -> Result<Self, TypeError> {
-        if num_slots == 0 || !(slot_len.as_minutes() > 0.0) {
-            return Err(TypeError::InvalidSlots { num_slots, slot_len_minutes: slot_len.as_minutes() });
+    pub fn new(start: TimeStamp, slot_len: TimeDelta, num_slots: usize) -> Result<Self, TypeError> {
+        if num_slots == 0 || slot_len.as_minutes() <= 0.0 || slot_len.as_minutes().is_nan() {
+            return Err(TypeError::InvalidSlots {
+                num_slots,
+                slot_len_minutes: slot_len.as_minutes(),
+            });
         }
         Ok(Self { start, slot_len, num_slots })
     }

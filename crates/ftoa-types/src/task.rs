@@ -35,6 +35,16 @@ impl Task {
         t >= self.release && t <= self.deadline()
     }
 
+    /// Radius of the task's *feasible disk* at time `now`: a worker departing
+    /// from within this distance of `L_r` at `now` can still arrive before
+    /// the deadline. Zero when the deadline has already passed. Candidate
+    /// indexes use this to prune the search for serving workers to a range
+    /// query.
+    pub fn reach_radius_at(&self, now: TimeStamp, velocity: f64) -> f64 {
+        let slack = self.deadline().as_minutes() - now.as_minutes();
+        velocity * slack.max(0.0)
+    }
+
     /// Latest time a worker located at `from` may start travelling (at the
     /// given velocity) and still reach this task before its deadline.
     /// Returns `None` when the task is unreachable even with an immediate

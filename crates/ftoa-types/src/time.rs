@@ -213,11 +213,7 @@ mod tests {
 
     #[test]
     fn total_ordering_on_timestamps() {
-        let mut v = vec![
-            TimeStamp::minutes(3.0),
-            TimeStamp::minutes(1.0),
-            TimeStamp::minutes(2.0),
-        ];
+        let mut v = [TimeStamp::minutes(3.0), TimeStamp::minutes(1.0), TimeStamp::minutes(2.0)];
         v.sort();
         assert_eq!(v[0], TimeStamp::minutes(1.0));
         assert_eq!(v[2], TimeStamp::minutes(3.0));

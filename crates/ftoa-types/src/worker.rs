@@ -51,6 +51,16 @@ impl Worker {
         depart + travel <= task.deadline()
     }
 
+    /// Radius of the worker's *reachable disk*: the largest distance any
+    /// task this worker could ever serve can lie from `L_w`, given an upper
+    /// bound on task patience. A feasible pair satisfies
+    /// `depart + d/v <= S_r + D_r` with `depart >= S_w` and `S_r < S_w + D_w`,
+    /// hence `d <= v * (D_w + D_r)`. Candidate indexes use this to prune the
+    /// search to a range query instead of scanning every pending task.
+    pub fn reach_radius(&self, max_task_patience: TimeDelta, velocity: f64) -> f64 {
+        velocity * (self.wait.as_minutes() + max_task_patience.as_minutes())
+    }
+
     /// Same feasibility check, but evaluated for a worker that is currently at
     /// `current_location` at time `now` (e.g. after having been dispatched to
     /// another grid area by the platform).

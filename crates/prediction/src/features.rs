@@ -120,7 +120,7 @@ impl FeatureExtractor {
             let target_day = &rest[0];
             for s in 0..slots {
                 for c in 0..cells {
-                    if counter % stride == 0 {
+                    if counter.is_multiple_of(stride) {
                         rows.push(self.features(past, quantity, &target_day.meta, s, c));
                         targets.push(target_day.matrix(quantity).get(s, c));
                     }

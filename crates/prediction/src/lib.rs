@@ -35,7 +35,7 @@ pub use predictors::{
 /// the order the paper lists them.
 pub fn all_predictors() -> Vec<Box<dyn Predictor>> {
     vec![
-        Box::new(HistoricalAverage::default()),
+        Box::new(HistoricalAverage),
         Box::new(Arima::default()),
         Box::new(Gbrt::default()),
         Box::new(Paq::default()),

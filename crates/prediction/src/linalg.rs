@@ -91,9 +91,7 @@ impl DenseMatrix {
     /// Matrix–vector product.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(self.cols, v.len(), "dimension mismatch");
-        (0..self.rows)
-            .map(|r| (0..self.cols).map(|c| self.get(r, c) * v[c]).sum())
-            .collect()
+        (0..self.rows).map(|r| (0..self.cols).map(|c| self.get(r, c) * v[c]).sum()).collect()
     }
 }
 
@@ -117,15 +115,16 @@ pub fn solve(a: &DenseMatrix, b: &[f64]) -> Option<Vec<f64>> {
     let n = a.rows();
     // Build the augmented matrix.
     let mut aug = vec![vec![0.0f64; n + 1]; n];
-    for r in 0..n {
-        for c in 0..n {
-            aug[r][c] = a.get(r, c);
+    for (r, row) in aug.iter_mut().enumerate() {
+        for (c, cell) in row.iter_mut().take(n).enumerate() {
+            *cell = a.get(r, c);
         }
-        aug[r][n] = b[r];
+        row[n] = b[r];
     }
     for col in 0..n {
         // Partial pivoting.
-        let pivot_row = (col..n).max_by(|&i, &j| aug[i][col].abs().total_cmp(&aug[j][col].abs()))?;
+        let pivot_row =
+            (col..n).max_by(|&i, &j| aug[i][col].abs().total_cmp(&aug[j][col].abs()))?;
         if aug[pivot_row][col].abs() < 1e-12 {
             return None;
         }
@@ -136,6 +135,7 @@ pub fn solve(a: &DenseMatrix, b: &[f64]) -> Option<Vec<f64>> {
             if factor == 0.0 {
                 continue;
             }
+            #[allow(clippy::needless_range_loop)] // two rows of `aug` are borrowed
             for k in col..=n {
                 aug[row][k] -= factor * aug[col][k];
             }

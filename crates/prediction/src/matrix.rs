@@ -99,8 +99,7 @@ impl SpatioTemporalMatrix {
     /// Iterate over `(TypeKey, value)` pairs.
     pub fn iter_keys(&self) -> impl Iterator<Item = (TypeKey, f64)> + '_ {
         (0..self.slots).flat_map(move |s| {
-            (0..self.cells)
-                .map(move |c| (TypeKey::new(SlotId(s), CellId(c)), self.get(s, c)))
+            (0..self.cells).map(move |c| (TypeKey::new(SlotId(s), CellId(c)), self.get(s, c)))
         })
     }
 
@@ -112,7 +111,11 @@ impl SpatioTemporalMatrix {
 
     /// Elementwise map.
     pub fn map<F: FnMut(f64) -> f64>(&self, mut f: F) -> Self {
-        Self { slots: self.slots, cells: self.cells, data: self.data.iter().map(|&v| f(v)).collect() }
+        Self {
+            slots: self.slots,
+            cells: self.cells,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
     }
 
     /// Elementwise addition of another matrix with the same shape.

@@ -64,7 +64,9 @@ impl Arima {
         let x = DenseMatrix::from_rows(rows);
         let coeffs = match ridge_regression(&x, &targets, 1e-6) {
             Some(c) => c,
-            None => return if self.d > 0 { series[series.len() - 1].max(0.0) } else { mean.max(0.0) },
+            None => {
+                return if self.d > 0 { series[series.len() - 1].max(0.0) } else { mean.max(0.0) }
+            }
         };
         // One-step forecast of the differenced series.
         let mut forecast = coeffs[p]; // intercept

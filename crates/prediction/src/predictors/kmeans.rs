@@ -25,8 +25,7 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, max_iters: usize) -> KMeansResult {
     let dim = points[0].len();
     debug_assert!(points.iter().all(|p| p.len() == dim), "ragged points");
     // Strided initialisation.
-    let mut centroids: Vec<Vec<f64>> =
-        (0..k).map(|i| points[i * n / k].clone()).collect();
+    let mut centroids: Vec<Vec<f64>> = (0..k).map(|i| points[i * n / k].clone()).collect();
     let mut assignment = vec![0usize; n];
     let mut iterations = 0;
     for it in 0..max_iters {

@@ -104,8 +104,11 @@ mod tests {
             let m = SpatioTemporalMatrix::from_vec(1, 1, vec![v]);
             h.push(DayRecord { meta: DayMeta::new(d % 7, 0.0), workers: m.clone(), tasks: m });
         }
-        let pred = LinearRegression { k_recent: 4, lambda: 0.1, max_samples: 100 }
-            .predict(&h, Quantity::Workers, &DayMeta::new(5, 0.0));
+        let pred = LinearRegression { k_recent: 4, lambda: 0.1, max_samples: 100 }.predict(
+            &h,
+            Quantity::Workers,
+            &DayMeta::new(5, 0.0),
+        );
         assert!(pred.get(0, 0) >= 0.0);
     }
 

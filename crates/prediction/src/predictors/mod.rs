@@ -122,7 +122,11 @@ pub(crate) mod test_util {
         let pred = p.predict(&history, Quantity::Workers, &target);
         assert_eq!(pred.num_slots(), slots);
         assert_eq!(pred.num_cells(), cells);
-        assert!(pred.as_slice().iter().all(|v| v.is_finite() && *v >= 0.0), "{}: prediction must be finite and non-negative", p.name());
+        assert!(
+            pred.as_slice().iter().all(|v| v.is_finite() && *v >= 0.0),
+            "{}: prediction must be finite and non-negative",
+            p.name()
+        );
         let truth = ground_truth(0, slots, cells);
         let er = crate::metrics::error_rate(&truth, &pred);
         assert!(er < max_er, "{}: error rate {er} exceeded bound {max_er}", p.name());

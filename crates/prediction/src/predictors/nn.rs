@@ -1,3 +1,5 @@
+#![allow(clippy::needless_range_loop)] // index loops mirror the math notation
+
 //! Neural Network (NN): a small multilayer perceptron trained with
 //! mini-batch SGD on the recent-period features plus exogenous covariates
 //! (weather, position), as in the paper's NN baseline.
@@ -75,8 +77,7 @@ impl Mlp {
         let mut norm = Vec::with_capacity(d);
         for c in 0..d {
             let mean = (0..n).map(|r| x.get(r, c)).sum::<f64>() / n.max(1) as f64;
-            let var =
-                (0..n).map(|r| (x.get(r, c) - mean).powi(2)).sum::<f64>() / n.max(1) as f64;
+            let var = (0..n).map(|r| (x.get(r, c) - mean).powi(2)).sum::<f64>() / n.max(1) as f64;
             norm.push((mean, var.sqrt().max(1e-9)));
         }
         let t_mean = y.iter().sum::<f64>() / n.max(1) as f64;
@@ -84,8 +85,7 @@ impl Mlp {
         let target_norm = (t_mean, t_var.sqrt().max(1e-9));
 
         let scale = (2.0 / d.max(1) as f64).sqrt();
-        let mut w1 =
-            vec![vec![0.0; d]; hidden];
+        let mut w1 = vec![vec![0.0; d]; hidden];
         for row in &mut w1 {
             for w in row.iter_mut() {
                 *w = (rng.gen::<f64>() - 0.5) * 2.0 * scale;
@@ -105,8 +105,7 @@ impl Mlp {
         let standardized: Vec<Vec<f64>> = (0..n)
             .map(|r| (0..d).map(|c| (x.get(r, c) - net.norm[c].0) / net.norm[c].1).collect())
             .collect();
-        let targets_std: Vec<f64> =
-            y.iter().map(|v| (v - target_norm.0) / target_norm.1).collect();
+        let targets_std: Vec<f64> = y.iter().map(|v| (v - target_norm.0) / target_norm.1).collect();
 
         for _epoch in 0..epochs {
             indices.shuffle(&mut rng);
@@ -127,7 +126,8 @@ impl Mlp {
                         }
                         h[j] = z.max(0.0);
                     }
-                    let pred = net.b2 + h.iter().zip(net.w2.iter()).map(|(a, b)| a * b).sum::<f64>();
+                    let pred =
+                        net.b2 + h.iter().zip(net.w2.iter()).map(|(a, b)| a * b).sum::<f64>();
                     let err = pred - targets_std[i];
                     // Backward pass.
                     gb2 += err;

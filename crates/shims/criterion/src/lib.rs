@@ -1,0 +1,290 @@
+//! Offline shim for the subset of the `criterion` API used by this workspace.
+//!
+//! The build environment has no access to crates.io, so the benches run
+//! against this vendored mini-harness instead of the real `criterion` crate.
+//! It provides [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`],
+//! [`BenchmarkId`], [`black_box`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement is a simple adaptive loop: each benchmark is warmed up, then
+//! run for roughly the configured measurement time, and the mean, minimum and
+//! maximum iteration times are printed. There are no statistical plots or
+//! saved baselines — the numbers are meant for coarse before/after
+//! comparisons (the committed `BENCH_*.json` files), not for rigorous
+//! statistics.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Prevent the compiler from optimising a value away.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Timing summary of one benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Summary {
+    /// Number of timed iterations.
+    pub iterations: u64,
+    /// Mean time per iteration.
+    pub mean: Duration,
+    /// Fastest iteration.
+    pub min: Duration,
+    /// Slowest iteration.
+    pub max: Duration,
+}
+
+/// The top-level harness handle (shim of `criterion::Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(1),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Set the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Set the default sample size (minimum timed iterations).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup { criterion: self, name, sample_size: None, measurement_time: None }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let summary = run_bench(self.warm_up_time, self.measurement_time, self.sample_size, f);
+        print_summary(&id, &summary);
+        self
+    }
+}
+
+/// A group of related benchmarks (shim of `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the minimum number of timed iterations for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Set the measurement budget for this group only (like the real
+    /// criterion, the parent `Criterion` setting is untouched).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let summary = run_bench(
+            self.criterion.warm_up_time,
+            self.measurement_time.unwrap_or(self.criterion.measurement_time),
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            f,
+        );
+        print_summary(&id, &summary);
+        self
+    }
+
+    /// Benchmark a closure with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id.render(), |b| f(b, input))
+    }
+
+    /// Finish the group (printing is incremental, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { function: function.into(), parameter: parameter.to_string() }
+    }
+
+    /// A benchmark id that is only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { function: String::new(), parameter: parameter.to_string() }
+    }
+
+    fn render(&self) -> String {
+        if self.function.is_empty() {
+            self.parameter.clone()
+        } else {
+            format!("{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    summary: Option<Summary>,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time the routine, adaptively choosing the iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget is spent.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+        }
+        // Measurement: at least `sample_size` iterations, stopping once the
+        // measurement budget is exhausted.
+        let mut iterations = 0u64;
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        while iterations < self.sample_size as u64 || total < self.measurement_time {
+            let start = Instant::now();
+            black_box(routine());
+            let dt = start.elapsed();
+            iterations += 1;
+            total += dt;
+            min = min.min(dt);
+            max = max.max(dt);
+            // Never spin more than 4x the budget on a slow routine.
+            if total >= self.measurement_time * 4 {
+                break;
+            }
+        }
+        self.summary =
+            Some(Summary { iterations, mean: total / iterations.max(1) as u32, min, max });
+    }
+}
+
+fn run_bench<F>(
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    mut f: F,
+) -> Summary
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher { summary: None, warm_up_time, measurement_time, sample_size };
+    f(&mut bencher);
+    bencher.summary.unwrap_or(Summary {
+        iterations: 0,
+        mean: Duration::ZERO,
+        min: Duration::ZERO,
+        max: Duration::ZERO,
+    })
+}
+
+fn print_summary(id: &str, s: &Summary) {
+    println!(
+        "bench {id:<48} {:>12.3?} /iter  (n={}, min {:.3?}, max {:.3?})",
+        s.mean, s.iterations, s.min, s.max
+    );
+}
+
+/// Declare a benchmark group function (shim of `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declare the bench entry point (shim of `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_a_routine() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(1));
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_id_renders_function_and_parameter() {
+        assert_eq!(BenchmarkId::new("f", 10).render(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter("x").render(), "x");
+    }
+}

@@ -1,0 +1,151 @@
+//! Offline shim for the subset of the `proptest` API used by this workspace.
+//!
+//! The build environment has no access to crates.io, so the property tests
+//! run against this vendored mini-implementation instead of the real
+//! `proptest` crate. It supports:
+//!
+//! * the [`proptest!`] macro with an optional `#![proptest_config(...)]`
+//!   header and `pattern in strategy` argument lists,
+//! * [`Strategy`] implemented for numeric ranges, tuples of strategies,
+//!   [`prelude::Just`], [`collection::vec`], `prop_map` and `prop_flat_map`,
+//! * [`prop_assert!`], [`prop_assert_eq!`] and [`prop_assume!`].
+//!
+//! Semantics are deliberately simple: each test case draws fresh random
+//! inputs from a deterministic per-test seed and failures report the failing
+//! inputs — there is **no shrinking**. That is enough for the equivalence
+//! and invariant suites in this repository while keeping the shim tiny.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod runner;
+pub mod strategy;
+
+/// The common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::runner::{ProptestConfig, TestCaseError};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Strategies: how random values of each type are generated.
+pub mod strategy_impl {}
+
+/// Assert a condition inside a `proptest!` body.
+///
+/// On failure the current test case returns an error that the runner reports
+/// together with the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::runner::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::runner::TestCaseError::fail(format!(
+                "assertion failed: {}: {}",
+                stringify!($cond),
+                format!($($fmt)*)
+            )));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return ::std::result::Result::Err($crate::runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return ::std::result::Result::Err($crate::runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?}): {}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                format!($($fmt)*)
+            )));
+        }
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        if l == r {
+            return ::std::result::Result::Err($crate::runner::TestCaseError::fail(format!(
+                "assertion failed: {} != {} (both: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// Discard the current test case unless the assumption holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Define property tests. Mirrors `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { ($crate::runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            $crate::runner::run_cases(&__config, stringify!($name), |__rng| {
+                let __values = ($($crate::strategy::Strategy::generate(&$strat, __rng),)+);
+                let __debug = format!("{:?}", __values);
+                let ($($pat,)+) = __values;
+                let __outcome: ::std::result::Result<(), $crate::runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                (__outcome, __debug)
+            });
+        }
+        $crate::__proptest_cases! { ($cfg) $($rest)* }
+    };
+}

@@ -1,0 +1,100 @@
+//! The test-case runner behind the [`crate::proptest!`] macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed; the case (and the test) fails.
+    Fail(String),
+    /// A `prop_assume!` did not hold; the case is discarded.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Construct a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Runner configuration (shim of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum number of `prop_assume!` rejections before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256, max_global_rejects: 65_536 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases, ..Self::default() }
+    }
+}
+
+/// Seed base: fixed so test runs are reproducible. Override with the
+/// `PROPTEST_SEED` environment variable (parsed as u64) to explore other
+/// input streams.
+fn seed_base() -> u64 {
+    std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5EED_CAFE_F00D_D00D)
+}
+
+/// Hash a test name into a per-test seed offset (FNV-1a).
+fn name_seed(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Run up to `config.cases` random cases of one property. `case` returns the
+/// outcome together with a debug rendering of the generated inputs (used in
+/// the failure report, since this shim does not shrink).
+pub fn run_cases<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> (Result<(), TestCaseError>, String),
+{
+    let base = seed_base() ^ name_seed(name);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut iteration = 0u64;
+    while passed < config.cases {
+        let seed = base.wrapping_add(iteration);
+        iteration += 1;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (outcome, inputs) = case(&mut rng);
+        match outcome {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "proptest {name}: too many prop_assume! rejections \
+                         ({rejected}) before reaching {} cases",
+                        config.cases
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest {name} failed (case seed {seed:#x}, \
+                     after {passed} passing cases)\ninputs: {inputs}\n{msg}"
+                );
+            }
+        }
+    }
+}

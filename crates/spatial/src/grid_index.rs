@@ -97,13 +97,49 @@ impl<T: Clone> GridBucketIndex<T> {
     pub fn nearest_where<F>(
         &self,
         query: &Location,
-        mut feasible: F,
+        feasible: F,
     ) -> Option<(EntryHandle, Location, T, f64)>
     where
         F: FnMut(&T, &Location) -> bool,
     {
-        if self.len == 0 {
-            return None;
+        self.nearest_within(query, f64::INFINITY, feasible)
+    }
+
+    /// Like [`Self::nearest_where`], but only considers entries within
+    /// `max_radius` of the query (inclusive). The ring expansion stops as
+    /// soon as every remaining ring lies entirely outside the radius, so
+    /// queries that cannot succeed terminate after scanning a disk instead
+    /// of the whole index — this is the *reachable disk* pruning online
+    /// algorithms use (a candidate farther than the disk radius can never
+    /// satisfy the deadline constraint anyway).
+    pub fn nearest_within<F>(
+        &self,
+        query: &Location,
+        max_radius: f64,
+        feasible: F,
+    ) -> Option<(EntryHandle, Location, T, f64)>
+    where
+        F: FnMut(&T, &Location) -> bool,
+    {
+        self.nearest_within_counted(query, max_radius, feasible).0
+    }
+
+    /// [`Self::nearest_within`] that additionally reports how many stored
+    /// entries the query *scanned* (had their distance computed), which is
+    /// the backend-comparable measure of query work an exhaustive scan
+    /// would spend on every live entry.
+    pub fn nearest_within_counted<F>(
+        &self,
+        query: &Location,
+        max_radius: f64,
+        mut feasible: F,
+    ) -> (Option<(EntryHandle, Location, T, f64)>, u64)
+    where
+        F: FnMut(&T, &Location) -> bool,
+    {
+        let mut scanned = 0u64;
+        if self.len == 0 || max_radius < 0.0 {
+            return (None, scanned);
         }
         let cw = self.bounds.width() / self.nx as f64;
         let ch = self.bounds.height() / self.ny as f64;
@@ -113,22 +149,32 @@ impl<T: Clone> GridBucketIndex<T> {
         let mut best: Option<(EntryHandle, Location, T, f64)> = None;
 
         for ring in 0..=max_ring {
-            // Once we have a candidate closer than the closest possible point
-            // in this ring, we are done. A point in ring `ring` is at least
-            // `(ring - 1) * min_cell` away from the query.
-            if let Some((_, _, _, best_d)) = &best {
-                if ring >= 1 && *best_d <= (ring as f64 - 1.0) * min_cell {
+            // A point in ring `ring` is at least `(ring - 1) * min_cell` away
+            // from the query. Once we have a candidate closer than that — or
+            // the whole ring lies beyond `max_radius` — we are done.
+            if ring >= 1 {
+                let ring_min_dist = (ring as f64 - 1.0) * min_cell;
+                if ring_min_dist > max_radius {
                     break;
+                }
+                if let Some((_, _, _, best_d)) = &best {
+                    if *best_d <= ring_min_dist {
+                        break;
+                    }
                 }
             }
             let mut any_bucket_in_ring = false;
             for (bx, by) in ring_coords(qx, qy, ring, self.nx, self.ny) {
                 any_bucket_in_ring = true;
                 for entry in &self.buckets[by * self.nx + bx] {
+                    scanned += 1;
+                    let d = query.distance(&entry.location);
+                    if d > max_radius {
+                        continue;
+                    }
                     if !feasible(&entry.payload, &entry.location) {
                         continue;
                     }
-                    let d = query.distance(&entry.location);
                     let better = match &best {
                         None => true,
                         Some((_, _, _, bd)) => d < *bd,
@@ -147,12 +193,54 @@ impl<T: Clone> GridBucketIndex<T> {
                 break;
             }
         }
-        best
+        (best, scanned)
     }
 
     /// Iterate over all entries (in unspecified order).
     pub fn iter(&self) -> impl Iterator<Item = (&Location, &T)> {
         self.buckets.iter().flatten().map(|e| (&e.location, &e.payload))
+    }
+
+    /// Visit every entry within `radius` of `center` (Euclidean, inclusive).
+    ///
+    /// Only the buckets overlapping the query disk's bounding square are
+    /// scanned, so the cost is proportional to the local density rather than
+    /// the total number of entries. This is the range query online algorithms
+    /// use to enumerate the candidates inside a worker's (or task's)
+    /// reachable disk.
+    pub fn for_each_within<F>(&self, center: &Location, radius: f64, visit: F)
+    where
+        F: FnMut(&Location, &T),
+    {
+        let _ = self.for_each_within_counted(center, radius, visit);
+    }
+
+    /// [`Self::for_each_within`] that additionally reports how many stored
+    /// entries the query scanned (see [`Self::nearest_within_counted`]).
+    pub fn for_each_within_counted<F>(&self, center: &Location, radius: f64, mut visit: F) -> u64
+    where
+        F: FnMut(&Location, &T),
+    {
+        let mut scanned = 0u64;
+        if self.len == 0 || radius < 0.0 {
+            return scanned;
+        }
+        let (min_bx, min_by) =
+            self.bucket_coords(&Location::new(center.x - radius, center.y - radius));
+        let (max_bx, max_by) =
+            self.bucket_coords(&Location::new(center.x + radius, center.y + radius));
+        let r2 = radius * radius;
+        for by in min_by..=max_by {
+            for bx in min_bx..=max_bx {
+                for entry in &self.buckets[by * self.nx + bx] {
+                    scanned += 1;
+                    if center.distance_sq(&entry.location) <= r2 {
+                        visit(&entry.location, &entry.payload);
+                    }
+                }
+            }
+        }
+        scanned
     }
 
     /// Retain only the entries for which the predicate returns true.

@@ -79,7 +79,11 @@ impl<T> KdTree<T> {
     }
 
     /// Exact nearest neighbour among points accepted by `feasible`.
-    pub fn nearest_where<F>(&self, query: &Location, mut feasible: F) -> Option<(&Location, &T, f64)>
+    pub fn nearest_where<F>(
+        &self,
+        query: &Location,
+        mut feasible: F,
+    ) -> Option<(&Location, &T, f64)>
     where
         F: FnMut(&T, &Location) -> bool,
     {
@@ -101,7 +105,7 @@ impl<T> KdTree<T> {
         let node = &self.nodes[node_id];
         let (loc, payload) = &self.points[node.point];
         let d2 = query.distance_sq(loc);
-        if feasible(payload, loc) && best.map_or(true, |(_, bd)| d2 < bd) {
+        if feasible(payload, loc) && best.is_none_or(|(_, bd)| d2 < bd) {
             *best = Some((node.point, d2));
         }
         let diff = if node.axis == 0 { query.x - loc.x } else { query.y - loc.y };
@@ -112,7 +116,7 @@ impl<T> KdTree<T> {
         }
         // Only descend into the far side if the splitting plane is closer
         // than the current best distance (or no best exists yet).
-        if best.map_or(true, |(_, bd)| diff * diff < bd) {
+        if best.is_none_or(|(_, bd)| diff * diff < bd) {
             if let Some(f) = far {
                 self.search(f, query, feasible, best);
             }
@@ -198,10 +202,7 @@ mod tests {
             Location::new(20.0, 3.0),
             Location::new(0.49, 8.51),
         ] {
-            let brute = pts
-                .iter()
-                .map(|(l, _)| q.distance(l))
-                .fold(f64::INFINITY, f64::min);
+            let brute = pts.iter().map(|(l, _)| q.distance(l)).fold(f64::INFINITY, f64::min);
             let (_, _, d) = t.nearest(&q).unwrap();
             assert!((d - brute).abs() < 1e-9, "query {q}");
         }

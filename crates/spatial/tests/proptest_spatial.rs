@@ -9,9 +9,7 @@ fn points_strategy() -> impl Strategy<Value = Vec<(f64, f64)>> {
 }
 
 fn brute_nearest(pts: &[(f64, f64)], q: &Location) -> f64 {
-    pts.iter()
-        .map(|&(x, y)| q.distance(&Location::new(x, y)))
-        .fold(f64::INFINITY, f64::min)
+    pts.iter().map(|&(x, y)| q.distance(&Location::new(x, y))).fold(f64::INFINITY, f64::min)
 }
 
 proptest! {

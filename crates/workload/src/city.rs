@@ -174,12 +174,8 @@ impl CityWorkload {
     pub fn new(config: CityConfig) -> Self {
         let problem = config.problem_config();
         let task_intensity = Self::intensity(&config, &problem, 1.0, config.num_tasks as f64);
-        let worker_intensity = Self::intensity(
-            &config,
-            &problem,
-            config.worker_dispersion,
-            config.num_workers as f64,
-        );
+        let worker_intensity =
+            Self::intensity(&config, &problem, config.worker_dispersion, config.num_workers as f64);
         Self { config, problem, task_intensity, worker_intensity }
     }
 
@@ -256,7 +252,8 @@ impl CityWorkload {
 
     /// Multiplicative day factor applied to the base intensity.
     fn day_factor(meta: &DayMeta, quantity: Quantity) -> f64 {
-        let weekday_factor = if meta.weekday >= 5 { 0.78 } else { 1.0 + 0.02 * meta.weekday as f64 };
+        let weekday_factor =
+            if meta.weekday >= 5 { 0.78 } else { 1.0 + 0.02 * meta.weekday as f64 };
         let weather_factor = match quantity {
             // Bad weather: more taxi-calling demand, slightly fewer drivers.
             Quantity::Tasks => 1.0 + 0.35 * meta.weather,
@@ -292,7 +289,8 @@ impl CityWorkload {
     /// drawn from the day-seeded RNG).
     pub fn day_meta(&self, day: usize) -> DayMeta {
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ (day as u64).wrapping_mul(0x9E37));
-        let weather = if rng.gen::<f64>() < 0.25 { rng.gen::<f64>() } else { rng.gen::<f64>() * 0.2 };
+        let weather =
+            if rng.gen::<f64>() < 0.25 { rng.gen::<f64>() } else { rng.gen::<f64>() * 0.2 };
         DayMeta::new(day % 7, weather)
     }
 
@@ -369,28 +367,28 @@ impl CityWorkload {
         let history = self.generate_history(history_days);
         let test_day = history_days;
         let meta = self.day_meta(test_day);
-        let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(0xABCD + test_day as u64));
+        let mut rng =
+            StdRng::seed_from_u64(self.config.seed.wrapping_add(0xABCD + test_day as u64));
         let (actual_workers, actual_tasks) = self.generate_day_counts(&meta, &mut rng);
         let stream = self.materialize_stream(&actual_workers, &actual_tasks, &mut rng);
         let predicted_workers = predictor.predict(&history, Quantity::Workers, &meta);
         let predicted_tasks = predictor.predict(&history, Quantity::Tasks, &meta);
         (
-            Scenario {
-                config: self.problem.clone(),
-                stream,
-                predicted_workers,
-                predicted_tasks,
-            },
+            Scenario { config: self.problem.clone(), stream, predicted_workers, predicted_tasks },
             history,
         )
     }
 
     /// The ground-truth counts of the test day used by [`Self::generate_scenario`]
     /// (same seeds), for evaluating prediction error (Table 5).
-    pub fn test_day_truth(&self, history_days: usize) -> (DayMeta, SpatioTemporalMatrix, SpatioTemporalMatrix) {
+    pub fn test_day_truth(
+        &self,
+        history_days: usize,
+    ) -> (DayMeta, SpatioTemporalMatrix, SpatioTemporalMatrix) {
         let test_day = history_days;
         let meta = self.day_meta(test_day);
-        let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(0xABCD + test_day as u64));
+        let mut rng =
+            StdRng::seed_from_u64(self.config.seed.wrapping_add(0xABCD + test_day as u64));
         let (w, t) = self.generate_day_counts(&meta, &mut rng);
         (meta, w, t)
     }
@@ -446,8 +444,10 @@ mod tests {
         assert_eq!(h.len(), 14);
         assert_eq!(h.num_cells(), 96);
         // Weekends (days 5, 6, 12, 13) should have fewer tasks than weekdays.
-        let weekday_mean: f64 = [0usize, 1, 2, 3, 4].iter().map(|&d| h.days()[d].tasks.total()).sum::<f64>() / 5.0;
-        let weekend_mean: f64 = [5usize, 6].iter().map(|&d| h.days()[d].tasks.total()).sum::<f64>() / 2.0;
+        let weekday_mean: f64 =
+            [0usize, 1, 2, 3, 4].iter().map(|&d| h.days()[d].tasks.total()).sum::<f64>() / 5.0;
+        let weekend_mean: f64 =
+            [5usize, 6].iter().map(|&d| h.days()[d].tasks.total()).sum::<f64>() / 2.0;
         assert!(weekend_mean < weekday_mean);
     }
 

@@ -163,12 +163,8 @@ mod tests {
         let mut r = rng();
         for &lambda in &[0.5, 3.0, 12.0, 80.0] {
             let n = 5000;
-            let mean =
-                (0..n).map(|_| poisson(&mut r, lambda) as f64).sum::<f64>() / n as f64;
-            assert!(
-                (mean - lambda).abs() < lambda.max(1.0) * 0.1,
-                "lambda {lambda} mean {mean}"
-            );
+            let mean = (0..n).map(|_| poisson(&mut r, lambda) as f64).sum::<f64>() / n as f64;
+            assert!((mean - lambda).abs() < lambda.max(1.0) * 0.1, "lambda {lambda} mean {mean}");
         }
         assert_eq!(poisson(&mut r, 0.0), 0);
         assert_eq!(poisson(&mut r, -1.0), 0);

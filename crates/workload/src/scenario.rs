@@ -87,8 +87,8 @@ mod tests {
 
     #[test]
     fn actual_counts_total_matches_stream_size() {
-        let scenario = SyntheticConfig { num_workers: 200, num_tasks: 300, ..Default::default() }
-            .generate(7);
+        let scenario =
+            SyntheticConfig { num_workers: 200, num_tasks: 300, ..Default::default() }.generate(7);
         let (w, t) = scenario.actual_counts();
         assert_eq!(w.total() as usize, 200);
         assert_eq!(t.total() as usize, 300);

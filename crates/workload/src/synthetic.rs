@@ -110,6 +110,15 @@ impl Default for SyntheticConfig {
 }
 
 impl SyntheticConfig {
+    /// The ~100k-event scalability preset: 50,000 workers and 50,000 tasks on
+    /// the default Table 4 configuration. This is the scenario the
+    /// `bench_candidate_index` benchmark and the engine's index-backend
+    /// comparisons run on — large enough that linear candidate scans are
+    /// visibly quadratic while grid-index range queries stay near-linear.
+    pub fn scalability() -> Self {
+        Self { num_workers: 50_000, num_tasks: 50_000, ..Self::default() }
+    }
+
     /// The horizon length in minutes.
     pub fn horizon_minutes(&self) -> f64 {
         self.num_slots as f64 * self.slot_minutes
@@ -117,13 +126,11 @@ impl SyntheticConfig {
 
     /// Build the [`ProblemConfig`] implied by this synthetic configuration.
     pub fn problem_config(&self) -> ProblemConfig {
-        let grid = GridPartition::square(self.region_side, self.grid_n)
-            .expect("grid_n must be positive");
-        let slots = SlotPartition::over_horizon(
-            TimeDelta::minutes(self.horizon_minutes()),
-            self.num_slots,
-        )
-        .expect("num_slots must be positive");
+        let grid =
+            GridPartition::square(self.region_side, self.grid_n).expect("grid_n must be positive");
+        let slots =
+            SlotPartition::over_horizon(TimeDelta::minutes(self.horizon_minutes()), self.num_slots)
+                .expect("num_slots must be positive");
         let velocity = self.velocity_units_per_slot / self.slot_minutes;
         ProblemConfig::new(
             grid,
@@ -243,7 +250,6 @@ impl SyntheticConfig {
     }
 }
 
-
 /// Largest-remainder rounding of a fractional count matrix into integer
 /// per-bin counts whose sum equals the rounded total.
 fn round_preserving_total(matrix: &SpatioTemporalMatrix) -> Vec<usize> {
@@ -252,11 +258,8 @@ fn round_preserving_total(matrix: &SpatioTemporalMatrix) -> Vec<usize> {
     let mut counts: Vec<usize> = values.iter().map(|&v| v.max(0.0).floor() as usize).collect();
     let floor_total: usize = counts.iter().sum();
     if target > floor_total {
-        let mut remainders: Vec<(usize, f64)> = values
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| (i, v.max(0.0) - v.max(0.0).floor()))
-            .collect();
+        let mut remainders: Vec<(usize, f64)> =
+            values.iter().enumerate().map(|(i, &v)| (i, v.max(0.0) - v.max(0.0).floor())).collect();
         remainders.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         for &(i, _) in remainders.iter().take(target - floor_total) {
             counts[i] += 1;

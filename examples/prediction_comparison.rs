@@ -32,7 +32,8 @@ fn main() {
 
     let opt_size = {
         // Reference: the offline optimum is prediction-independent.
-        let (scenario, _) = city.generate_scenario(&ftoa::prediction::HistoricalAverage, history_days);
+        let (scenario, _) =
+            city.generate_scenario(&ftoa::prediction::HistoricalAverage, history_days);
         let instance = Instance::new(
             &scenario.config,
             &scenario.stream,

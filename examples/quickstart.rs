@@ -11,12 +11,9 @@ use ftoa::workload::SyntheticConfig;
 fn main() {
     // A 2,000-worker / 2,000-task day on the paper's default synthetic
     // configuration (50x50 grid, 48 slots of 15 minutes, Dr = 2 slots).
-    let scenario = SyntheticConfig {
-        num_workers: 2_000,
-        num_tasks: 2_000,
-        ..SyntheticConfig::default()
-    }
-    .generate(2017);
+    let scenario =
+        SyntheticConfig { num_workers: 2_000, num_tasks: 2_000, ..SyntheticConfig::default() }
+            .generate(2017);
 
     println!(
         "Scenario: {} workers, {} tasks, {} grid cells, {} time slots",

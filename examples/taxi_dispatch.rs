@@ -32,9 +32,7 @@ fn main() {
     let (meta, truth_workers, truth_tasks) = city.test_day_truth(history_days);
 
     let ha_tasks = HistoricalAverage.predict(&history, Quantity::Tasks, &meta);
-    println!(
-        "\nPrediction error on the held-out day (task counts, lower is better):"
-    );
+    println!("\nPrediction error on the held-out day (task counts, lower is better):");
     println!("  HP-MSI error rate: {:.3}", error_rate(&truth_tasks, &scenario.predicted_tasks));
     println!("  HA     error rate: {:.3}", error_rate(&truth_tasks, &ha_tasks));
     println!(

@@ -51,8 +51,12 @@ fn example_stream() -> EventStream {
     )
 }
 
-fn counts(config: &ProblemConfig, stream: &EventStream) -> (SpatioTemporalMatrix, SpatioTemporalMatrix) {
-    let mut workers = SpatioTemporalMatrix::zeros(config.slots.num_slots(), config.grid.num_cells());
+fn counts(
+    config: &ProblemConfig,
+    stream: &EventStream,
+) -> (SpatioTemporalMatrix, SpatioTemporalMatrix) {
+    let mut workers =
+        SpatioTemporalMatrix::zeros(config.slots.num_slots(), config.grid.num_cells());
     let mut tasks = workers.clone();
     for w in stream.workers() {
         workers.increment_key(TypeKey::new(

@@ -9,8 +9,14 @@ use ftoa::workload::city::CityWorkload;
 use ftoa::workload::{CityConfig, SyntheticConfig};
 
 fn small_synthetic() -> ftoa::workload::Scenario {
-    SyntheticConfig { num_workers: 600, num_tasks: 600, grid_n: 20, num_slots: 12, ..Default::default() }
-        .generate(99)
+    SyntheticConfig {
+        num_workers: 600,
+        num_tasks: 600,
+        grid_n: 20,
+        num_slots: 12,
+        ..Default::default()
+    }
+    .generate(99)
 }
 
 #[test]

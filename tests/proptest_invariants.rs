@@ -61,10 +61,16 @@ fn build_instance(
     let mut pw = SpatioTemporalMatrix::zeros(config.slots.num_slots(), config.grid.num_cells());
     let mut pt = pw.clone();
     for w in stream.workers() {
-        pw.increment_key(TypeKey::new(config.slots.slot_of(w.start), config.grid.cell_of(&w.location)));
+        pw.increment_key(TypeKey::new(
+            config.slots.slot_of(w.start),
+            config.grid.cell_of(&w.location),
+        ));
     }
     for r in stream.tasks() {
-        pt.increment_key(TypeKey::new(config.slots.slot_of(r.release), config.grid.cell_of(&r.location)));
+        pt.increment_key(TypeKey::new(
+            config.slots.slot_of(r.release),
+            config.grid.cell_of(&r.location),
+        ));
     }
     (stream, pw, pt)
 }
