@@ -1,0 +1,165 @@
+//! Replay a recorded trace through the algorithm suite — and capture new
+//! traces from the built-in scenario presets.
+//!
+//! Replay mode (the default):
+//!
+//! ```text
+//! replay --trace traces/fixture_small.trace [--algo all|name[,name...]]
+//!        [--backend grid|linear] [--deterministic-only] [--out metrics.json]
+//! ```
+//!
+//! Runs the selected algorithms (default: all five) over the trace via
+//! `Trace::into_scenario` + `run_algorithms` — predictions are the trace's
+//! realised counts, through the same canonical
+//! `SpatioTemporalMatrix::from_arrivals` derivation that
+//! `ftoa_core::ReplayDriver` (the single-policy library entry point) uses —
+//! and writes a `ftoa-replay-metrics v1` JSON document to `--out` (stdout if
+//! omitted). With `--deterministic-only` the timing/memory fields are
+//! omitted so the output is byte-stable; the CI `replay-regression` job
+//! diffs exactly that output against `traces/golden_metrics.json`.
+//!
+//! Capture mode:
+//!
+//! ```text
+//! replay --capture fixture|hotspot|rush-hour|imbalance|synthetic
+//!        [--seed N] [--scale F] [--ratio R] --out file.trace
+//! ```
+//!
+//! Generates the named preset deterministically and writes it as a v1 trace
+//! file. `traces/fixture_small.trace` is `--capture fixture` verbatim; see
+//! the README for the regeneration recipe.
+
+use experiments::metrics::ReplayMetrics;
+use experiments::runner::{run_algorithms, Algo, SuiteOptions};
+use ftoa_core::IndexBackend;
+use workload::{presets, Scenario, TraceReader, TraceWriter};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Err(message) = run(&args) {
+        eprintln!("error: {message}");
+        eprintln!(
+            "usage: replay --trace <file> [--algo all|name,..] [--backend grid|linear] \
+             [--deterministic-only] [--out <file>]\n       \
+             replay --capture <fixture|hotspot|rush-hour|imbalance|synthetic> [--seed N] \
+             [--scale F] [--ratio R] --out <file>"
+        );
+        std::process::exit(1);
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    if let Some(preset) = arg_value(args, "--capture") {
+        return capture(args, &preset);
+    }
+    let trace_path =
+        arg_value(args, "--trace").ok_or("missing --trace <file> (or --capture <preset>)")?;
+    let algos = parse_algos(&arg_value(args, "--algo").unwrap_or_else(|| "all".into()))?;
+    let backend = parse_backend(&arg_value(args, "--backend").unwrap_or_else(|| "grid".into()))?;
+    let deterministic_only = args.iter().any(|a| a == "--deterministic-only");
+
+    let trace = TraceReader::read_file(&trace_path).map_err(|e| e.to_string())?;
+    let scenario = trace.into_scenario();
+    eprintln!(
+        "replaying {}: {} workers, {} tasks, {} events ({} backend)",
+        trace_path,
+        scenario.stream.num_workers(),
+        scenario.stream.num_tasks(),
+        scenario.stream.len(),
+        backend.name()
+    );
+
+    let opts = SuiteOptions::default().with_backend(backend);
+    let results = run_algorithms(&scenario, &opts, &algos);
+    for r in &results {
+        eprintln!(
+            "  {:<14} matched {:>6}  ({} candidates examined, {:.3}s)",
+            r.algorithm,
+            r.matching_size(),
+            r.stats.candidates_examined,
+            r.runtime_secs()
+        );
+    }
+
+    let metrics = ReplayMetrics::new(
+        &trace_path,
+        backend.name(),
+        scenario.stream.num_workers(),
+        scenario.stream.num_tasks(),
+        scenario.stream.len(),
+        &results,
+    );
+    emit(args, &metrics.to_json(deterministic_only))
+}
+
+fn capture(args: &[String], preset: &str) -> Result<(), String> {
+    let seed: u64 = parse_or(args, "--seed", 2017)?;
+    let scale: f64 = parse_or(args, "--scale", 0.01)?;
+    let ratio: f64 = parse_or(args, "--ratio", 1.0)?;
+    let scenario: Scenario = match preset {
+        "fixture" => presets::ci_fixture(),
+        "hotspot" => presets::hotspot_skewed(scale, seed),
+        "rush-hour" => presets::rush_hour(scale, seed),
+        "imbalance" => presets::imbalance(ratio, scale, seed),
+        "synthetic" => workload::SyntheticConfig {
+            num_workers: ((20_000.0 * scale) as usize).max(1),
+            num_tasks: ((20_000.0 * scale) as usize).max(1),
+            ..Default::default()
+        }
+        .generate(seed),
+        other => return Err(format!("unknown preset `{other}`")),
+    };
+    eprintln!(
+        "captured preset `{preset}`: {} workers, {} tasks, {} events",
+        scenario.stream.num_workers(),
+        scenario.stream.num_tasks(),
+        scenario.stream.len()
+    );
+    emit(args, &TraceWriter::to_string(&scenario.config, &scenario.stream))
+}
+
+fn emit(args: &[String], content: &str) -> Result<(), String> {
+    match arg_value(args, "--out") {
+        Some(path) => {
+            if let Some(parent) = std::path::Path::new(&path).parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+                }
+            }
+            std::fs::write(&path, content).map_err(|e| e.to_string())?;
+            eprintln!("wrote {path}");
+        }
+        None => print!("{content}"),
+    }
+    Ok(())
+}
+
+fn parse_algos(spec: &str) -> Result<Vec<Algo>, String> {
+    if spec.eq_ignore_ascii_case("all") {
+        return Ok(Algo::ALL.to_vec());
+    }
+    spec.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|name| Algo::parse(name).ok_or_else(|| format!("unknown algorithm `{name}`")))
+        .collect()
+}
+
+fn parse_backend(spec: &str) -> Result<IndexBackend, String> {
+    match spec.to_ascii_lowercase().as_str() {
+        "grid" | "grid-index" => Ok(IndexBackend::Grid),
+        "linear" | "linear-scan" => Ok(IndexBackend::LinearScan),
+        other => Err(format!("unknown backend `{other}` (expected grid|linear)")),
+    }
+}
+
+fn parse_or<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> Result<T, String> {
+    match arg_value(args, key) {
+        Some(v) => v.parse().map_err(|_| format!("invalid value for {key}: `{v}`")),
+        None => Ok(default),
+    }
+}
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
+}

@@ -6,22 +6,28 @@
 //!   POLAR and POLAR-OP as the paper's framework does.
 //! * [`report`] — sweep-report tables (matching size / running time / memory
 //!   per algorithm and parameter value) with text and CSV rendering.
+//! * [`metrics`] — the canonical `ftoa-replay-metrics v1` JSON document the
+//!   `replay` binary emits; its deterministic-only rendering is what the CI
+//!   regression gate diffs against the golden file.
 //! * [`figures`] — the parameter sweeps of Figures 4, 5 and 6 plus the extra
 //!   ablations called out in DESIGN.md.
 //! * [`table5`] — the offline-prediction comparison (ER / RMLSE of the seven
 //!   predictors on the two city workloads).
 //!
 //! Binaries (`figure4`, `figure5`, `figure6`, `table5`, `ablation`,
-//! `run_all`) print the same series the paper plots; the Criterion benches
-//! under `benches/` time the same sweeps at a reduced scale.
+//! `run_all`) print the same series the paper plots; the `replay` binary
+//! captures and replays trace files; the Criterion benches under `benches/`
+//! time the same sweeps at a reduced scale.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod metrics;
 pub mod report;
 pub mod runner;
 pub mod table5;
 
+pub use metrics::{AlgorithmMetrics, ReplayMetrics};
 pub use report::SweepReport;
-pub use runner::{run_suite, SuiteOptions};
+pub use runner::{run_algorithms, run_suite, Algo, SuiteOptions};

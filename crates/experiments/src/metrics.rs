@@ -1,0 +1,218 @@
+//! Replay metrics: the JSON report of one trace replay.
+//!
+//! The `replay` CLI runs a set of algorithms over a recorded trace and emits
+//! one [`ReplayMetrics`] document. The serialisation is hand-rolled (the
+//! workspace is offline, no serde) and **canonical**: keys appear in a fixed
+//! order and integers are printed without formatting choices, so two runs
+//! over the same trace produce byte-identical output for the deterministic
+//! fields. CI exploits that: the `replay-regression` job renders the report
+//! with [`ReplayMetrics::to_json`]`(true)` — deterministic fields only — and
+//! diffs it against the checked-in golden file.
+//!
+//! Deterministic fields (stable across machines for a fixed trace and code
+//! version): matching size, total payoff, candidates examined, events,
+//! expiry counts. Non-deterministic fields (timings, memory estimates) are
+//! only included when `deterministic_only` is off.
+
+use ftoa_core::AlgorithmResult;
+use std::fmt::Write as _;
+
+/// Per-algorithm metrics of one replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlgorithmMetrics {
+    /// Algorithm display name.
+    pub algorithm: String,
+    /// Number of assigned pairs.
+    pub matching_size: usize,
+    /// Total payoff of the matching. The v1 trace model is unit-payoff, so
+    /// this equals the matching size; it is reported separately so golden
+    /// files stay stable when weighted payoffs arrive.
+    pub total_payoff: usize,
+    /// Candidates examined across all index queries.
+    pub candidates_examined: u64,
+    /// Workers that expired unmatched.
+    pub expired_workers: usize,
+    /// Tasks that expired unmatched.
+    pub expired_tasks: usize,
+    /// Online runtime in seconds (non-deterministic).
+    pub runtime_secs: f64,
+    /// Offline preprocessing in seconds (non-deterministic).
+    pub preprocessing_secs: f64,
+    /// Estimated peak memory in bytes (deterministic in practice, but tied
+    /// to allocator estimates — treated as non-deterministic).
+    pub memory_bytes: usize,
+}
+
+impl From<&AlgorithmResult> for AlgorithmMetrics {
+    fn from(r: &AlgorithmResult) -> Self {
+        Self {
+            algorithm: r.algorithm.clone(),
+            matching_size: r.matching_size(),
+            total_payoff: r.matching_size(),
+            candidates_examined: r.stats.candidates_examined,
+            expired_workers: r.stats.expired_workers,
+            expired_tasks: r.stats.expired_tasks,
+            runtime_secs: r.runtime_secs(),
+            preprocessing_secs: r.preprocessing.as_secs_f64(),
+            memory_bytes: r.memory_bytes,
+        }
+    }
+}
+
+/// The full JSON document of one replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayMetrics {
+    /// Path (or label) of the replayed trace.
+    pub trace: String,
+    /// Candidate-index backend name.
+    pub backend: &'static str,
+    /// Number of workers in the trace.
+    pub workers: usize,
+    /// Number of tasks in the trace.
+    pub tasks: usize,
+    /// Number of arrival events.
+    pub events: usize,
+    /// One entry per replayed algorithm, in run order.
+    pub algorithms: Vec<AlgorithmMetrics>,
+}
+
+impl ReplayMetrics {
+    /// Assemble the document from replay results.
+    pub fn new(
+        trace: impl Into<String>,
+        backend: &'static str,
+        workers: usize,
+        tasks: usize,
+        events: usize,
+        results: &[AlgorithmResult],
+    ) -> Self {
+        Self {
+            trace: trace.into(),
+            backend,
+            workers,
+            tasks,
+            events,
+            algorithms: results.iter().map(AlgorithmMetrics::from).collect(),
+        }
+    }
+
+    /// Render as canonical JSON. With `deterministic_only` the
+    /// timing/memory fields are omitted, making the output byte-stable for a
+    /// fixed trace — the representation the CI golden file pins.
+    pub fn to_json(&self, deterministic_only: bool) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"format\": \"ftoa-replay-metrics v1\",");
+        let _ = writeln!(out, "  \"trace\": \"{}\",", escape_json(&self.trace));
+        let _ = writeln!(out, "  \"backend\": \"{}\",", escape_json(self.backend));
+        let _ = writeln!(
+            out,
+            "  \"scenario\": {{\"workers\": {}, \"tasks\": {}, \"events\": {}}},",
+            self.workers, self.tasks, self.events
+        );
+        let _ = writeln!(out, "  \"algorithms\": [");
+        for (i, a) in self.algorithms.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"algorithm\": \"{}\", \"matching_size\": {}, \"total_payoff\": {}, \
+                 \"candidates_examined\": {}, \"expired_workers\": {}, \"expired_tasks\": {}",
+                escape_json(&a.algorithm),
+                a.matching_size,
+                a.total_payoff,
+                a.candidates_examined,
+                a.expired_workers,
+                a.expired_tasks
+            );
+            if !deterministic_only {
+                let _ = write!(
+                    out,
+                    ", \"runtime_secs\": {:.6}, \"preprocessing_secs\": {:.6}, \
+                     \"memory_bytes\": {}",
+                    a.runtime_secs, a.preprocessing_secs, a.memory_bytes
+                );
+            }
+            let _ = writeln!(out, "}}{}", if i + 1 < self.algorithms.len() { "," } else { "" });
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftoa_core::EngineStats;
+    use ftoa_types::{Assignment, AssignmentSet, TaskId, TimeStamp, WorkerId};
+    use std::time::Duration;
+
+    fn fake_result(name: &str, size: usize, candidates: u64) -> AlgorithmResult {
+        let mut assignments = AssignmentSet::new();
+        for i in 0..size {
+            assignments.push(Assignment::new(WorkerId(i), TaskId(i), TimeStamp::ZERO)).unwrap();
+        }
+        AlgorithmResult {
+            algorithm: name.into(),
+            assignments,
+            preprocessing: Duration::from_millis(3),
+            runtime: Duration::from_millis(17),
+            memory_bytes: 4096,
+            stats: EngineStats {
+                backend: "grid-index",
+                events: 10,
+                expired_workers: 2,
+                expired_tasks: 1,
+                candidates_examined: candidates,
+            },
+        }
+    }
+
+    #[test]
+    fn deterministic_json_omits_timings_and_is_stable() {
+        let results = [fake_result("SimpleGreedy", 3, 42), fake_result("OPT", 5, 0)];
+        let metrics = ReplayMetrics::new("traces/x.trace", "grid-index", 6, 5, 11, &results);
+        let json = metrics.to_json(true);
+        assert!(json.contains("\"format\": \"ftoa-replay-metrics v1\""));
+        assert!(json.contains("\"matching_size\": 3"));
+        assert!(json.contains("\"total_payoff\": 5"));
+        assert!(json.contains("\"candidates_examined\": 42"));
+        assert!(!json.contains("runtime_secs"));
+        assert!(!json.contains("memory_bytes"));
+        // Canonical: identical inputs render byte-identically.
+        assert_eq!(json, metrics.to_json(true));
+    }
+
+    #[test]
+    fn full_json_includes_timings() {
+        let results = [fake_result("GR", 1, 7)];
+        let metrics = ReplayMetrics::new("t", "linear-scan", 1, 1, 2, &results);
+        let json = metrics.to_json(false);
+        assert!(json.contains("\"runtime_secs\": 0.017000"));
+        assert!(json.contains("\"memory_bytes\": 4096"));
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+}

@@ -108,16 +108,23 @@ impl SweepReport {
     }
 
     /// Render as CSV: one row per (metric, algorithm, x).
+    ///
+    /// The first line is a version comment (`# ftoa-sweep-report v1`) so
+    /// downstream tooling can detect format changes, and free-text fields
+    /// (algorithm names, x-axis values) are quoted per RFC 4180 whenever they
+    /// contain a delimiter — keeping the output diff-stable in CI even if an
+    /// algorithm label ever grows a comma or quote.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("metric,algorithm,x,value\n");
+        let mut out = String::from("# ftoa-sweep-report v1\nmetric,algorithm,x,value\n");
         for (metric, data) in [
             ("matching_size", &self.matching_size),
             ("runtime_secs", &self.runtime_secs),
             ("memory_mb", &self.memory_mb),
         ] {
             for (i, alg) in self.algorithms.iter().enumerate() {
+                let alg = csv_field(alg);
                 for (j, x) in self.x_values.iter().enumerate() {
-                    let _ = writeln!(out, "{metric},{alg},{x},{}", data[i][j]);
+                    let _ = writeln!(out, "{metric},{alg},{},{}", csv_field(x), data[i][j]);
                 }
             }
         }
@@ -128,6 +135,16 @@ impl SweepReport {
     pub fn series(&self, algorithm: &str, metric: &str) -> Option<&[f64]> {
         let idx = self.algorithms.iter().position(|a| a == algorithm)?;
         Some(&self.metric(metric)[idx])
+    }
+}
+
+/// Quote a CSV field per RFC 4180 when it contains a comma, quote or
+/// newline; plain fields pass through unchanged.
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
     }
 }
 
@@ -165,9 +182,19 @@ mod tests {
         assert!(text.contains("matching size"));
         let csv = report.to_csv();
         assert!(csv.lines().count() > 10);
-        assert!(csv.starts_with("metric,algorithm,x,value"));
+        assert!(csv.starts_with("# ftoa-sweep-report v1\nmetric,algorithm,x,value"));
         assert_eq!(report.series("OPT", "matching size"), Some(&[20.0, 30.0][..]));
         assert_eq!(report.series("NOPE", "matching size"), None);
+    }
+
+    #[test]
+    fn csv_escapes_delimiters_in_names() {
+        let mut report = SweepReport::new("Escaping", "x");
+        report.record("a,b", &[fake_result("ALG \"v2\", tuned", 1)]);
+        let csv = report.to_csv();
+        assert!(csv.contains("\"ALG \"\"v2\"\", tuned\",\"a,b\""), "csv was:\n{csv}");
+        // Plain names stay unquoted.
+        assert_eq!(csv_field("POLAR-OP"), "POLAR-OP");
     }
 
     #[test]

@@ -54,12 +54,68 @@ impl SuiteOptions {
     }
 }
 
+/// One of the five evaluated algorithms, for selecting a subset of the suite
+/// (the `replay` CLI's `--algo` knob).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// Nearest-feasible-neighbour greedy (wait in place).
+    SimpleGreedy,
+    /// The GR baseline: windowed batch matching.
+    Gr,
+    /// Algorithm 2 (occupy-once guide nodes).
+    Polar,
+    /// Algorithm 3 (reusable guide nodes).
+    PolarOp,
+    /// The offline optimum.
+    Opt,
+}
+
+impl Algo {
+    /// All five algorithms in the canonical suite order.
+    pub const ALL: [Algo; 5] =
+        [Algo::SimpleGreedy, Algo::Gr, Algo::Polar, Algo::PolarOp, Algo::Opt];
+
+    /// The display name used in results and the paper's plots.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::SimpleGreedy => "SimpleGreedy",
+            Algo::Gr => "GR",
+            Algo::Polar => "POLAR",
+            Algo::PolarOp => "POLAR-OP",
+            Algo::Opt => "OPT",
+        }
+    }
+
+    /// Parse a (case-insensitive) algorithm name as accepted by the CLIs.
+    pub fn parse(s: &str) -> Option<Algo> {
+        match s.to_ascii_lowercase().as_str() {
+            "simplegreedy" | "simple-greedy" | "greedy" => Some(Algo::SimpleGreedy),
+            "gr" | "batchgreedy" | "batch-greedy" => Some(Algo::Gr),
+            "polar" => Some(Algo::Polar),
+            "polar-op" | "polarop" => Some(Algo::PolarOp),
+            "opt" => Some(Algo::Opt),
+            _ => None,
+        }
+    }
+}
+
 /// Run SimpleGreedy, GR, POLAR, POLAR-OP (and optionally OPT) on a scenario.
 ///
 /// The offline guide is built once and shared by POLAR and POLAR-OP; its
 /// construction time is reported in each result's `preprocessing` field (the
 /// paper excludes it from the online running times).
 pub fn run_suite(scenario: &Scenario, opts: &SuiteOptions) -> Vec<AlgorithmResult> {
+    let algos: &[Algo] = if opts.include_opt { &Algo::ALL } else { &Algo::ALL[..4] };
+    run_algorithms(scenario, opts, algos)
+}
+
+/// Run an explicit subset of the suite, in the order given. The offline guide
+/// is built lazily (only when POLAR or POLAR-OP is selected) and shared.
+pub fn run_algorithms(
+    scenario: &Scenario,
+    opts: &SuiteOptions,
+    algos: &[Algo],
+) -> Vec<AlgorithmResult> {
     let instance = Instance::new(
         &scenario.config,
         &scenario.stream,
@@ -67,33 +123,43 @@ pub fn run_suite(scenario: &Scenario, opts: &SuiteOptions) -> Vec<AlgorithmResul
         &scenario.predicted_tasks,
     );
     let engine = SimulationEngine::new(opts.index_backend);
-    let mut results = Vec::new();
+    let mut guide: Option<(OfflineGuide, std::time::Duration)> = None;
+    let mut results = Vec::with_capacity(algos.len());
 
-    results.push(engine.run(&instance, &mut SimpleGreedy.policy()));
-    results.push(
-        engine.run(&instance, &mut BatchGreedy { window_minutes: opts.gr_window_minutes }.policy()),
-    );
-
-    let guide_start = Instant::now();
-    let guide = OfflineGuide::build(
-        &scenario.config,
-        &scenario.predicted_workers,
-        &scenario.predicted_tasks,
-    );
-    let preprocessing = guide_start.elapsed();
-
-    let polar = Polar { strict_feasibility: opts.strict_feasibility, ..Polar::default() };
-    let mut polar_result = engine.run(&instance, &mut polar.policy(&instance, &guide));
-    polar_result.preprocessing = preprocessing;
-    results.push(polar_result);
-
-    let polar_op = PolarOp { strict_feasibility: opts.strict_feasibility, ..PolarOp::default() };
-    let mut polar_op_result = engine.run(&instance, &mut polar_op.policy(&instance, &guide));
-    polar_op_result.preprocessing = preprocessing;
-    results.push(polar_op_result);
-
-    if opts.include_opt {
-        results.push(engine.run(&instance, &mut Opt { mode: opts.opt_mode }.policy()));
+    for &algo in algos {
+        let result = match algo {
+            Algo::SimpleGreedy => engine.run(&instance, &mut SimpleGreedy.policy()),
+            Algo::Gr => engine.run(
+                &instance,
+                &mut BatchGreedy { window_minutes: opts.gr_window_minutes }.policy(),
+            ),
+            Algo::Polar | Algo::PolarOp => {
+                let (guide, preprocessing) = guide.get_or_insert_with(|| {
+                    let start = Instant::now();
+                    let guide = OfflineGuide::build(
+                        &scenario.config,
+                        &scenario.predicted_workers,
+                        &scenario.predicted_tasks,
+                    );
+                    (guide, start.elapsed())
+                });
+                let mut result = if algo == Algo::Polar {
+                    let polar =
+                        Polar { strict_feasibility: opts.strict_feasibility, ..Polar::default() };
+                    engine.run(&instance, &mut polar.policy(&instance, guide))
+                } else {
+                    let polar_op = PolarOp {
+                        strict_feasibility: opts.strict_feasibility,
+                        ..PolarOp::default()
+                    };
+                    engine.run(&instance, &mut polar_op.policy(&instance, guide))
+                };
+                result.preprocessing = *preprocessing;
+                result
+            }
+            Algo::Opt => engine.run(&instance, &mut Opt { mode: opts.opt_mode }.policy()),
+        };
+        results.push(result);
     }
     results
 }
@@ -165,6 +231,32 @@ mod tests {
         // The grid index must prune: strictly fewer candidates examined on
         // the index-driven algorithms (SimpleGreedy here).
         assert!(grid[0].stats.candidates_examined < linear[0].stats.candidates_examined);
+    }
+
+    #[test]
+    fn algo_parse_round_trips_every_name() {
+        for algo in Algo::ALL {
+            assert_eq!(Algo::parse(algo.name()), Some(algo), "{}", algo.name());
+        }
+        assert_eq!(Algo::parse("polar-op"), Some(Algo::PolarOp));
+        assert_eq!(Algo::parse("nope"), None);
+    }
+
+    #[test]
+    fn run_algorithms_selects_a_subset_in_order() {
+        let scenario = small_scenario();
+        let subset = run_algorithms(
+            &scenario,
+            &SuiteOptions::default(),
+            &[Algo::PolarOp, Algo::SimpleGreedy],
+        );
+        let names: Vec<&str> = subset.iter().map(|r| r.algorithm.as_str()).collect();
+        assert_eq!(names, vec!["POLAR-OP", "SimpleGreedy"]);
+        // The subset results agree with the full suite (runs are independent).
+        let full = run_suite(&scenario, &SuiteOptions::default());
+        let full_polar_op =
+            full.iter().find(|r| r.algorithm == "POLAR-OP").unwrap().matching_size();
+        assert_eq!(subset[0].matching_size(), full_polar_op);
     }
 
     #[test]

@@ -12,11 +12,11 @@
 //! scratch:
 //!
 //! * [`FlowNetwork`] — a residual flow network with integer capacities.
-//! * [`edmonds_karp`] — BFS-based Ford–Fulkerson (the paper's reference
+//! * [`edmonds_karp`][mod@edmonds_karp] — BFS-based Ford–Fulkerson (the paper's reference
 //!   implementation).
-//! * [`dinic`] — the asymptotically faster algorithm used by default for the
+//! * [`dinic`][mod@dinic] — the asymptotically faster algorithm used by default for the
 //!   large guide/OPT instances.
-//! * [`hopcroft_karp`] — a dedicated maximum bipartite matching algorithm,
+//! * [`hopcroft_karp`][mod@hopcroft_karp] — a dedicated maximum bipartite matching algorithm,
 //!   used both as an independent cross-check in tests and as a fast path.
 //! * [`min_cost_max_flow`] — min-cost max-flow, for the paper's remark that a
 //!   travel-cost-weighted guide can be derived with a mincost-maxflow solver.

@@ -17,6 +17,9 @@
 //!   [`engine::SimulationEngine`], with candidate generation behind the
 //!   [`engine::CandidateIndex`] trait (linear-scan reference vs.
 //!   grid-index backend built on the `spatial` crate).
+//! * [`replay`] — the trace-replay entry point: derives realised
+//!   per-slot/per-cell counts from a recorded stream and drives any policy
+//!   over it through the unchanged engine.
 //! * [`movement`] — the worker movement model used when the platform guides a
 //!   worker to another grid area.
 //! * [`instance`] / [`result`] — the common input/output types of all
@@ -31,6 +34,7 @@ pub mod guide;
 pub mod instance;
 pub mod memory;
 pub mod movement;
+pub mod replay;
 pub mod result;
 
 pub use algorithms::{BatchGreedy, OnlineAlgorithm, Opt, Polar, PolarOp, SimpleGreedy};
@@ -40,4 +44,5 @@ pub use engine::{
 };
 pub use guide::{GuideEngine, GuideNode, GuideObjective, OfflineGuide};
 pub use instance::Instance;
+pub use replay::{stream_counts, ReplayDriver};
 pub use result::{AlgorithmResult, EngineStats};

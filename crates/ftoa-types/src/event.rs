@@ -102,6 +102,17 @@ impl EventStream {
         Self { workers, tasks, order }
     }
 
+    /// Merge two streams into one instance: the union of both worker and
+    /// task sets, re-sorted into a single arrival order (ids are rewritten
+    /// dense, `self`'s objects first). Workload generators use this to
+    /// compose structured scenarios — e.g. a rush-hour trace as the union of
+    /// a morning and an evening burst.
+    pub fn merge(&self, other: &EventStream) -> EventStream {
+        let workers = self.workers.iter().chain(&other.workers).copied().collect();
+        let tasks = self.tasks.iter().chain(&other.tasks).copied().collect();
+        EventStream::new(workers, tasks)
+    }
+
     /// All workers, indexed by `WorkerId`.
     pub fn workers(&self) -> &[Worker] {
         &self.workers
@@ -203,6 +214,21 @@ mod tests {
         assert!(s.events()[0].as_worker().is_some());
         assert!(s.events()[0].as_task().is_none());
         assert!(s.events()[1].as_task().is_some());
+    }
+
+    #[test]
+    fn merge_unions_and_resorts() {
+        let a = EventStream::new(vec![w(5.0)], vec![r(3.0)]);
+        let b = EventStream::new(vec![w(1.0)], vec![r(4.0)]);
+        let m = a.merge(&b);
+        assert_eq!(m.num_workers(), 2);
+        assert_eq!(m.num_tasks(), 2);
+        let times: Vec<f64> = m.iter().map(|e| e.time().as_minutes()).collect();
+        assert_eq!(times, vec![1.0, 3.0, 4.0, 5.0]);
+        // Ids are rewritten dense across the union.
+        assert_eq!(m.workers()[0].id, WorkerId(0));
+        assert_eq!(m.workers()[1].id, WorkerId(1));
+        assert_eq!(m.tasks()[1].id, TaskId(1));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The slot × cell count matrix `a_ij` / `b_ij`.
 
-use ftoa_types::{CellId, SlotId, TypeKey};
+use ftoa_types::{CellId, GridPartition, Location, SlotId, SlotPartition, TimeStamp, TypeKey};
 
 /// A dense `slots × cells` matrix of (possibly fractional) object counts.
 ///
@@ -26,6 +26,24 @@ impl SpatioTemporalMatrix {
     pub fn from_vec(slots: usize, cells: usize, data: Vec<f64>) -> Self {
         assert_eq!(data.len(), slots * cells, "dimension mismatch");
         Self { slots, cells, data }
+    }
+
+    /// Count a sequence of `(time, location)` arrivals into per-slot/per-cell
+    /// bins: the *realised* counterpart of a predicted count matrix.
+    ///
+    /// This is the one canonical derivation of realised counts — scenario
+    /// ground-truth counts (`workload::Scenario::actual_counts`) and trace
+    /// replay predictions (`ftoa_core::stream_counts`) both delegate here, so
+    /// the two can never diverge.
+    pub fn from_arrivals<I>(slots: &SlotPartition, grid: &GridPartition, arrivals: I) -> Self
+    where
+        I: IntoIterator<Item = (TimeStamp, Location)>,
+    {
+        let mut out = Self::zeros(slots.num_slots(), grid.num_cells());
+        for (time, location) in arrivals {
+            out.increment_key(TypeKey::new(slots.slot_of(time), grid.cell_of(&location)));
+        }
+        out
     }
 
     /// Number of time slots (rows).
@@ -201,6 +219,25 @@ mod tests {
         c.clamp_non_negative();
         assert_eq!(c.as_slice(), &[0.0, 1.0, 3.0]);
         assert_eq!(a.slot_row(0), &[3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn from_arrivals_counts_into_the_right_bins() {
+        use ftoa_types::TimeDelta;
+        let slots = SlotPartition::over_horizon(TimeDelta::minutes(60.0), 4).unwrap();
+        let grid = GridPartition::square(10.0, 2).unwrap();
+        let m = SpatioTemporalMatrix::from_arrivals(
+            &slots,
+            &grid,
+            [
+                (TimeStamp::minutes(1.0), Location::new(1.0, 1.0)),
+                (TimeStamp::minutes(2.0), Location::new(1.0, 1.0)),
+                (TimeStamp::minutes(50.0), Location::new(9.0, 9.0)),
+            ],
+        );
+        assert_eq!(m.total(), 3.0);
+        assert_eq!(m.get(0, 0), 2.0);
+        assert_eq!(m.get(3, 3), 1.0);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //!
 //! * the [`proptest!`] macro with an optional `#![proptest_config(...)]`
 //!   header and `pattern in strategy` argument lists,
-//! * [`Strategy`] implemented for numeric ranges, tuples of strategies,
+//! * [`strategy::Strategy`] implemented for numeric ranges, tuples of strategies,
 //!   [`prelude::Just`], [`collection::vec`], `prop_map` and `prop_flat_map`,
 //! * [`prop_assert!`], [`prop_assert_eq!`] and [`prop_assume!`].
 //!

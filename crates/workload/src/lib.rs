@@ -17,6 +17,12 @@
 //!   to compute exact expected per-cell/per-slot counts.
 //! * [`synthetic`] — Table 4 generator with the paper's defaults.
 //! * [`city`] — Beijing/Hangzhou-like trace and history generator.
+//! * [`presets`] — trace-shaped scenario presets (hotspot-skewed demand,
+//!   rush-hour bursts, supply/demand imbalance) used by the trace tooling
+//!   and the CI replay fixture.
+//! * [`trace`] — the versioned text trace format: [`trace::TraceWriter`]
+//!   captures any event stream to disk and the streaming
+//!   [`trace::TraceReader`] replays it bit-identically.
 //! * [`scenario`] — the bundled output consumed by `ftoa-core` and the
 //!   experiment harness: a problem configuration, an online event stream and
 //!   the predicted count matrices feeding the offline guide.
@@ -26,9 +32,12 @@
 
 pub mod city;
 pub mod distributions;
+pub mod presets;
 pub mod scenario;
 pub mod synthetic;
+pub mod trace;
 
 pub use city::{CityConfig, CityWorkload};
 pub use scenario::Scenario;
 pub use synthetic::SyntheticConfig;
+pub use trace::{Trace, TraceError, TraceReader, TraceWriter};

@@ -1,7 +1,7 @@
 //! A fully-specified experiment input: configuration, online arrival stream
 //! and the predicted per-slot/per-cell counts that feed the offline guide.
 
-use ftoa_types::{EventStream, ProblemConfig, TypeKey};
+use ftoa_types::{EventStream, ProblemConfig};
 use prediction::SpatioTemporalMatrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -22,26 +22,20 @@ pub struct Scenario {
 impl Scenario {
     /// The actual (realised) per-slot/per-cell counts of the stream, useful
     /// for measuring prediction error or building a "perfect prediction"
-    /// scenario.
+    /// scenario. Delegates to the canonical
+    /// [`SpatioTemporalMatrix::from_arrivals`] derivation, the same one trace
+    /// replays use.
     pub fn actual_counts(&self) -> (SpatioTemporalMatrix, SpatioTemporalMatrix) {
-        let slots = self.config.slots.num_slots();
-        let cells = self.config.grid.num_cells();
-        let mut workers = SpatioTemporalMatrix::zeros(slots, cells);
-        let mut tasks = SpatioTemporalMatrix::zeros(slots, cells);
-        for w in self.stream.workers() {
-            let key = TypeKey::new(
-                self.config.slots.slot_of(w.start),
-                self.config.grid.cell_of(&w.location),
-            );
-            workers.increment_key(key);
-        }
-        for r in self.stream.tasks() {
-            let key = TypeKey::new(
-                self.config.slots.slot_of(r.release),
-                self.config.grid.cell_of(&r.location),
-            );
-            tasks.increment_key(key);
-        }
+        let workers = SpatioTemporalMatrix::from_arrivals(
+            &self.config.slots,
+            &self.config.grid,
+            self.stream.workers().iter().map(|w| (w.start, w.location)),
+        );
+        let tasks = SpatioTemporalMatrix::from_arrivals(
+            &self.config.slots,
+            &self.config.grid,
+            self.stream.tasks().iter().map(|r| (r.release, r.location)),
+        );
         (workers, tasks)
     }
 

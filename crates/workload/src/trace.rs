@@ -1,0 +1,620 @@
+//! Versioned, self-describing text traces of arrival streams.
+//!
+//! The paper's experiments — and the north-star of serving recorded real
+//! traffic — replay *recorded* arrival sequences, not just freshly sampled
+//! synthetic ones. A trace file captures one problem instance (the
+//! [`ProblemConfig`] plus the time-ordered worker/task arrivals) in a plain
+//! text format that is stable across machines: [`TraceWriter`] serialises any
+//! [`EventStream`], and the streaming [`TraceReader`] reconstructs a
+//! bit-identical stream that replays through `ftoa-core`'s
+//! `SimulationEngine` with any `OnlinePolicy` / `CandidateIndex` backend
+//! unchanged.
+//!
+//! # Format (`ftoa-trace v1`)
+//!
+//! Line-oriented UTF-8 text. Grammar (one record per line; `#`-lines and
+//! blank lines are ignored everywhere except the mandatory first line):
+//!
+//! ```text
+//! trace      := magic config-line* event-line*
+//! magic      := "#ftoa-trace v1"
+//! config-line:= "config region <min_x> <min_y> <max_x> <max_y>"
+//!             | "config grid <nx> <ny>"
+//!             | "config slots <start_min> <slot_min> <num_slots>"
+//!             | "config velocity <units_per_min>"
+//!             | "config defaults <worker_wait_min> <task_patience_min>"
+//! event-line := "w <id> <time_min> <x> <y> <wait_min> <capacity>"
+//!             | "t <id> <time_min> <x> <y> <patience_min> <payoff>"
+//! ```
+//!
+//! All five `config` lines are required (in any order, before the first
+//! event). Event lines appear in arrival-time order, as a log would record
+//! them; ids are the dense 0-based ids of the stream, each appearing exactly
+//! once, so the reader reconstructs the exact worker/task numbering — and
+//! therefore the exact engine behaviour — of the captured stream. Floats are
+//! printed with Rust's shortest round-trip formatting, so `write → read` is
+//! lossless. The `capacity` and `payoff` fields are reserved for future
+//! multi-assignment / weighted models; v1 requires both to be `1` (the
+//! paper's single-assignment, unit-payoff MaxSum model).
+//!
+//! Example:
+//!
+//! ```text
+//! #ftoa-trace v1
+//! config region 0 0 50 50
+//! config grid 50 50
+//! config slots 0 15 48
+//! config velocity 0.3333333333333333
+//! config defaults 30 30
+//! w 0 12.25 4.5 9.125 30 1
+//! t 0 12.5 5 8 30 1
+//! ```
+
+use crate::scenario::Scenario;
+use ftoa_types::{
+    BoundingBox, EventStream, GridPartition, ProblemConfig, SlotPartition, Task, TaskId, TimeDelta,
+    TimeStamp, Worker, WorkerId,
+};
+use prediction::SpatioTemporalMatrix;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// The mandatory first line of every trace file.
+pub const TRACE_MAGIC: &str = "#ftoa-trace v1";
+
+/// A parsed trace: the configuration and the reconstructed arrival stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Grid / slot / velocity configuration recorded in the header.
+    pub config: ProblemConfig,
+    /// The recorded arrivals, identical to the captured stream.
+    pub stream: EventStream,
+}
+
+impl Trace {
+    /// Turn the trace into a runnable [`Scenario`].
+    ///
+    /// A trace records only what actually happened, so the prediction
+    /// matrices handed to the offline guide are the *realised* per-slot /
+    /// per-cell counts (the "oracle prediction" of the ablation studies).
+    /// Callers that want an imperfect prediction can perturb it afterwards
+    /// with [`Scenario::with_prediction_noise`].
+    pub fn into_scenario(self) -> Scenario {
+        let zeros = SpatioTemporalMatrix::zeros(
+            self.config.slots.num_slots(),
+            self.config.grid.num_cells(),
+        );
+        Scenario {
+            config: self.config,
+            stream: self.stream,
+            predicted_workers: zeros.clone(),
+            predicted_tasks: zeros,
+        }
+        .with_perfect_prediction()
+    }
+}
+
+/// Errors produced while reading a trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// The underlying reader failed.
+    Io(io::Error),
+    /// A line could not be parsed; carries the 1-based line number.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl TraceError {
+    fn parse(line: usize, message: impl Into<String>) -> Self {
+        TraceError::Parse { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceError::Parse { line, message } => write!(f, "trace line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// Serialises a [`ProblemConfig`] and an [`EventStream`] into the v1 text
+/// format, so any generated scenario (synthetic, city, preset) can be
+/// captured to disk and replayed later.
+pub struct TraceWriter;
+
+impl TraceWriter {
+    /// Render the trace as a string.
+    pub fn to_string(config: &ProblemConfig, stream: &EventStream) -> String {
+        let mut out = Vec::new();
+        Self::write(&mut out, config, stream).expect("writing to a Vec cannot fail");
+        String::from_utf8(out).expect("trace output is ASCII")
+    }
+
+    /// Write the trace to any [`Write`] sink.
+    pub fn write<W: Write>(
+        mut out: W,
+        config: &ProblemConfig,
+        stream: &EventStream,
+    ) -> io::Result<()> {
+        let b = config.grid.bounds();
+        writeln!(out, "{TRACE_MAGIC}")?;
+        writeln!(
+            out,
+            "# {} workers, {} tasks, {} events",
+            stream.num_workers(),
+            stream.num_tasks(),
+            stream.len()
+        )?;
+        writeln!(out, "config region {} {} {} {}", b.min_x, b.min_y, b.max_x, b.max_y)?;
+        writeln!(out, "config grid {} {}", config.grid.nx(), config.grid.ny())?;
+        writeln!(
+            out,
+            "config slots {} {} {}",
+            config.slots.start().as_minutes(),
+            config.slots.slot_len().as_minutes(),
+            config.slots.num_slots()
+        )?;
+        writeln!(out, "config velocity {}", config.velocity)?;
+        writeln!(
+            out,
+            "config defaults {} {}",
+            config.default_worker_wait.as_minutes(),
+            config.default_task_patience.as_minutes()
+        )?;
+        for event in stream.iter() {
+            match event {
+                ftoa_types::Event::WorkerArrival(w) => writeln!(
+                    out,
+                    "w {} {} {} {} {} 1",
+                    w.id.index(),
+                    w.start.as_minutes(),
+                    w.location.x,
+                    w.location.y,
+                    w.wait.as_minutes()
+                )?,
+                ftoa_types::Event::TaskArrival(r) => writeln!(
+                    out,
+                    "t {} {} {} {} {} 1",
+                    r.id.index(),
+                    r.release.as_minutes(),
+                    r.location.x,
+                    r.location.y,
+                    r.patience.as_minutes()
+                )?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Write the trace to a file, creating parent directories as needed.
+    pub fn write_file(
+        path: impl AsRef<Path>,
+        config: &ProblemConfig,
+        stream: &EventStream,
+    ) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = std::fs::File::create(path)?;
+        let mut buf = io::BufWriter::new(file);
+        Self::write(&mut buf, config, stream)?;
+        buf.flush()
+    }
+}
+
+/// Partially-parsed header state collected before the first event line.
+#[derive(Default)]
+struct HeaderBuilder {
+    region: Option<(f64, f64, f64, f64)>,
+    grid: Option<(usize, usize)>,
+    slots: Option<(f64, f64, usize)>,
+    velocity: Option<f64>,
+    defaults: Option<(f64, f64)>,
+}
+
+impl HeaderBuilder {
+    fn build(self, line: usize) -> Result<ProblemConfig, TraceError> {
+        let (min_x, min_y, max_x, max_y) = self
+            .region
+            .ok_or_else(|| TraceError::parse(line, "missing `config region` before events"))?;
+        let (nx, ny) = self.grid.ok_or_else(|| TraceError::parse(line, "missing `config grid`"))?;
+        let (start, slot_len, num_slots) =
+            self.slots.ok_or_else(|| TraceError::parse(line, "missing `config slots`"))?;
+        let velocity =
+            self.velocity.ok_or_else(|| TraceError::parse(line, "missing `config velocity`"))?;
+        let (wait, patience) =
+            self.defaults.ok_or_else(|| TraceError::parse(line, "missing `config defaults`"))?;
+        let grid = GridPartition::new(BoundingBox::new(min_x, min_y, max_x, max_y), nx, ny)
+            .map_err(|e| TraceError::parse(line, format!("invalid grid: {e}")))?;
+        let slots =
+            SlotPartition::new(TimeStamp::minutes(start), TimeDelta::minutes(slot_len), num_slots)
+                .map_err(|e| TraceError::parse(line, format!("invalid slots: {e}")))?;
+        if !(velocity.is_finite() && velocity > 0.0) {
+            return Err(TraceError::parse(line, "velocity must be a positive finite number"));
+        }
+        Ok(ProblemConfig::new(
+            grid,
+            slots,
+            velocity,
+            TimeDelta::minutes(wait),
+            TimeDelta::minutes(patience),
+        ))
+    }
+}
+
+/// Streaming reader for the v1 text format.
+///
+/// Lines are consumed one at a time from any [`BufRead`] source — the whole
+/// file is never materialised as a string — and the arrivals are accumulated
+/// into the dense worker/task tables the [`EventStream`] is rebuilt from.
+pub struct TraceReader;
+
+impl TraceReader {
+    /// Read a trace from a string slice.
+    pub fn read_str(s: &str) -> Result<Trace, TraceError> {
+        Self::read(s.as_bytes())
+    }
+
+    /// Read a trace from a file path.
+    pub fn read_file(path: impl AsRef<Path>) -> Result<Trace, TraceError> {
+        Self::read(std::fs::File::open(path)?)
+    }
+
+    /// Read a trace from any byte source.
+    pub fn read<R: Read>(source: R) -> Result<Trace, TraceError> {
+        let mut lines = BufReader::new(source).lines();
+        let first = lines
+            .next()
+            .ok_or_else(|| TraceError::parse(1, "empty input: expected magic line"))??;
+        if first.trim_end() != TRACE_MAGIC {
+            return Err(TraceError::parse(
+                1,
+                format!("expected magic `{TRACE_MAGIC}`, found `{}`", first.trim_end()),
+            ));
+        }
+
+        let mut header = Some(HeaderBuilder::default());
+        let mut config: Option<ProblemConfig> = None;
+        let mut workers: Vec<(usize, usize, Worker)> = Vec::new();
+        let mut tasks: Vec<(usize, usize, Task)> = Vec::new();
+        let mut line_no = 1usize;
+        for line in lines {
+            let line = line?;
+            line_no += 1;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = trimmed.split_ascii_whitespace().collect();
+            match fields[0] {
+                "config" => {
+                    let builder = header.as_mut().ok_or_else(|| {
+                        TraceError::parse(line_no, "`config` line after the first event")
+                    })?;
+                    parse_config_line(builder, &fields, line_no)?;
+                }
+                "w" | "t" => {
+                    if config.is_none() {
+                        config =
+                            Some(header.take().expect("header taken only once").build(line_no)?);
+                    }
+                    parse_event_line(&fields, line_no, &mut workers, &mut tasks)?;
+                }
+                other => {
+                    return Err(TraceError::parse(
+                        line_no,
+                        format!("unknown record type `{other}`"),
+                    ));
+                }
+            }
+        }
+        // An eventless trace is legal; the header must still be complete.
+        let config = match config {
+            Some(c) => c,
+            None => header.take().expect("header present").build(line_no)?,
+        };
+        let workers = collect_dense(workers, "worker")?;
+        let tasks = collect_dense(tasks, "task")?;
+        Ok(Trace { config, stream: EventStream::new(workers, tasks) })
+    }
+}
+
+fn parse_config_line(
+    builder: &mut HeaderBuilder,
+    fields: &[&str],
+    line: usize,
+) -> Result<(), TraceError> {
+    let expect_args = |n: usize| -> Result<(), TraceError> {
+        if fields.len() == n + 2 {
+            Ok(())
+        } else {
+            Err(TraceError::parse(
+                line,
+                format!("`config {}` expects {n} values, found {}", fields[1], fields.len() - 2),
+            ))
+        }
+    };
+    if fields.len() < 2 {
+        return Err(TraceError::parse(line, "bare `config` line"));
+    }
+    match fields[1] {
+        "region" => {
+            expect_args(4)?;
+            builder.region = Some((
+                parse_f64(fields[2], line)?,
+                parse_f64(fields[3], line)?,
+                parse_f64(fields[4], line)?,
+                parse_f64(fields[5], line)?,
+            ));
+        }
+        "grid" => {
+            expect_args(2)?;
+            builder.grid = Some((parse_usize(fields[2], line)?, parse_usize(fields[3], line)?));
+        }
+        "slots" => {
+            expect_args(3)?;
+            builder.slots = Some((
+                parse_f64(fields[2], line)?,
+                parse_f64(fields[3], line)?,
+                parse_usize(fields[4], line)?,
+            ));
+        }
+        "velocity" => {
+            expect_args(1)?;
+            builder.velocity = Some(parse_f64(fields[2], line)?);
+        }
+        "defaults" => {
+            expect_args(2)?;
+            builder.defaults = Some((parse_f64(fields[2], line)?, parse_f64(fields[3], line)?));
+        }
+        other => {
+            return Err(TraceError::parse(line, format!("unknown config key `{other}`")));
+        }
+    }
+    Ok(())
+}
+
+fn parse_event_line(
+    fields: &[&str],
+    line: usize,
+    workers: &mut Vec<(usize, usize, Worker)>,
+    tasks: &mut Vec<(usize, usize, Task)>,
+) -> Result<(), TraceError> {
+    if fields.len() != 7 {
+        return Err(TraceError::parse(
+            line,
+            format!("event line expects 7 fields, found {}", fields.len()),
+        ));
+    }
+    let id = parse_usize(fields[1], line)?;
+    let time = parse_f64(fields[2], line)?;
+    let x = parse_f64(fields[3], line)?;
+    let y = parse_f64(fields[4], line)?;
+    let window = parse_f64(fields[5], line)?;
+    let unit = parse_usize(fields[6], line)?;
+    if unit != 1 {
+        return Err(TraceError::parse(
+            line,
+            "capacity/payoff must be 1 (reserved for future versions)",
+        ));
+    }
+    if !(time.is_finite() && x.is_finite() && y.is_finite() && window.is_finite() && window >= 0.0)
+    {
+        return Err(TraceError::parse(line, "event fields must be finite (window non-negative)"));
+    }
+    let location = ftoa_types::Location::new(x, y);
+    match fields[0] {
+        "w" => workers.push((
+            id,
+            line,
+            Worker::new(
+                WorkerId(id),
+                location,
+                TimeStamp::minutes(time),
+                TimeDelta::minutes(window),
+            ),
+        )),
+        "t" => tasks.push((
+            id,
+            line,
+            Task::new(TaskId(id), location, TimeStamp::minutes(time), TimeDelta::minutes(window)),
+        )),
+        _ => unreachable!("caller dispatches only w/t lines"),
+    }
+    Ok(())
+}
+
+/// Sort accumulated `(id, line, item)` entries and validate that the ids are
+/// exactly `0..n` with no duplicates. Memory is proportional to the number of
+/// event *lines*, never to the id values, so a corrupt id like
+/// `w 99999999999999 ...` yields a line-numbered parse error instead of a
+/// giant allocation.
+fn collect_dense<T>(mut entries: Vec<(usize, usize, T)>, kind: &str) -> Result<Vec<T>, TraceError> {
+    entries.sort_by_key(|&(id, line, _)| (id, line));
+    let total = entries.len();
+    let mut out = Vec::with_capacity(total);
+    let mut prev: Option<usize> = None;
+    for (id, line, item) in entries {
+        if prev == Some(id) {
+            return Err(TraceError::parse(line, format!("duplicate {kind} id {id}")));
+        }
+        if id != out.len() {
+            return Err(TraceError::parse(
+                line,
+                format!("{kind} ids are not dense: found id {id} among {total} {kind} lines"),
+            ));
+        }
+        prev = Some(id);
+        out.push(item);
+    }
+    Ok(out)
+}
+
+fn parse_f64(s: &str, line: usize) -> Result<f64, TraceError> {
+    s.parse().map_err(|_| TraceError::parse(line, format!("invalid number `{s}`")))
+}
+
+fn parse_usize(s: &str, line: usize) -> Result<usize, TraceError> {
+    s.parse().map_err(|_| TraceError::parse(line, format!("invalid integer `{s}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticConfig;
+
+    fn small_scenario() -> Scenario {
+        SyntheticConfig {
+            num_workers: 120,
+            num_tasks: 150,
+            grid_n: 8,
+            num_slots: 6,
+            ..Default::default()
+        }
+        .generate(2017)
+    }
+
+    #[test]
+    fn round_trip_reproduces_config_and_stream_exactly() {
+        let scenario = small_scenario();
+        let text = TraceWriter::to_string(&scenario.config, &scenario.stream);
+        let trace = TraceReader::read_str(&text).expect("trace parses");
+        assert_eq!(trace.config, scenario.config);
+        assert_eq!(trace.stream, scenario.stream);
+        // A second round trip is byte-identical (the format is canonical).
+        let again = TraceWriter::to_string(&trace.config, &trace.stream);
+        assert_eq!(text, again);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let scenario = small_scenario();
+        let dir = std::env::temp_dir().join("ftoa-trace-test");
+        let path = dir.join("round_trip.trace");
+        TraceWriter::write_file(&path, &scenario.config, &scenario.stream).expect("write");
+        let trace = TraceReader::read_file(&path).expect("read");
+        assert_eq!(trace.stream, scenario.stream);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn into_scenario_uses_realised_counts_as_prediction() {
+        let scenario = small_scenario();
+        let text = TraceWriter::to_string(&scenario.config, &scenario.stream);
+        let replayed = TraceReader::read_str(&text).unwrap().into_scenario();
+        let (w, t) = scenario.actual_counts();
+        assert_eq!(replayed.predicted_workers, w);
+        assert_eq!(replayed.predicted_tasks, t);
+    }
+
+    #[test]
+    fn events_are_written_in_time_order() {
+        let scenario = small_scenario();
+        let text = TraceWriter::to_string(&scenario.config, &scenario.stream);
+        let times: Vec<f64> = text
+            .lines()
+            .filter(|l| l.starts_with("w ") || l.starts_with("t "))
+            .map(|l| l.split_ascii_whitespace().nth(2).unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(times.len(), scenario.stream.len());
+        assert!(times.windows(2).all(|p| p[0] <= p[1]), "trace lines must be time-sorted");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "#ftoa-trace v1\n\n# a comment\nconfig region 0 0 10 10\nconfig grid 2 2\n\
+                    config slots 0 15 4\nconfig velocity 1\nconfig defaults 10 5\n\n\
+                    # events\nw 0 1 2 3 10 1\nt 0 1.5 2.5 3.5 5 1\n";
+        let trace = TraceReader::read_str(text).expect("parses");
+        assert_eq!(trace.stream.num_workers(), 1);
+        assert_eq!(trace.stream.num_tasks(), 1);
+        assert_eq!(trace.config.grid.num_cells(), 4);
+    }
+
+    #[test]
+    fn eventless_trace_is_legal() {
+        let text = "#ftoa-trace v1\nconfig region 0 0 10 10\nconfig grid 2 2\n\
+                    config slots 0 15 4\nconfig velocity 1\nconfig defaults 10 5\n";
+        let trace = TraceReader::read_str(text).expect("parses");
+        assert!(trace.stream.is_empty());
+    }
+
+    #[test]
+    fn malformed_traces_report_line_numbers() {
+        let cases: &[(&str, &str)] = &[
+            ("", "magic"),
+            ("#ftoa-trace v2\n", "magic"),
+            ("#ftoa-trace v1\nconfig region 0 0 10 10\n", "missing"),
+            (
+                "#ftoa-trace v1\nconfig region 0 0 10 10\nconfig grid 2 2\n\
+                 config slots 0 15 4\nconfig velocity 1\nconfig defaults 10 5\nx 0 1 2 3 4 1\n",
+                "unknown record",
+            ),
+            (
+                "#ftoa-trace v1\nconfig region 0 0 10 10\nconfig grid 2 2\n\
+                 config slots 0 15 4\nconfig velocity 1\nconfig defaults 10 5\n\
+                 w 0 1 2 3 10 2\n",
+                "capacity",
+            ),
+            (
+                "#ftoa-trace v1\nconfig region 0 0 10 10\nconfig grid 2 2\n\
+                 config slots 0 15 4\nconfig velocity 1\nconfig defaults 10 5\n\
+                 w 0 1 2 3 10 1\nw 0 2 2 3 10 1\n",
+                "duplicate",
+            ),
+            (
+                "#ftoa-trace v1\nconfig region 0 0 10 10\nconfig grid 2 2\n\
+                 config slots 0 15 4\nconfig velocity 1\nconfig defaults 10 5\n\
+                 w 1 1 2 3 10 1\n",
+                "dense",
+            ),
+            (
+                "#ftoa-trace v1\nconfig region 0 0 10 10\nconfig grid 2 2\n\
+                 config slots 0 15 4\nconfig velocity 1\nconfig defaults 10 5\n\
+                 w 0 1 2 3 10 1\nconfig velocity 2\n",
+                "after the first event",
+            ),
+        ];
+        for (text, needle) in cases {
+            let err = TraceReader::read_str(text).expect_err("must fail");
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "error `{msg}` should mention `{needle}`");
+        }
+    }
+
+    #[test]
+    fn huge_ids_fail_cleanly_without_allocating() {
+        // A corrupt id must produce a parse error, not an id-sized allocation.
+        let text = "#ftoa-trace v1\nconfig region 0 0 10 10\nconfig grid 2 2\n\
+                    config slots 0 15 4\nconfig velocity 1\nconfig defaults 10 5\n\
+                    w 99999999999999 1 2 3 10 1\n";
+        let err = TraceReader::read_str(text).expect_err("must fail");
+        assert!(err.to_string().contains("not dense"), "got: {err}");
+    }
+
+    #[test]
+    fn shortest_round_trip_floats_survive() {
+        // A value with no short decimal representation must survive exactly.
+        let v = 1.0 / 3.0;
+        let printed = format!("{v}");
+        assert_eq!(printed.parse::<f64>().unwrap(), v);
+    }
+}

@@ -1,0 +1,91 @@
+//! Trace round-trip property tests.
+//!
+//! The trace subsystem promises that capturing a stream with `TraceWriter`
+//! and re-reading it with `TraceReader` is lossless: the reconstructed
+//! configuration and stream are *identical* (not merely equivalent), and —
+//! because engine runs are deterministic functions of `(config, stream)` —
+//! replaying the reread stream produces identical engine metrics. These
+//! properties pin that down on random synthetic scenarios, including the
+//! trace-shaped presets.
+
+use ftoa::core_algorithms::{IndexBackend, ReplayDriver, SimpleGreedy};
+use ftoa::workload::{presets, Scenario, SyntheticConfig, TraceReader, TraceWriter};
+use proptest::prelude::*;
+
+/// A small random synthetic scenario, biased to odd sizes and regions so the
+/// float fields take "ugly" values that stress the text round trip.
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    (1usize..80, 1usize..80, 2usize..9, 2usize..7, 0u64..1_000).prop_map(
+        |(num_workers, num_tasks, grid_n, num_slots, seed)| {
+            SyntheticConfig {
+                num_workers,
+                num_tasks,
+                grid_n,
+                num_slots,
+                region_side: 17.0 / 3.0 * grid_n as f64,
+                slot_minutes: 11.0 / 7.0 * 6.0,
+                ..SyntheticConfig::default()
+            }
+            .generate(seed)
+        },
+    )
+}
+
+fn round_trip(scenario: &Scenario) -> ftoa::workload::Trace {
+    let text = TraceWriter::to_string(&scenario.config, &scenario.stream);
+    TraceReader::read_str(&text).expect("a written trace must parse")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn write_read_reproduces_the_stream_exactly(scenario in scenario_strategy()) {
+        let trace = round_trip(&scenario);
+        prop_assert_eq!(&trace.config, &scenario.config);
+        prop_assert_eq!(&trace.stream, &scenario.stream);
+    }
+
+    #[test]
+    fn rewriting_a_reread_trace_is_byte_identical(scenario in scenario_strategy()) {
+        let text = TraceWriter::to_string(&scenario.config, &scenario.stream);
+        let trace = TraceReader::read_str(&text).expect("parses");
+        prop_assert_eq!(TraceWriter::to_string(&trace.config, &trace.stream), text);
+    }
+
+    #[test]
+    fn replaying_a_reread_trace_gives_identical_engine_metrics(
+        scenario in scenario_strategy()
+    ) {
+        let trace = round_trip(&scenario);
+        for backend in [IndexBackend::LinearScan, IndexBackend::Grid] {
+            let original = ReplayDriver::new(backend, &scenario.config, &scenario.stream)
+                .run(&scenario.config, &scenario.stream, &mut SimpleGreedy.policy());
+            let replayed = ReplayDriver::new(backend, &trace.config, &trace.stream)
+                .run(&trace.config, &trace.stream, &mut SimpleGreedy.policy());
+            prop_assert_eq!(original.matching_size(), replayed.matching_size());
+            prop_assert_eq!(original.assignments.pairs(), replayed.assignments.pairs());
+            prop_assert_eq!(original.stats, replayed.stats);
+        }
+    }
+}
+
+/// The presets go through the same writer/reader; spot-check them outside the
+/// random loop (they are deterministic).
+#[test]
+fn presets_round_trip_exactly() {
+    for scenario in [
+        presets::hotspot_skewed(0.005, 3),
+        presets::rush_hour(0.005, 5),
+        presets::imbalance(0.5, 0.005, 9),
+        presets::ci_fixture(),
+    ] {
+        let trace = round_trip(&scenario);
+        assert_eq!(trace.stream, scenario.stream);
+        // The replay prediction is the realised counts by construction.
+        let replayed = trace.into_scenario();
+        let (w, t) = scenario.actual_counts();
+        assert_eq!(replayed.predicted_workers, w);
+        assert_eq!(replayed.predicted_tasks, t);
+    }
+}
