@@ -1,5 +1,6 @@
-//! Candidate-index benchmark: linear-scan vs. grid-index candidate search on
-//! the ~100k-event scalability scenario (`SyntheticConfig::scalability`).
+//! Candidate-index benchmark: linear-scan vs. grid-index vs. kd-tree
+//! candidate search on the ~100k-event scalability scenario
+//! (`SyntheticConfig::scalability`).
 //!
 //! Both index-driven algorithms are timed end to end through the
 //! `SimulationEngine` — SimpleGreedy (nearest-feasible queries bounded by the
@@ -10,7 +11,7 @@
 //! `BENCH_engine.json` at the repository root.
 //!
 //! Setting `FTOA_BENCH_QUICK=1` (or passing `--quick`) shrinks the workload
-//! to a few thousand events so CI can *execute* the linear-vs-grid
+//! to a few thousand events so CI can *execute* the three-backend
 //! comparison — including the backend-agreement assertions and the pruning
 //! check — on every PR. Quick runs do not overwrite `BENCH_engine.json`.
 
@@ -94,35 +95,53 @@ fn bench_candidate_index(c: &mut Criterion) {
 
     let greedy_linear = run_greedy(IndexBackend::LinearScan);
     let greedy_grid = run_greedy(IndexBackend::Grid);
+    let greedy_kd = run_greedy(IndexBackend::Kd);
     assert_eq!(
         greedy_linear.matching, greedy_grid.matching,
         "index backends must agree on SimpleGreedy's total utility"
     );
+    assert_eq!(
+        greedy_linear.matching, greedy_kd.matching,
+        "kd backend must agree on SimpleGreedy's total utility"
+    );
     let gr_linear = run_gr(IndexBackend::LinearScan);
     let gr_grid = run_gr(IndexBackend::Grid);
+    let gr_kd = run_gr(IndexBackend::Kd);
     assert_eq!(
         gr_linear.matching, gr_grid.matching,
         "index backends must agree on GR's total utility"
     );
+    assert_eq!(gr_linear.matching, gr_kd.matching, "kd backend must agree on GR's total utility");
 
-    for (name, linear, grid) in
-        [("SimpleGreedy", &greedy_linear, &greedy_grid), ("GR", &gr_linear, &gr_grid)]
-    {
+    for (name, linear, grid, kd) in [
+        ("SimpleGreedy", &greedy_linear, &greedy_grid, &greedy_kd),
+        ("GR", &gr_linear, &gr_grid, &gr_kd),
+    ] {
         println!(
-            "{name}: linear-scan {:.3}s ({} candidates) vs grid-index {:.3}s ({} candidates) — {:.1}x speedup",
+            "{name}: linear-scan {:.3}s ({} candidates) vs grid-index {:.3}s ({} candidates, \
+             {:.1}x) vs kd-tree {:.3}s ({} candidates, {:.1}x)",
             linear.seconds,
             linear.candidates,
             grid.seconds,
             grid.candidates,
             linear.seconds / grid.seconds.max(1e-9),
+            kd.seconds,
+            kd.candidates,
+            linear.seconds / kd.seconds.max(1e-9),
         );
         // The pruning ratio is deterministic (machine-independent), so it is
-        // asserted even on noisy CI runners: the grid index must examine
-        // strictly fewer candidates than the exhaustive scan.
+        // asserted even on noisy CI runners: both spatial indexes must
+        // examine strictly fewer candidates than the exhaustive scan.
         assert!(
             grid.candidates < linear.candidates,
             "{name}: grid index failed to prune ({} vs {})",
             grid.candidates,
+            linear.candidates
+        );
+        assert!(
+            kd.candidates < linear.candidates,
+            "{name}: kd tree failed to prune ({} vs {})",
+            kd.candidates,
             linear.candidates
         );
     }
@@ -137,17 +156,22 @@ fn bench_candidate_index(c: &mut Criterion) {
     let json = format!(
         "{{\n  \"scenario\": {{\"workers\": {}, \"tasks\": {}, \"events\": {}, \"seed\": 2017}},\n  \
          \"simple_greedy\": {{\n    \"linear_scan\": {},\n    \"grid_index\": {},\n    \
-         \"speedup\": {:.2}\n  }},\n  \"gr\": {{\n    \"linear_scan\": {},\n    \
-         \"grid_index\": {},\n    \"speedup\": {:.2}\n  }}\n}}\n",
+         \"kd_tree\": {},\n    \"speedup\": {:.2},\n    \"kd_speedup\": {:.2}\n  }},\n  \
+         \"gr\": {{\n    \"linear_scan\": {},\n    \"grid_index\": {},\n    \
+         \"kd_tree\": {},\n    \"speedup\": {:.2},\n    \"kd_speedup\": {:.2}\n  }}\n}}\n",
         scenario.stream.num_workers(),
         scenario.stream.num_tasks(),
         scenario.stream.len(),
         entry(&greedy_linear),
         entry(&greedy_grid),
+        entry(&greedy_kd),
         greedy_linear.seconds / greedy_grid.seconds.max(1e-9),
+        greedy_linear.seconds / greedy_kd.seconds.max(1e-9),
         entry(&gr_linear),
         entry(&gr_grid),
+        entry(&gr_kd),
         gr_linear.seconds / gr_grid.seconds.max(1e-9),
+        gr_linear.seconds / gr_kd.seconds.max(1e-9),
     );
     let out =
         std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_engine.json");

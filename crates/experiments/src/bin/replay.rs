@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! replay --trace traces/fixture_small.trace [--algo all|name[,name...]]
-//!        [--backend grid|linear] [--deterministic-only] [--out metrics.json]
+//!        [--backend grid|linear|kd] [--threads N]
+//!        [--deterministic-only] [--out metrics.json]
 //! ```
 //!
 //! Runs the selected algorithms (default: all five) over the trace via
@@ -14,9 +15,17 @@
 //! `SpatioTemporalMatrix::from_arrivals` derivation that
 //! `ftoa_core::ReplayDriver` (the single-policy library entry point) uses —
 //! and writes a `ftoa-replay-metrics v1` JSON document to `--out` (stdout if
-//! omitted). With `--deterministic-only` the timing/memory fields are
-//! omitted so the output is byte-stable; the CI `replay-regression` job
-//! diffs exactly that output against `traces/golden_metrics.json`.
+//! omitted). `--threads N` fans the algorithm cells over N workers of the
+//! deterministic `ftoa_runtime::JobPool` (default: `FTOA_JOBS` or the
+//! available hardware parallelism; the reduction is ordered, so the output
+//! is byte-identical at any setting). Note that concurrent cells contend
+//! for cache and memory bandwidth — pass `--threads 1` when the
+//! `runtime_secs` fields are meant as clean per-algorithm timings rather
+//! than throughput. With `--deterministic-only` the
+//! timing/memory/thread fields are omitted so the output is byte-stable;
+//! the CI `replay-regression` job diffs exactly that output against
+//! `traces/golden_metrics.json` — and runs it at `--threads 4`, which pins
+//! parallel correctness against the same golden file.
 //!
 //! Capture mode:
 //!
@@ -32,6 +41,7 @@
 use experiments::metrics::ReplayMetrics;
 use experiments::runner::{run_algorithms, Algo, SuiteOptions};
 use ftoa_core::IndexBackend;
+use ftoa_runtime::JobPool;
 use workload::{presets, Scenario, TraceReader, TraceWriter};
 
 fn main() {
@@ -39,8 +49,8 @@ fn main() {
     if let Err(message) = run(&args) {
         eprintln!("error: {message}");
         eprintln!(
-            "usage: replay --trace <file> [--algo all|name,..] [--backend grid|linear] \
-             [--deterministic-only] [--out <file>]\n       \
+            "usage: replay --trace <file> [--algo all|name,..] [--backend grid|linear|kd] \
+             [--threads N] [--deterministic-only] [--out <file>]\n       \
              replay --capture <fixture|hotspot|rush-hour|imbalance|synthetic> [--seed N] \
              [--scale F] [--ratio R] --out <file>"
         );
@@ -57,19 +67,23 @@ fn run(args: &[String]) -> Result<(), String> {
     let algos = parse_algos(&arg_value(args, "--algo").unwrap_or_else(|| "all".into()))?;
     let backend = parse_backend(&arg_value(args, "--backend").unwrap_or_else(|| "grid".into()))?;
     let deterministic_only = args.iter().any(|a| a == "--deterministic-only");
+    // 0 resolves to FTOA_JOBS / available parallelism inside the pool.
+    let threads = JobPool::new(parse_or(args, "--threads", 0)?).threads();
 
     let trace = TraceReader::read_file(&trace_path).map_err(|e| e.to_string())?;
     let scenario = trace.into_scenario();
     eprintln!(
-        "replaying {}: {} workers, {} tasks, {} events ({} backend)",
+        "replaying {}: {} workers, {} tasks, {} events ({} backend, {} thread{})",
         trace_path,
         scenario.stream.num_workers(),
         scenario.stream.num_tasks(),
         scenario.stream.len(),
-        backend.name()
+        backend.name(),
+        threads,
+        if threads == 1 { "" } else { "s" }
     );
 
-    let opts = SuiteOptions::default().with_backend(backend);
+    let opts = SuiteOptions::default().with_backend(backend).with_threads(threads);
     let results = run_algorithms(&scenario, &opts, &algos);
     for r in &results {
         eprintln!(
@@ -87,6 +101,7 @@ fn run(args: &[String]) -> Result<(), String> {
         scenario.stream.num_workers(),
         scenario.stream.num_tasks(),
         scenario.stream.len(),
+        threads,
         &results,
     );
     emit(args, &metrics.to_json(deterministic_only))
@@ -146,11 +161,8 @@ fn parse_algos(spec: &str) -> Result<Vec<Algo>, String> {
 }
 
 fn parse_backend(spec: &str) -> Result<IndexBackend, String> {
-    match spec.to_ascii_lowercase().as_str() {
-        "grid" | "grid-index" => Ok(IndexBackend::Grid),
-        "linear" | "linear-scan" => Ok(IndexBackend::LinearScan),
-        other => Err(format!("unknown backend `{other}` (expected grid|linear)")),
-    }
+    IndexBackend::parse(spec)
+        .ok_or_else(|| format!("unknown backend `{spec}` (expected grid|linear|kd)"))
 }
 
 fn parse_or<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> Result<T, String> {

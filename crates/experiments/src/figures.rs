@@ -12,7 +12,8 @@
 //! `object_scale = 1.0` to run at full size.
 
 use crate::report::SweepReport;
-use crate::runner::{run_suite, SuiteOptions};
+use crate::runner::{run_matrix, run_suite, Algo, SuiteOptions};
+use ftoa_runtime::JobPool;
 use prediction::{HpMsi, Predictor};
 use workload::city::CityWorkload;
 use workload::synthetic::DistributionParams;
@@ -41,16 +42,31 @@ fn sweep_synthetic<F>(
     opts: &SuiteOptions,
 ) -> SweepReport
 where
-    F: Fn() -> SyntheticConfig,
+    F: Fn() -> SyntheticConfig + Sync,
 {
     let mut report = SweepReport::new(title, x_label);
     // One shared seed per sweep: points differ only in the swept parameter,
     // which keeps monotone relationships (e.g. matching size vs. deadline)
     // exactly monotone instead of up to sampling noise.
-    for (label, make) in values.iter() {
-        let scenario = make().generate(BASE_SEED);
-        let results = run_suite(&scenario, opts);
-        report.record(label.clone(), &results);
+    //
+    // Generation fans out per point and the (point × algorithm) cells fan
+    // out through `run_matrix`, both over the same deterministic pool, so
+    // the report (and its CSV rendering) is identical at any thread count.
+    // Points are processed in windows of the pool width: at most `threads`
+    // scenarios are resident at once, so a serial run peaks at one scenario
+    // exactly like the pre-parallel loop did (a full-scale scalability
+    // sweep holds millions of objects per point — materialising every point
+    // up front would multiply the footprint by the sweep length).
+    let pool = JobPool::new(opts.threads);
+    for group in values.chunks(pool.threads().max(1)) {
+        let scenarios: Vec<Scenario> = pool
+            .par_map_indexed(group.iter().map(|(_, make)| make).collect(), |_, make| {
+                make().generate(BASE_SEED)
+            });
+        let rows = run_matrix(&scenarios, opts, Algo::suite(opts.include_opt));
+        for ((label, _), results) in group.iter().zip(&rows) {
+            report.record(label.clone(), results);
+        }
     }
     report
 }

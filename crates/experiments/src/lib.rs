@@ -30,4 +30,4 @@ pub mod table5;
 
 pub use metrics::{AlgorithmMetrics, ReplayMetrics};
 pub use report::SweepReport;
-pub use runner::{run_algorithms, run_suite, Algo, SuiteOptions};
+pub use runner::{run_algorithms, run_matrix, run_suite, Algo, SuiteOptions};

@@ -72,6 +72,11 @@ pub struct ReplayMetrics {
     pub tasks: usize,
     /// Number of arrival events.
     pub events: usize,
+    /// Worker threads the replay fanned its algorithm cells over. Execution
+    /// metadata, not a property of the trace — reported alongside the
+    /// timings and likewise omitted in deterministic-only mode, so golden
+    /// files stay byte-identical at every thread count.
+    pub threads: usize,
     /// One entry per replayed algorithm, in run order.
     pub algorithms: Vec<AlgorithmMetrics>,
 }
@@ -84,6 +89,7 @@ impl ReplayMetrics {
         workers: usize,
         tasks: usize,
         events: usize,
+        threads: usize,
         results: &[AlgorithmResult],
     ) -> Self {
         Self {
@@ -92,6 +98,7 @@ impl ReplayMetrics {
             workers,
             tasks,
             events,
+            threads,
             algorithms: results.iter().map(AlgorithmMetrics::from).collect(),
         }
     }
@@ -110,6 +117,9 @@ impl ReplayMetrics {
             "  \"scenario\": {{\"workers\": {}, \"tasks\": {}, \"events\": {}}},",
             self.workers, self.tasks, self.events
         );
+        if !deterministic_only {
+            let _ = writeln!(out, "  \"threads\": {},", self.threads);
+        }
         let _ = writeln!(out, "  \"algorithms\": [");
         for (i, a) in self.algorithms.iter().enumerate() {
             let _ = write!(
@@ -189,7 +199,7 @@ mod tests {
     #[test]
     fn deterministic_json_omits_timings_and_is_stable() {
         let results = [fake_result("SimpleGreedy", 3, 42), fake_result("OPT", 5, 0)];
-        let metrics = ReplayMetrics::new("traces/x.trace", "grid-index", 6, 5, 11, &results);
+        let metrics = ReplayMetrics::new("traces/x.trace", "grid-index", 6, 5, 11, 4, &results);
         let json = metrics.to_json(true);
         assert!(json.contains("\"format\": \"ftoa-replay-metrics v1\""));
         assert!(json.contains("\"matching_size\": 3"));
@@ -197,17 +207,22 @@ mod tests {
         assert!(json.contains("\"candidates_examined\": 42"));
         assert!(!json.contains("runtime_secs"));
         assert!(!json.contains("memory_bytes"));
-        // Canonical: identical inputs render byte-identically.
+        assert!(!json.contains("threads"), "thread count is execution metadata, not trace data");
+        // Canonical: identical inputs render byte-identically, and the
+        // thread count never leaks into the deterministic rendering.
         assert_eq!(json, metrics.to_json(true));
+        let serial = ReplayMetrics::new("traces/x.trace", "grid-index", 6, 5, 11, 1, &results);
+        assert_eq!(json, serial.to_json(true));
     }
 
     #[test]
-    fn full_json_includes_timings() {
+    fn full_json_includes_timings_and_threads() {
         let results = [fake_result("GR", 1, 7)];
-        let metrics = ReplayMetrics::new("t", "linear-scan", 1, 1, 2, &results);
+        let metrics = ReplayMetrics::new("t", "linear-scan", 1, 1, 2, 4, &results);
         let json = metrics.to_json(false);
         assert!(json.contains("\"runtime_secs\": 0.017000"));
         assert!(json.contains("\"memory_bytes\": 4096"));
+        assert!(json.contains("\"threads\": 4"));
     }
 
     #[test]

@@ -115,12 +115,30 @@ impl SweepReport {
     /// contain a delimiter — keeping the output diff-stable in CI even if an
     /// algorithm label ever grows a comma or quote.
     pub fn to_csv(&self) -> String {
+        self.render_csv(false)
+    }
+
+    /// Like [`Self::to_csv`], but restricted to the deterministic metrics:
+    /// wall-clock runtimes are dropped, matching sizes and the (counted,
+    /// machine-independent) memory estimates stay. For a fixed scenario this
+    /// rendering is byte-identical across runs, machines and — because the
+    /// cell fan-out reduces in submission order — thread counts, which is
+    /// what the parallel-determinism regression test diffs.
+    pub fn to_csv_deterministic(&self) -> String {
+        self.render_csv(true)
+    }
+
+    fn render_csv(&self, deterministic_only: bool) -> String {
         let mut out = String::from("# ftoa-sweep-report v1\nmetric,algorithm,x,value\n");
-        for (metric, data) in [
+        let metrics: &[(&str, &Vec<Vec<f64>>)] = &[
             ("matching_size", &self.matching_size),
             ("runtime_secs", &self.runtime_secs),
             ("memory_mb", &self.memory_mb),
-        ] {
+        ];
+        for (metric, data) in metrics {
+            if deterministic_only && *metric == "runtime_secs" {
+                continue;
+            }
             for (i, alg) in self.algorithms.iter().enumerate() {
                 let alg = csv_field(alg);
                 for (j, x) in self.x_values.iter().enumerate() {
@@ -185,6 +203,11 @@ mod tests {
         assert!(csv.starts_with("# ftoa-sweep-report v1\nmetric,algorithm,x,value"));
         assert_eq!(report.series("OPT", "matching size"), Some(&[20.0, 30.0][..]));
         assert_eq!(report.series("NOPE", "matching size"), None);
+        let deterministic = report.to_csv_deterministic();
+        assert!(deterministic.starts_with("# ftoa-sweep-report v1\nmetric,algorithm,x,value"));
+        assert!(deterministic.contains("matching_size,"));
+        assert!(deterministic.contains("memory_mb,"));
+        assert!(!deterministic.contains("runtime_secs"), "wall clock must be dropped");
     }
 
     #[test]

@@ -1,16 +1,24 @@
-//! Running the full algorithm suite on one scenario.
+//! Running the full algorithm suite on one scenario — or a whole matrix of
+//! (scenario × algorithm) cells in parallel.
 //!
 //! Every algorithm is driven through the shared
 //! [`ftoa_core::SimulationEngine`]; [`SuiteOptions::index_backend`] selects
-//! the candidate-index backend (linear-scan reference vs. grid index) for
-//! the whole suite.
+//! the candidate-index backend (linear-scan reference, grid index or
+//! KD-tree) for the whole suite, and [`SuiteOptions::threads`] fans the
+//! cells out through the deterministic [`ftoa_runtime::JobPool`]. Each cell
+//! is a pure function of its scenario, so results are identical — and sweep
+//! CSVs / replay metrics byte-identical — at any thread count; the offline
+//! guide of each scenario is built exactly once (first POLAR-family cell to
+//! arrive) and shared through a [`std::sync::OnceLock`].
 
 use ftoa_core::algorithms::OptMode;
 use ftoa_core::{
     AlgorithmResult, BatchGreedy, IndexBackend, Instance, OfflineGuide, Opt, Polar, PolarOp,
     SimpleGreedy, SimulationEngine,
 };
-use std::time::Instant;
+use ftoa_runtime::JobPool;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
 use workload::Scenario;
 
 /// Options controlling which algorithms run and how.
@@ -26,6 +34,12 @@ pub struct SuiteOptions {
     pub strict_feasibility: bool,
     /// Candidate-index backend used by the simulation engine.
     pub index_backend: IndexBackend,
+    /// Concurrency of the (scenario × algorithm) cell fan-out: `1` runs
+    /// strictly serial on the calling thread (the default), `0` resolves to
+    /// `FTOA_JOBS` / the available hardware parallelism, any other value is
+    /// the exact worker count. Deterministic outputs are byte-identical at
+    /// every setting.
+    pub threads: usize,
 }
 
 impl Default for SuiteOptions {
@@ -36,6 +50,7 @@ impl Default for SuiteOptions {
             gr_window_minutes: 3.0,
             strict_feasibility: true,
             index_backend: IndexBackend::Grid,
+            threads: 1,
         }
     }
 }
@@ -51,6 +66,11 @@ impl SuiteOptions {
     /// The same options with a different candidate-index backend.
     pub fn with_backend(self, index_backend: IndexBackend) -> Self {
         Self { index_backend, ..self }
+    }
+
+    /// The same options with a different cell-fan-out concurrency.
+    pub fn with_threads(self, threads: usize) -> Self {
+        Self { threads, ..self }
     }
 }
 
@@ -86,6 +106,17 @@ impl Algo {
         }
     }
 
+    /// The canonical suite selection: all five algorithms, or — because OPT
+    /// is the last entry of [`Algo::ALL`] — just the four online ones when
+    /// the oracle is excluded. The single place that invariant is encoded.
+    pub fn suite(include_opt: bool) -> &'static [Algo] {
+        if include_opt {
+            &Algo::ALL
+        } else {
+            &Algo::ALL[..4]
+        }
+    }
+
     /// Parse a (case-insensitive) algorithm name as accepted by the CLIs.
     pub fn parse(s: &str) -> Option<Algo> {
         match s.to_ascii_lowercase().as_str() {
@@ -105,36 +136,61 @@ impl Algo {
 /// construction time is reported in each result's `preprocessing` field (the
 /// paper excludes it from the online running times).
 pub fn run_suite(scenario: &Scenario, opts: &SuiteOptions) -> Vec<AlgorithmResult> {
-    let algos: &[Algo] = if opts.include_opt { &Algo::ALL } else { &Algo::ALL[..4] };
-    run_algorithms(scenario, opts, algos)
+    run_algorithms(scenario, opts, Algo::suite(opts.include_opt))
 }
 
 /// Run an explicit subset of the suite, in the order given. The offline guide
 /// is built lazily (only when POLAR or POLAR-OP is selected) and shared.
+/// With [`SuiteOptions::threads`] > 1 the algorithms run concurrently; the
+/// result order (and every deterministic field) is identical either way.
 pub fn run_algorithms(
     scenario: &Scenario,
     opts: &SuiteOptions,
     algos: &[Algo],
 ) -> Vec<AlgorithmResult> {
-    let instance = Instance::new(
-        &scenario.config,
-        &scenario.stream,
-        &scenario.predicted_workers,
-        &scenario.predicted_tasks,
-    );
-    let engine = SimulationEngine::new(opts.index_backend);
-    let mut guide: Option<(OfflineGuide, std::time::Duration)> = None;
-    let mut results = Vec::with_capacity(algos.len());
+    run_matrix(std::slice::from_ref(scenario), opts, algos)
+        .pop()
+        .expect("one scenario in, one result row out")
+}
 
-    for &algo in algos {
-        let result = match algo {
+/// Run every (scenario × algorithm) cell of a sweep matrix, fanned out
+/// through a deterministic [`JobPool`] of [`SuiteOptions::threads`] workers.
+///
+/// Cells are handed out dynamically (expensive OPT cells load-balance
+/// against cheap greedy cells) and reduced in submission order, so
+/// `out[s][a]` is exactly what a serial double loop would produce: results
+/// grouped per scenario, in the given algorithm order. Each scenario's
+/// offline guide is built once — by whichever POLAR-family cell gets there
+/// first — and shared via [`OnceLock`]; its build time is reported in the
+/// `preprocessing` field of both POLAR results, as before.
+pub fn run_matrix(
+    scenarios: &[Scenario],
+    opts: &SuiteOptions,
+    algos: &[Algo],
+) -> Vec<Vec<AlgorithmResult>> {
+    let pool = JobPool::new(opts.threads);
+    let guides: Vec<OnceLock<(OfflineGuide, Duration)>> =
+        scenarios.iter().map(|_| OnceLock::new()).collect();
+    let cells: Vec<(usize, Algo)> =
+        (0..scenarios.len()).flat_map(|si| algos.iter().map(move |&algo| (si, algo))).collect();
+
+    let results = pool.par_map_indexed(cells, |_, (si, algo)| {
+        let scenario = &scenarios[si];
+        let instance = Instance::new(
+            &scenario.config,
+            &scenario.stream,
+            &scenario.predicted_workers,
+            &scenario.predicted_tasks,
+        );
+        let engine = SimulationEngine::new(opts.index_backend);
+        match algo {
             Algo::SimpleGreedy => engine.run(&instance, &mut SimpleGreedy.policy()),
             Algo::Gr => engine.run(
                 &instance,
                 &mut BatchGreedy { window_minutes: opts.gr_window_minutes }.policy(),
             ),
             Algo::Polar | Algo::PolarOp => {
-                let (guide, preprocessing) = guide.get_or_insert_with(|| {
+                let (guide, preprocessing) = guides[si].get_or_init(|| {
                     let start = Instant::now();
                     let guide = OfflineGuide::build(
                         &scenario.config,
@@ -158,10 +214,15 @@ pub fn run_algorithms(
                 result
             }
             Algo::Opt => engine.run(&instance, &mut Opt { mode: opts.opt_mode }.policy()),
-        };
-        results.push(result);
+        }
+    });
+
+    let mut out: Vec<Vec<AlgorithmResult>> = Vec::with_capacity(scenarios.len());
+    let mut iter = results.into_iter();
+    for _ in 0..scenarios.len() {
+        out.push(iter.by_ref().take(algos.len()).collect());
     }
-    results
+    out
 }
 
 #[cfg(test)]
@@ -219,18 +280,58 @@ mod tests {
         let grid = run_suite(&scenario, &SuiteOptions::default());
         let linear =
             run_suite(&scenario, &SuiteOptions::default().with_backend(IndexBackend::LinearScan));
-        for (g, l) in grid.iter().zip(&linear) {
+        let kd = run_suite(&scenario, &SuiteOptions::default().with_backend(IndexBackend::Kd));
+        for ((g, l), k) in grid.iter().zip(&linear).zip(&kd) {
             assert_eq!(g.algorithm, l.algorithm);
             assert_eq!(
                 g.matching_size(),
                 l.matching_size(),
-                "{} disagrees between index backends",
+                "{} disagrees between grid and linear backends",
                 g.algorithm
+            );
+            assert_eq!(
+                k.matching_size(),
+                l.matching_size(),
+                "{} disagrees between kd and linear backends",
+                k.algorithm
             );
         }
         // The grid index must prune: strictly fewer candidates examined on
         // the index-driven algorithms (SimpleGreedy here).
         assert!(grid[0].stats.candidates_examined < linear[0].stats.candidates_examined);
+    }
+
+    #[test]
+    fn parallel_fan_out_reproduces_the_serial_suite_exactly() {
+        let scenario = small_scenario();
+        let serial = run_suite(&scenario, &SuiteOptions::default());
+        for threads in [2, 4] {
+            let parallel = run_suite(&scenario, &SuiteOptions::default().with_threads(threads));
+            assert_eq!(serial.len(), parallel.len());
+            for (s, p) in serial.iter().zip(&parallel) {
+                assert_eq!(s.algorithm, p.algorithm, "order changed at threads={threads}");
+                assert_eq!(s.matching_size(), p.matching_size(), "{}", s.algorithm);
+                assert_eq!(s.assignments.pairs(), p.assignments.pairs(), "{}", s.algorithm);
+                assert_eq!(s.memory_bytes, p.memory_bytes, "{}", s.algorithm);
+                assert_eq!(s.stats, p.stats, "{}", s.algorithm);
+            }
+        }
+    }
+
+    #[test]
+    fn run_matrix_groups_cells_per_scenario_in_algo_order() {
+        let scenarios = vec![small_scenario(), small_scenario()];
+        let algos = [Algo::Gr, Algo::SimpleGreedy];
+        let matrix = run_matrix(&scenarios, &SuiteOptions::default().with_threads(4), &algos);
+        assert_eq!(matrix.len(), 2);
+        for row in &matrix {
+            let names: Vec<&str> = row.iter().map(|r| r.algorithm.as_str()).collect();
+            assert_eq!(names, vec!["GR", "SimpleGreedy"]);
+        }
+        // Identical scenarios must produce identical rows.
+        for (a, b) in matrix[0].iter().zip(&matrix[1]) {
+            assert_eq!(a.matching_size(), b.matching_size());
+        }
     }
 
     #[test]

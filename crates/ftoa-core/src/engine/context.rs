@@ -1,0 +1,182 @@
+//! The engine-owned state a policy sees while handling one event.
+
+use crate::engine::driver::OnlinePolicy;
+use crate::engine::index::{CandidateIndex, IndexBackend};
+use crate::memory::{vec_bytes, MemoryTracker};
+use crate::result::EngineStats;
+use ftoa_types::{
+    Assignment, AssignmentSet, EventStream, ProblemConfig, Task, TaskId, TimeStamp, Worker,
+    WorkerId,
+};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The engine-owned state a policy sees while handling one event.
+pub struct EngineContext<'a> {
+    /// Problem configuration (grid, slots, velocity, default deadlines).
+    pub config: &'a ProblemConfig,
+    /// The full stream (for id → object lookups; policies must not iterate
+    /// ahead of the current event — the engine drives the iteration).
+    pub stream: &'a EventStream,
+    now: TimeStamp,
+    idle_workers: Box<dyn CandidateIndex<Worker>>,
+    pending_tasks: Box<dyn CandidateIndex<Task>>,
+    assignments: AssignmentSet,
+    memory: MemoryTracker,
+    worker_expiry: BinaryHeap<Reverse<(TimeStamp, usize)>>,
+    task_expiry: BinaryHeap<Reverse<(TimeStamp, usize)>>,
+    stats: EngineStats,
+}
+
+impl<'a> EngineContext<'a> {
+    /// Fresh context over a stream, with the pools instantiated on the given
+    /// backend. Only the driver constructs contexts.
+    pub(crate) fn new(
+        config: &'a ProblemConfig,
+        stream: &'a EventStream,
+        backend: IndexBackend,
+        assignment_capacity: usize,
+    ) -> Self {
+        Self {
+            config,
+            stream,
+            now: TimeStamp::ZERO,
+            idle_workers: backend.make::<Worker>(config),
+            pending_tasks: backend.make::<Task>(config),
+            assignments: AssignmentSet::with_capacity(assignment_capacity),
+            memory: MemoryTracker::new(),
+            worker_expiry: BinaryHeap::new(),
+            task_expiry: BinaryHeap::new(),
+            stats: EngineStats { backend: backend.name(), ..EngineStats::default() },
+        }
+    }
+
+    /// The current simulation time (the arrival time of the event being
+    /// processed; after the stream ends, the time of the last event).
+    pub fn now(&self) -> TimeStamp {
+        self.now
+    }
+
+    pub(crate) fn set_now(&mut self, now: TimeStamp) {
+        self.now = now;
+    }
+
+    pub(crate) fn stats_mut(&mut self) -> &mut EngineStats {
+        &mut self.stats
+    }
+
+    /// The shared worker velocity.
+    pub fn velocity(&self) -> f64 {
+        self.config.velocity
+    }
+
+    /// Admit a worker into the idle pool (it will be offered as a candidate
+    /// and expired automatically when its deadline passes).
+    pub fn admit_worker(&mut self, worker: &Worker) {
+        self.idle_workers.insert(*worker);
+        self.worker_expiry.push(Reverse((worker.deadline(), worker.id.index())));
+        self.memory.allocate(vec_bytes::<Worker>(1));
+    }
+
+    /// Admit a task into the pending pool.
+    pub fn admit_task(&mut self, task: &Task) {
+        self.pending_tasks.insert(*task);
+        self.task_expiry.push(Reverse((task.deadline(), task.id.index())));
+        self.memory.allocate(vec_bytes::<Task>(1));
+    }
+
+    /// The idle-worker pool.
+    pub fn idle_workers(&mut self) -> &mut dyn CandidateIndex<Worker> {
+        self.idle_workers.as_mut()
+    }
+
+    /// The pending-task pool.
+    pub fn pending_tasks(&mut self) -> &mut dyn CandidateIndex<Task> {
+        self.pending_tasks.as_mut()
+    }
+
+    /// Remove a worker from the idle pool (e.g. because it was matched).
+    pub fn claim_worker(&mut self, index: usize) -> Option<Worker> {
+        let w = self.idle_workers.remove(index);
+        if w.is_some() {
+            self.memory.release(vec_bytes::<Worker>(1));
+        }
+        w
+    }
+
+    /// Remove a task from the pending pool.
+    pub fn claim_task(&mut self, index: usize) -> Option<Task> {
+        let t = self.pending_tasks.remove(index);
+        if t.is_some() {
+            self.memory.release(vec_bytes::<Task>(1));
+        }
+        t
+    }
+
+    /// Commit an irrevocable assignment at the current time. Both objects are
+    /// removed from the pools if present. Panics if either side is already
+    /// matched — policies guarantee single assignment by construction.
+    pub fn assign(&mut self, worker: WorkerId, task: TaskId) {
+        self.assign_at(worker, task, self.now);
+    }
+
+    /// Commit an assignment with an explicit timestamp (used by offline
+    /// policies that reconstruct a matching after the stream has ended).
+    pub fn assign_at(&mut self, worker: WorkerId, task: TaskId, at: TimeStamp) {
+        // Claim (not raw-remove) so the pooled objects' bytes are released
+        // whether or not the policy claimed them beforehand.
+        self.claim_worker(worker.index());
+        self.claim_task(task.index());
+        self.assignments
+            .push(Assignment::new(worker, task, at))
+            .expect("policy must not double-assign a worker or task");
+    }
+
+    /// The assignments committed so far.
+    pub fn assignments(&self) -> &AssignmentSet {
+        &self.assignments
+    }
+
+    /// The engine's memory tracker, for policy-specific structures.
+    pub fn memory_mut(&mut self) -> &mut MemoryTracker {
+        &mut self.memory
+    }
+
+    /// Expire due objects: pop everything with a deadline strictly before
+    /// `now` from the expiry queues, remove it from the pools and inform the
+    /// policy. Objects whose deadline equals `now` remain live (deadlines are
+    /// inclusive throughout the model).
+    pub(crate) fn run_expiries(&mut self, now: TimeStamp, policy: &mut dyn OnlinePolicy) {
+        while let Some(&Reverse((deadline, index))) = self.worker_expiry.peek() {
+            if deadline >= now {
+                break;
+            }
+            self.worker_expiry.pop();
+            if let Some(worker) = self.claim_worker(index) {
+                self.stats.expired_workers += 1;
+                policy.on_worker_expiry(self, &worker);
+            }
+        }
+        while let Some(&Reverse((deadline, index))) = self.task_expiry.peek() {
+            if deadline >= now {
+                break;
+            }
+            self.task_expiry.pop();
+            if let Some(task) = self.claim_task(index) {
+                self.stats.expired_tasks += 1;
+                policy.on_task_expiry(self, &task);
+            }
+        }
+    }
+
+    /// Close the run: fold the index structures into the peak footprint and
+    /// the per-pool candidate counters into the stats, then hand the parts
+    /// back to the driver.
+    pub(crate) fn finish(mut self) -> (AssignmentSet, usize, EngineStats) {
+        self.memory
+            .allocate(self.idle_workers.structure_bytes() + self.pending_tasks.structure_bytes());
+        self.stats.candidates_examined =
+            self.idle_workers.candidates_examined() + self.pending_tasks.candidates_examined();
+        (self.assignments, self.memory.peak_with_overhead(), self.stats)
+    }
+}

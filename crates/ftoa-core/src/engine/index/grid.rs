@@ -1,0 +1,94 @@
+//! The uniform-grid bucket backend.
+
+use crate::engine::index::CandidateIndex;
+use crate::engine::item::SpatialItem;
+use crate::memory::vec_bytes;
+use ftoa_types::{Location, ProblemConfig};
+use spatial::GridBucketIndex;
+
+/// Indexed backend: objects live in a [`spatial::GridBucketIndex`] keyed by
+/// location, so nearest-feasible queries expand ring by ring and reachable-
+/// disk range queries touch only the overlapping buckets. Removal by dense
+/// index is O(bucket) via a handle table.
+pub struct GridCandidateIndex<T> {
+    grid: GridBucketIndex<T>,
+    handles: Vec<Option<spatial::grid_index::EntryHandle>>,
+    examined: u64,
+    buckets: usize,
+}
+
+impl<T: SpatialItem + Clone> GridCandidateIndex<T> {
+    /// Create a pool over the problem's grid bounds. The bucket resolution
+    /// reuses the problem grid but is capped at 64×64 so tiny instances do
+    /// not pay for thousands of empty buckets.
+    pub fn for_config(config: &ProblemConfig) -> Self {
+        let nx = config.grid.nx().clamp(1, 64);
+        let ny = config.grid.ny().clamp(1, 64);
+        Self {
+            grid: GridBucketIndex::new(*config.grid.bounds(), nx, ny),
+            handles: Vec::new(),
+            examined: 0,
+            buckets: nx * ny,
+        }
+    }
+}
+
+impl<T: SpatialItem + Clone> CandidateIndex<T> for GridCandidateIndex<T> {
+    fn insert(&mut self, item: T) {
+        let idx = item.item_index();
+        if idx >= self.handles.len() {
+            self.handles.resize(idx + 1, None);
+        }
+        if let Some(handle) = self.handles[idx].take() {
+            self.grid.remove(handle);
+        }
+        self.handles[idx] = Some(self.grid.insert(item.item_location(), item));
+    }
+
+    fn remove(&mut self, index: usize) -> Option<T> {
+        let handle = self.handles.get_mut(index)?.take()?;
+        self.grid.remove(handle)
+    }
+
+    fn contains(&self, index: usize) -> bool {
+        matches!(self.handles.get(index), Some(Some(_)))
+    }
+
+    fn len(&self) -> usize {
+        self.grid.len()
+    }
+
+    fn nearest_within(
+        &mut self,
+        query: &Location,
+        max_radius: f64,
+        feasible: &mut dyn FnMut(&T) -> bool,
+    ) -> Option<(usize, f64)> {
+        let (found, scanned) =
+            self.grid.nearest_within_counted(query, max_radius, |item, _| feasible(item));
+        self.examined += scanned;
+        found.map(|(_, _, item, d)| (item.item_index(), d))
+    }
+
+    fn for_each_within(&mut self, center: &Location, radius: f64, visit: &mut dyn FnMut(&T)) {
+        let scanned = self.grid.for_each_within_counted(center, radius, |_, item| visit(item));
+        self.examined += scanned;
+    }
+
+    fn for_each(&self, visit: &mut dyn FnMut(&T)) {
+        let mut items: Vec<&T> = self.grid.iter().map(|(_, item)| item).collect();
+        items.sort_by_key(|item| item.item_index());
+        for item in items {
+            visit(item);
+        }
+    }
+
+    fn candidates_examined(&self) -> u64 {
+        self.examined
+    }
+
+    fn structure_bytes(&self) -> usize {
+        vec_bytes::<Vec<T>>(self.buckets)
+            + vec_bytes::<Option<spatial::grid_index::EntryHandle>>(self.handles.len())
+    }
+}

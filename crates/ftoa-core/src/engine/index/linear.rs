@@ -1,0 +1,104 @@
+//! The exhaustive linear-scan backend (reference / oracle).
+
+use crate::engine::index::CandidateIndex;
+use crate::engine::item::SpatialItem;
+use crate::memory::vec_bytes;
+use ftoa_types::Location;
+
+/// Reference backend: an exhaustive scan over a dense slot vector. O(n) per
+/// query, deterministic (ascending index order), with no spatial pruning —
+/// the oracle the indexed backends are tested against.
+#[derive(Debug, Clone)]
+pub struct LinearScanIndex<T> {
+    slots: Vec<Option<T>>,
+    live: usize,
+    examined: u64,
+}
+
+impl<T: SpatialItem> LinearScanIndex<T> {
+    /// Create an empty pool.
+    pub fn new() -> Self {
+        Self { slots: Vec::new(), live: 0, examined: 0 }
+    }
+}
+
+impl<T: SpatialItem> Default for LinearScanIndex<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: SpatialItem> CandidateIndex<T> for LinearScanIndex<T> {
+    fn insert(&mut self, item: T) {
+        let idx = item.item_index();
+        if idx >= self.slots.len() {
+            self.slots.resize_with(idx + 1, || None);
+        }
+        if self.slots[idx].replace(item).is_none() {
+            self.live += 1;
+        }
+    }
+
+    fn remove(&mut self, index: usize) -> Option<T> {
+        let removed = self.slots.get_mut(index)?.take();
+        if removed.is_some() {
+            self.live -= 1;
+        }
+        removed
+    }
+
+    fn contains(&self, index: usize) -> bool {
+        matches!(self.slots.get(index), Some(Some(_)))
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn nearest_within(
+        &mut self,
+        query: &Location,
+        max_radius: f64,
+        feasible: &mut dyn FnMut(&T) -> bool,
+    ) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for item in self.slots.iter().flatten() {
+            self.examined += 1;
+            let d = query.distance(&item.item_location());
+            if d > max_radius {
+                continue;
+            }
+            if !feasible(item) {
+                continue;
+            }
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((item.item_index(), d));
+            }
+        }
+        best
+    }
+
+    fn for_each_within(&mut self, center: &Location, radius: f64, visit: &mut dyn FnMut(&T)) {
+        let r2 = radius * radius;
+        for item in self.slots.iter().flatten() {
+            self.examined += 1;
+            if center.distance_sq(&item.item_location()) <= r2 {
+                visit(item);
+            }
+        }
+    }
+
+    fn for_each(&self, visit: &mut dyn FnMut(&T)) {
+        for item in self.slots.iter().flatten() {
+            visit(item);
+        }
+    }
+
+    fn candidates_examined(&self) -> u64 {
+        self.examined
+    }
+
+    fn structure_bytes(&self) -> usize {
+        vec_bytes::<Option<T>>(self.slots.len())
+    }
+}

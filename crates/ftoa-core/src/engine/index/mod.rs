@@ -1,0 +1,251 @@
+//! Candidate generation: the [`CandidateIndex`] trait and its backends.
+//!
+//! The online algorithms ask two spatial questions about the live pools —
+//! *nearest feasible object* and *all objects within a reachable disk* —
+//! and every backend must answer them deterministically so runs are
+//! reproducible. Three interchangeable backends implement the trait:
+//!
+//! * [`LinearScanIndex`] (`linear.rs`) — exhaustive scan in ascending
+//!   dense-index order; O(n) per query, no pruning. The reference/oracle.
+//! * [`GridCandidateIndex`] (`grid.rs`) — uniform-grid buckets
+//!   ([`spatial::GridBucketIndex`]): nearest queries expand ring by ring,
+//!   range queries touch only overlapping buckets.
+//! * [`KdCandidateIndex`] (`kd.rs`) — an epoch-rebuild wrapper around the
+//!   static [`spatial::KdTree`]: mutations tombstone/buffer until a dirty
+//!   threshold triggers a rebuild over the live set.
+//!
+//! [`IndexBackend`] is the runtime knob selecting among them.
+
+pub mod grid;
+pub mod kd;
+pub mod linear;
+
+pub use grid::GridCandidateIndex;
+pub use kd::KdCandidateIndex;
+pub use linear::LinearScanIndex;
+
+use crate::engine::item::SpatialItem;
+use ftoa_types::{Location, ProblemConfig};
+
+/// A dynamic pool of spatial objects answering the two candidate queries the
+/// online algorithms need: *nearest feasible* and *all within a reachable
+/// disk*. Implementations must visit candidates deterministically so runs
+/// are reproducible; they additionally count how many candidates each query
+/// examines, which is the backend-independent measure of pruning quality
+/// reported in [`crate::result::EngineStats`].
+pub trait CandidateIndex<T: SpatialItem> {
+    /// Insert an object (keyed by its dense index).
+    fn insert(&mut self, item: T);
+
+    /// Remove an object by dense index, returning it if it was present.
+    fn remove(&mut self, index: usize) -> Option<T>;
+
+    /// Is an object with this dense index present?
+    fn contains(&self, index: usize) -> bool;
+
+    /// Number of live objects.
+    fn len(&self) -> usize;
+
+    /// Is the pool empty?
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The nearest live object (Euclidean distance from `query`) accepted by
+    /// `feasible`, as `(dense index, distance)`.
+    fn nearest_where(
+        &mut self,
+        query: &Location,
+        feasible: &mut dyn FnMut(&T) -> bool,
+    ) -> Option<(usize, f64)> {
+        self.nearest_within(query, f64::INFINITY, feasible)
+    }
+
+    /// Like [`Self::nearest_where`], restricted to objects within
+    /// `max_radius` of `query` (inclusive). Policies pass the reachable-disk
+    /// radius implied by the deadline constraint so that hopeless queries
+    /// terminate without examining distant candidates.
+    fn nearest_within(
+        &mut self,
+        query: &Location,
+        max_radius: f64,
+        feasible: &mut dyn FnMut(&T) -> bool,
+    ) -> Option<(usize, f64)>;
+
+    /// Visit every live object within `radius` of `center` (inclusive).
+    fn for_each_within(&mut self, center: &Location, radius: f64, visit: &mut dyn FnMut(&T));
+
+    /// Visit every live object in ascending dense-index order.
+    fn for_each(&self, visit: &mut dyn FnMut(&T));
+
+    /// Stored entries *scanned* by queries so far (distance computed or
+    /// feasibility checked). The linear backend scans every live entry per
+    /// query; the grid backend scans only the entries in the buckets its
+    /// ring/range search visits — the ratio between the two is the pruning
+    /// factor, independent of machine speed.
+    fn candidates_examined(&self) -> u64;
+
+    /// Estimated bytes held by the index structure itself (excluding the
+    /// per-object bytes, which the engine accounts for on admit/claim).
+    fn structure_bytes(&self) -> usize;
+}
+
+/// Which [`CandidateIndex`] backend the engine instantiates for its pools.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexBackend {
+    /// Exhaustive linear scan (reference / oracle).
+    LinearScan,
+    /// Uniform-grid bucket index with ring and range pruning.
+    #[default]
+    Grid,
+    /// KD-tree with epoch rebuilds (tombstoned removals, buffered inserts).
+    Kd,
+}
+
+impl IndexBackend {
+    /// Every backend, in the canonical comparison order (reference first).
+    pub const ALL: [IndexBackend; 3] =
+        [IndexBackend::LinearScan, IndexBackend::Grid, IndexBackend::Kd];
+
+    /// Short display name (used in stats and bench output).
+    pub fn name(self) -> &'static str {
+        match self {
+            IndexBackend::LinearScan => "linear-scan",
+            IndexBackend::Grid => "grid-index",
+            IndexBackend::Kd => "kd-tree",
+        }
+    }
+
+    /// Parse a (case-insensitive) backend name as accepted by the CLIs.
+    pub fn parse(s: &str) -> Option<IndexBackend> {
+        match s.to_ascii_lowercase().as_str() {
+            "linear" | "linear-scan" | "linearscan" => Some(IndexBackend::LinearScan),
+            "grid" | "grid-index" | "gridindex" => Some(IndexBackend::Grid),
+            "kd" | "kd-tree" | "kdtree" => Some(IndexBackend::Kd),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn make<T: SpatialItem + Clone + 'static>(
+        self,
+        config: &ProblemConfig,
+    ) -> Box<dyn CandidateIndex<T>> {
+        match self {
+            IndexBackend::LinearScan => Box::new(LinearScanIndex::new()),
+            IndexBackend::Grid => Box::new(GridCandidateIndex::for_config(config)),
+            IndexBackend::Kd => Box::new(KdCandidateIndex::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftoa_types::{
+        GridPartition, Location, SlotPartition, TimeDelta, TimeStamp, Worker, WorkerId,
+    };
+
+    fn config() -> ProblemConfig {
+        ProblemConfig::new(
+            GridPartition::square(10.0, 5).unwrap(),
+            SlotPartition::over_horizon(TimeDelta::minutes(60.0), 4).unwrap(),
+            1.0,
+            TimeDelta::minutes(10.0),
+            TimeDelta::minutes(5.0),
+        )
+    }
+
+    fn worker(i: usize, x: f64, y: f64, t: f64) -> Worker {
+        Worker::new(
+            WorkerId(i),
+            Location::new(x, y),
+            TimeStamp::minutes(t),
+            TimeDelta::minutes(10.0),
+        )
+    }
+
+    fn backends() -> Vec<Box<dyn CandidateIndex<Worker>>> {
+        IndexBackend::ALL.iter().map(|b| b.make::<Worker>(&config())).collect()
+    }
+
+    #[test]
+    fn backend_names_parse_round_trip() {
+        for backend in IndexBackend::ALL {
+            assert_eq!(IndexBackend::parse(backend.name()), Some(backend), "{}", backend.name());
+        }
+        assert_eq!(IndexBackend::parse("KD"), Some(IndexBackend::Kd));
+        assert_eq!(IndexBackend::parse("nope"), None);
+    }
+
+    #[test]
+    fn all_backends_support_insert_remove_contains() {
+        for mut idx in backends() {
+            assert!(idx.is_empty());
+            idx.insert(worker(3, 1.0, 1.0, 0.0));
+            idx.insert(worker(7, 9.0, 9.0, 0.0));
+            assert_eq!(idx.len(), 2);
+            assert!(idx.contains(3));
+            assert!(!idx.contains(5));
+            let w = idx.remove(3).unwrap();
+            assert_eq!(w.id, WorkerId(3));
+            assert!(idx.remove(3).is_none());
+            assert_eq!(idx.len(), 1);
+        }
+    }
+
+    #[test]
+    fn nearest_where_agrees_between_backends() {
+        for mut idx in backends() {
+            for (i, (x, y)) in [(1.0, 1.0), (5.0, 5.0), (9.0, 2.0)].iter().enumerate() {
+                idx.insert(worker(i, *x, *y, 0.0));
+            }
+            let q = Location::new(4.5, 4.5);
+            let (best, d) = idx.nearest_where(&q, &mut |_| true).unwrap();
+            assert_eq!(best, 1);
+            assert!((d - Location::new(5.0, 5.0).distance(&q)).abs() < 1e-12);
+            // Filtered query skips the nearest.
+            let (second, _) = idx.nearest_where(&q, &mut |w| w.id.index() != 1).unwrap();
+            assert_eq!(second, 0);
+            assert!(idx.candidates_examined() > 0);
+        }
+    }
+
+    #[test]
+    fn range_query_agrees_between_backends() {
+        for mut idx in backends() {
+            for i in 0..20 {
+                idx.insert(worker(i, (i % 5) as f64 * 2.0, (i / 5) as f64 * 2.0, 0.0));
+            }
+            let mut found = Vec::new();
+            idx.for_each_within(&Location::new(0.0, 0.0), 2.5, &mut |w| found.push(w.id.index()));
+            found.sort_unstable();
+            // (0,0), (2,0), (0,2) are within 2.5; (2,2) is at 2.83.
+            assert_eq!(found, vec![0, 1, 5]);
+        }
+    }
+
+    #[test]
+    fn nearest_within_respects_the_radius_on_every_backend() {
+        for mut idx in backends() {
+            idx.insert(worker(0, 1.0, 1.0, 0.0));
+            idx.insert(worker(1, 8.0, 8.0, 0.0));
+            let q = Location::new(2.0, 1.0);
+            let hit = idx.nearest_within(&q, 1.5, &mut |_| true);
+            assert_eq!(hit.map(|(i, _)| i), Some(0));
+            let miss = idx.nearest_within(&Location::new(4.5, 4.5), 2.0, &mut |_| true);
+            assert!(miss.is_none());
+        }
+    }
+
+    #[test]
+    fn for_each_visits_in_ascending_index_order() {
+        for mut idx in backends() {
+            for i in [4usize, 0, 2, 9, 1] {
+                idx.insert(worker(i, i as f64, i as f64, 0.0));
+            }
+            let mut seen = Vec::new();
+            idx.for_each(&mut |w| seen.push(w.id.index()));
+            assert_eq!(seen, vec![0, 1, 2, 4, 9]);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! The [`SpatialItem`] trait: what the candidate pools store.
+
+use ftoa_types::{Location, Task, Worker};
+
+/// An object that can live in a [`crate::engine::CandidateIndex`]: it has a
+/// dense index and a location. Deadlines deliberately stay off this trait —
+/// expiry is owned by the engine's priority queues
+/// ([`crate::engine::EngineContext`] records each object's deadline at
+/// admit time), so the indexes never need to ask.
+pub trait SpatialItem: Copy {
+    /// Dense 0-based identifier (`WorkerId` / `TaskId` index).
+    fn item_index(&self) -> usize;
+    /// Where the object is (its appearance location).
+    fn item_location(&self) -> Location;
+}
+
+impl SpatialItem for Worker {
+    fn item_index(&self) -> usize {
+        self.id.index()
+    }
+    fn item_location(&self) -> Location {
+        self.location
+    }
+}
+
+impl SpatialItem for Task {
+    fn item_index(&self) -> usize {
+        self.id.index()
+    }
+    fn item_location(&self) -> Location {
+        self.location
+    }
+}

@@ -1,0 +1,45 @@
+//! The unified streaming simulation engine.
+//!
+//! Every online algorithm of the paper processes the same kind of arrival
+//! stream: workers and tasks appear one by one, decisions are irrevocable,
+//! and objects silently leave the platform when their deadlines pass. The
+//! seed implementation repeated that event loop — stream iteration, pool
+//! bookkeeping, expiry handling, runtime/memory accounting — inside every
+//! algorithm. [`SimulationEngine`] extracts the loop into one place, and the
+//! engine itself is decomposed into one module per responsibility:
+//!
+//! * [`item`] — the [`SpatialItem`] trait: anything (worker or task) that
+//!   can live in a candidate pool, keyed by dense index, located in space
+//!   and bounded by a deadline;
+//! * [`index`] — the [`CandidateIndex`] trait plus its three backends: the
+//!   exhaustive [`LinearScanIndex`] (reference/oracle), the
+//!   [`GridCandidateIndex`] built on [`spatial::GridBucketIndex`] ring and
+//!   reachable-disk range queries, and the [`KdCandidateIndex`]
+//!   epoch-rebuild wrapper around the static [`spatial::KdTree`];
+//! * [`context`] — the [`EngineContext`] a policy sees while handling one
+//!   event: the idle-worker/pending-task pools, deadline-expiry queues,
+//!   committed assignments and memory accounting;
+//! * [`driver`] — the [`OnlinePolicy`] trait (an algorithm shrunk to a
+//!   handful of incremental callbacks) and the [`SimulationEngine`] that
+//!   drives a policy over a stream and assembles the
+//!   [`crate::result::AlgorithmResult`].
+//!
+//! The existing [`crate::algorithms::OnlineAlgorithm::run`] entry points are
+//! thin adapters that instantiate a policy and hand it to the engine, so all
+//! previous callers keep working unchanged; every name of the pre-split
+//! `engine.rs` is re-exported here. Equivalence between the index backends —
+//! and against straight ports of the pre-refactor event loops — is enforced
+//! by the property tests in `tests/proptest_engine_equivalence.rs` at the
+//! workspace root.
+
+pub mod context;
+pub mod driver;
+pub mod index;
+pub mod item;
+
+pub use context::EngineContext;
+pub use driver::{OnlinePolicy, SimulationEngine};
+pub use index::{
+    CandidateIndex, GridCandidateIndex, IndexBackend, KdCandidateIndex, LinearScanIndex,
+};
+pub use item::SpatialItem;

@@ -12,11 +12,13 @@
 //!   nodes, CR ≈ 0.40), [`algorithms::PolarOp`] (Algorithm 3, reusable guide
 //!   nodes, CR ≈ 0.47) and [`algorithms::Opt`] (the offline optimum with full
 //!   knowledge and free worker movement).
-//! * [`engine`] — the unified streaming simulation engine: every algorithm
-//!   is an incremental [`engine::OnlinePolicy`] driven by
-//!   [`engine::SimulationEngine`], with candidate generation behind the
-//!   [`engine::CandidateIndex`] trait (linear-scan reference vs.
-//!   grid-index backend built on the `spatial` crate).
+//! * [`engine`] — the unified streaming simulation engine, decomposed into
+//!   one module per responsibility (`item` / `index` / `context` /
+//!   `driver`): every algorithm is an incremental [`engine::OnlinePolicy`]
+//!   driven by [`engine::SimulationEngine`], with candidate generation
+//!   behind the [`engine::CandidateIndex`] trait (linear-scan reference,
+//!   grid-index and epoch-rebuild KD-tree backends built on the `spatial`
+//!   crate).
 //! * [`replay`] — the trace-replay entry point: derives realised
 //!   per-slot/per-cell counts from a recorded stream and drives any policy
 //!   over it through the unchanged engine.
@@ -39,8 +41,8 @@ pub mod result;
 
 pub use algorithms::{BatchGreedy, OnlineAlgorithm, Opt, Polar, PolarOp, SimpleGreedy};
 pub use engine::{
-    CandidateIndex, EngineContext, GridCandidateIndex, IndexBackend, LinearScanIndex, OnlinePolicy,
-    SimulationEngine,
+    CandidateIndex, EngineContext, GridCandidateIndex, IndexBackend, KdCandidateIndex,
+    LinearScanIndex, OnlinePolicy, SimulationEngine,
 };
 pub use guide::{GuideEngine, GuideNode, GuideObjective, OfflineGuide};
 pub use instance::Instance;

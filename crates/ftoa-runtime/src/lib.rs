@@ -1,0 +1,255 @@
+//! Deterministic parallel execution layer for the FTOA workspace.
+//!
+//! The experiment harness grinds through embarrassingly-parallel cell
+//! matrices — (algorithm × backend × replicate × sweep-point) — where each
+//! cell is a pure function of its inputs. This crate provides the one
+//! primitive that workload needs: [`JobPool::par_map_indexed`], a scoped
+//! fork/join map whose results are **merged in submission order regardless
+//! of completion order**. Because every cell is deterministic and the
+//! reduction is order-preserving, the output of a parallel run is
+//! byte-identical to the serial run at any thread count — which is what
+//! lets the repository's golden-metrics CI gate pin parallel correctness
+//! without any parallel-specific golden files.
+//!
+//! The pool is zero-dependency (`std::thread::scope` only; no work-stealing
+//! runtime) and is created per call site:
+//!
+//! ```
+//! use ftoa_runtime::JobPool;
+//!
+//! let pool = JobPool::new(4);
+//! let squares = pool.par_map_indexed((0..100u64).collect(), |_, x| x * x);
+//! assert_eq!(squares[7], 49);
+//! ```
+//!
+//! Thread-count resolution honours the `FTOA_JOBS` environment variable
+//! (`JobPool::new(0)` / [`available_jobs`]): set `FTOA_JOBS=1` to force any
+//! auto-parallel code path serial, or `FTOA_JOBS=N` to cap fan-out below the
+//! machine's available parallelism.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Name of the environment variable overriding the automatic thread count.
+pub const JOBS_ENV_VAR: &str = "FTOA_JOBS";
+
+/// Resolve an explicit `FTOA_JOBS`-style override value. Returns `None` for
+/// unset, empty, unparsable or zero values (callers then fall back to the
+/// hardware parallelism).
+fn parse_jobs(value: Option<&str>) -> Option<usize> {
+    value.and_then(|v| v.trim().parse::<usize>().ok()).filter(|&n| n > 0)
+}
+
+/// The number of jobs automatic (`threads = 0`) pools use: the `FTOA_JOBS`
+/// environment override if set to a positive integer, otherwise
+/// [`std::thread::available_parallelism`] (1 if unknown).
+pub fn available_jobs() -> usize {
+    parse_jobs(std::env::var(JOBS_ENV_VAR).ok().as_deref())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// A fixed-width fork/join pool over OS threads with deterministic, ordered
+/// reduction. See the crate docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobPool {
+    threads: usize,
+}
+
+impl Default for JobPool {
+    /// An automatic pool: `FTOA_JOBS` or the available hardware parallelism.
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl JobPool {
+    /// A pool running `threads` jobs concurrently. `0` means automatic
+    /// ([`available_jobs`]); `1` means strictly serial execution on the
+    /// calling thread (no threads are spawned).
+    pub fn new(threads: usize) -> Self {
+        Self { threads: if threads == 0 { available_jobs() } else { threads } }
+    }
+
+    /// A strictly serial pool (useful as a deterministic baseline in
+    /// speedup measurements and determinism tests).
+    pub fn serial() -> Self {
+        Self::new(1)
+    }
+
+    /// The concurrency this pool runs at.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Apply `f` to every item, in parallel, and return the results **in
+    /// submission order**: `out[i] == f(i, items[i])` exactly as a serial
+    /// `map` would produce, regardless of which worker finished first.
+    ///
+    /// Items are handed out dynamically (one shared cursor), so uneven cell
+    /// costs load-balance across workers. If any invocation of `f` panics,
+    /// the remaining queue is abandoned — workers stop pulling new items as
+    /// soon as they finish their current one — and the panic is propagated
+    /// on the calling thread after the scope joins.
+    pub fn par_map_indexed<I, R, F>(&self, items: Vec<I>, f: F) -> Vec<R>
+    where
+        I: Send,
+        R: Send,
+        F: Fn(usize, I) -> R + Sync,
+    {
+        let workers = self.threads.min(items.len());
+        if workers <= 1 {
+            return items.into_iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        }
+        let queue = Mutex::new(items.into_iter().enumerate());
+        let abort = AtomicBool::new(false);
+        let queue = &queue;
+        let abort = &abort;
+        let f = &f;
+        let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            if abort.load(Ordering::Relaxed) {
+                                return local;
+                            }
+                            // Take the lock only to pull the next cell; the
+                            // (potentially long) computation runs unlocked.
+                            // Cell panics are caught below, so the lock can
+                            // never be poisoned.
+                            let next = queue.lock().expect("job queue poisoned").next();
+                            match next {
+                                Some((index, item)) => {
+                                    match catch_unwind(AssertUnwindSafe(|| f(index, item))) {
+                                        Ok(result) => local.push((index, result)),
+                                        Err(payload) => {
+                                            abort.store(true, Ordering::Relaxed);
+                                            resume_unwind(payload);
+                                        }
+                                    }
+                                }
+                                None => return local,
+                            }
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap_or_else(|payload| std::panic::resume_unwind(payload)))
+                .collect()
+        });
+        tagged.sort_unstable_by_key(|&(index, _)| index);
+        tagged.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn parse_jobs_accepts_positive_integers_only() {
+        assert_eq!(parse_jobs(Some("4")), Some(4));
+        assert_eq!(parse_jobs(Some(" 12 ")), Some(12));
+        assert_eq!(parse_jobs(Some("0")), None);
+        assert_eq!(parse_jobs(Some("-3")), None);
+        assert_eq!(parse_jobs(Some("many")), None);
+        assert_eq!(parse_jobs(Some("")), None);
+        assert_eq!(parse_jobs(None), None);
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_at_least_one() {
+        assert!(JobPool::new(0).threads() >= 1);
+        assert_eq!(JobPool::serial().threads(), 1);
+        assert_eq!(JobPool::new(7).threads(), 7);
+    }
+
+    #[test]
+    fn results_arrive_in_submission_order_at_any_thread_count() {
+        let items: Vec<usize> = (0..257).collect();
+        let expected: Vec<usize> = items.iter().map(|&x| x * 31 + 7).collect();
+        for threads in [1, 2, 3, 4, 16, 64] {
+            // Skew the per-item cost so completion order differs wildly from
+            // submission order: early items are the slowest.
+            let out = JobPool::new(threads).par_map_indexed(items.clone(), |i, x| {
+                let mut acc = 0u64;
+                for k in 0..((257 - i) * 50) as u64 {
+                    acc = acc.wrapping_mul(31).wrapping_add(k);
+                }
+                std::hint::black_box(acc);
+                x * 31 + 7
+            });
+            assert_eq!(out, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let out = JobPool::new(8).par_map_indexed((0..1000usize).collect(), |i, x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            assert_eq!(i, x);
+            x
+        });
+        assert_eq!(out.len(), 1000);
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs_stay_on_the_calling_thread() {
+        let pool = JobPool::new(32);
+        let none: Vec<u8> = pool.par_map_indexed(Vec::<u8>::new(), |_, x| x);
+        assert!(none.is_empty());
+        let caller = std::thread::current().id();
+        let one = pool.par_map_indexed(vec![5u8], |_, x| {
+            assert_eq!(std::thread::current().id(), caller);
+            x + 1
+        });
+        assert_eq!(one, vec![6]);
+    }
+
+    #[test]
+    fn worker_panics_propagate_to_the_caller() {
+        let result = std::panic::catch_unwind(|| {
+            JobPool::new(4).par_map_indexed((0..64usize).collect(), |_, x| {
+                if x == 13 {
+                    panic!("boom");
+                }
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn a_panicking_cell_abandons_the_remaining_queue() {
+        let ran = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(|| {
+            JobPool::new(4).par_map_indexed((0..500usize).collect(), |_, x| {
+                if x == 0 {
+                    panic!("first cell fails");
+                }
+                ran.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                x
+            })
+        });
+        assert!(result.is_err());
+        // The abort flag is raised before the panic unwinds, so the other
+        // workers stop pulling once they finish their in-flight cell —
+        // nowhere near the full 500-item queue gets computed as waste.
+        assert!(
+            ran.load(Ordering::Relaxed) < 100,
+            "panic did not stop the pool: {} cells still ran",
+            ran.load(Ordering::Relaxed)
+        );
+    }
+}

@@ -79,17 +79,37 @@ impl<T> KdTree<T> {
     }
 
     /// Exact nearest neighbour among points accepted by `feasible`.
-    pub fn nearest_where<F>(
+    pub fn nearest_where<F>(&self, query: &Location, feasible: F) -> Option<(&Location, &T, f64)>
+    where
+        F: FnMut(&T, &Location) -> bool,
+    {
+        self.nearest_within_where(query, f64::INFINITY, feasible)
+    }
+
+    /// Exact nearest neighbour within `max_radius` of `query` (inclusive)
+    /// among points accepted by `feasible`.
+    ///
+    /// The radius seeds the branch-pruning bound *before* any candidate is
+    /// found, so a query with no feasible point inside the disk terminates
+    /// after visiting only the subtrees overlapping it instead of the whole
+    /// tree. This is the reachable-disk pruning online assignment uses: a
+    /// candidate farther than the disk radius can never meet the deadline
+    /// constraint, so the search never needs to look past it.
+    pub fn nearest_within_where<F>(
         &self,
         query: &Location,
+        max_radius: f64,
         mut feasible: F,
     ) -> Option<(&Location, &T, f64)>
     where
         F: FnMut(&T, &Location) -> bool,
     {
         let root = self.root?;
+        if max_radius < 0.0 {
+            return None;
+        }
         let mut best: Option<(usize, f64)> = None;
-        self.search(root, query, &mut feasible, &mut best);
+        self.search(root, query, max_radius * max_radius, &mut feasible, &mut best);
         best.map(|(idx, d)| (&self.points[idx].0, &self.points[idx].1, d.sqrt()))
     }
 
@@ -97,6 +117,7 @@ impl<T> KdTree<T> {
         &self,
         node_id: usize,
         query: &Location,
+        max_r2: f64,
         feasible: &mut F,
         best: &mut Option<(usize, f64)>,
     ) where
@@ -105,20 +126,22 @@ impl<T> KdTree<T> {
         let node = &self.nodes[node_id];
         let (loc, payload) = &self.points[node.point];
         let d2 = query.distance_sq(loc);
-        if feasible(payload, loc) && best.is_none_or(|(_, bd)| d2 < bd) {
+        if d2 <= max_r2 && feasible(payload, loc) && best.is_none_or(|(_, bd)| d2 < bd) {
             *best = Some((node.point, d2));
         }
         let diff = if node.axis == 0 { query.x - loc.x } else { query.y - loc.y };
         let (near, far) =
             if diff <= 0.0 { (node.left, node.right) } else { (node.right, node.left) };
         if let Some(n) = near {
-            self.search(n, query, feasible, best);
+            self.search(n, query, max_r2, feasible, best);
         }
         // Only descend into the far side if the splitting plane is closer
-        // than the current best distance (or no best exists yet).
-        if best.is_none_or(|(_, bd)| diff * diff < bd) {
+        // than the pruning bound: the current best distance, capped by the
+        // query radius (`<=` because the radius is inclusive).
+        let bound = best.map_or(max_r2, |(_, bd)| bd.min(max_r2));
+        if diff * diff <= bound {
             if let Some(f) = far {
-                self.search(f, query, feasible, best);
+                self.search(f, query, max_r2, feasible, best);
             }
         }
     }
@@ -216,6 +239,47 @@ mod tests {
             t.nearest_where(&Location::new(0.1, 0.1), |&p, _| p % 2 == 1).unwrap();
         assert_eq!(payload % 2, 1);
         assert!(t.nearest_where(&Location::ORIGIN, |_, _| false).is_none());
+    }
+
+    #[test]
+    fn radius_bounded_nearest_matches_brute_force() {
+        let pts = grid_points();
+        let t = KdTree::build(pts.clone());
+        for q in [Location::new(4.3, 4.8), Location::new(-0.6, 3.2), Location::new(9.9, 0.1)] {
+            for radius in [0.25, 0.5, 1.0, 3.0] {
+                let brute = pts
+                    .iter()
+                    .map(|(l, _)| q.distance(l))
+                    .filter(|&d| d <= radius)
+                    .fold(f64::INFINITY, f64::min);
+                match t.nearest_within_where(&q, radius, |_, _| true) {
+                    Some((_, _, d)) => assert!((d - brute).abs() < 1e-9, "query {q} r={radius}"),
+                    None => assert_eq!(brute, f64::INFINITY, "query {q} r={radius}"),
+                }
+            }
+        }
+        // Negative radius never matches anything.
+        assert!(t.nearest_within_where(&Location::ORIGIN, -1.0, |_, _| true).is_none());
+    }
+
+    #[test]
+    fn radius_bound_prunes_the_search() {
+        let t = KdTree::build(grid_points());
+        let mut visited_bounded = 0usize;
+        let _ = t.nearest_within_where(&Location::new(5.1, 5.1), 1.0, |_, _| {
+            visited_bounded += 1;
+            false // feasibility never satisfied: the worst case for pruning
+        });
+        let mut visited_unbounded = 0usize;
+        let _ = t.nearest_where(&Location::new(5.1, 5.1), |_, _| {
+            visited_unbounded += 1;
+            false
+        });
+        assert_eq!(visited_unbounded, 100, "unbounded infeasible search scans everything");
+        assert!(
+            visited_bounded < visited_unbounded / 5,
+            "radius bound failed to prune: {visited_bounded} vs {visited_unbounded}"
+        );
     }
 
     #[test]

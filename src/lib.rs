@@ -7,6 +7,7 @@
 pub use experiments;
 pub use flow;
 pub use ftoa_core as core_algorithms;
+pub use ftoa_runtime as runtime;
 pub use ftoa_types as types;
 pub use prediction;
 pub use spatial;

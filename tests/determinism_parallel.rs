@@ -1,0 +1,86 @@
+//! Parallel-determinism regression tests.
+//!
+//! The `ftoa-runtime` job pool merges results in submission order, and every
+//! (scenario × algorithm) cell is a pure function of its inputs — so the
+//! deterministic renderings of the sweep runner (`SweepReport::
+//! to_csv_deterministic`) and the replay pipeline (`ReplayMetrics::to_json
+//! (true)`) must be **byte-identical** at any thread count. These tests pin
+//! that: they run the same workload serial and at four workers and diff the
+//! bytes. The CI `replay-regression` job checks the same property end to
+//! end by replaying the committed fixture with `--threads 4` against the
+//! unchanged golden file.
+
+use ftoa::core_algorithms::IndexBackend;
+use ftoa::experiments::{figures, metrics::ReplayMetrics, run_algorithms, Algo, SuiteOptions};
+use ftoa::workload::{SyntheticConfig, TraceReader};
+
+#[test]
+fn sweep_runner_csv_is_byte_identical_at_any_thread_count() {
+    // A real multi-point sweep (five |W| values, full five-algorithm suite)
+    // at tiny scale, once serial and once over four workers.
+    let serial = figures::fig4_vary_workers(0.01, &SuiteOptions::default().with_threads(1));
+    let parallel = figures::fig4_vary_workers(0.01, &SuiteOptions::default().with_threads(4));
+    assert_eq!(
+        serial.to_csv_deterministic(),
+        parallel.to_csv_deterministic(),
+        "sweep CSV diverged between threads=1 and threads=4"
+    );
+    // Sanity: the deterministic rendering is not trivially empty.
+    let csv = serial.to_csv_deterministic();
+    assert!(csv.lines().count() > 2 * 5 * 5, "expected 2 metrics x 5 algos x 5 points of rows");
+}
+
+#[test]
+fn replay_metrics_json_is_byte_identical_at_any_thread_count() {
+    let scenario = TraceReader::read_file("traces/fixture_small.trace")
+        .expect("committed fixture trace must parse")
+        .into_scenario();
+    let render = |threads: usize| {
+        let opts = SuiteOptions::default().with_threads(threads);
+        let results = run_algorithms(&scenario, &opts, &Algo::ALL);
+        ReplayMetrics::new(
+            "traces/fixture_small.trace",
+            opts.index_backend.name(),
+            scenario.stream.num_workers(),
+            scenario.stream.num_tasks(),
+            scenario.stream.len(),
+            threads,
+            &results,
+        )
+        .to_json(true)
+    };
+    let serial = render(1);
+    let parallel = render(4);
+    assert_eq!(serial, parallel, "replay metrics diverged between threads=1 and threads=4");
+    assert!(serial.contains("\"format\": \"ftoa-replay-metrics v1\""));
+}
+
+#[test]
+fn every_index_backend_is_deterministic_under_parallel_fan_out() {
+    // One scenario, three backends, 1-vs-4 threads each: assignments (not
+    // just matching sizes) must be reproduced exactly.
+    let scenario = SyntheticConfig {
+        num_workers: 300,
+        num_tasks: 300,
+        grid_n: 8,
+        num_slots: 6,
+        ..Default::default()
+    }
+    .generate(7);
+    for backend in IndexBackend::ALL {
+        let opts = SuiteOptions::default().with_backend(backend);
+        let serial = run_algorithms(&scenario, &opts, &Algo::ALL);
+        let parallel = run_algorithms(&scenario, &opts.with_threads(4), &Algo::ALL);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.algorithm, p.algorithm, "{}", backend.name());
+            assert_eq!(
+                s.assignments.pairs(),
+                p.assignments.pairs(),
+                "{} assignments diverged on {}",
+                s.algorithm,
+                backend.name()
+            );
+            assert_eq!(s.stats, p.stats, "{} stats diverged on {}", s.algorithm, backend.name());
+        }
+    }
+}

@@ -8,9 +8,9 @@
 //! * engine-based SimpleGreedy and GR produce matchings of **identical total
 //!   utility** to straight ports of the pre-refactor whole-stream loops
 //!   (kept below as oracles);
-//! * the linear-scan backend (the reference) and the grid-index backend agree
-//!   on the total utility of every algorithm, while the grid backend never
-//!   examines more candidates;
+//! * the linear-scan backend (the reference), the grid-index backend and the
+//!   epoch-rebuild KD-tree backend agree on the total utility of every
+//!   algorithm, while the grid backend never examines more candidates;
 //! * POLAR / POLAR-OP are index-independent, and every matching stays valid.
 
 use ftoa::core_algorithms::{
@@ -183,7 +183,7 @@ proptest! {
     fn simple_greedy_matches_pre_refactor_loop(scenario in scenario_strategy()) {
         let instance = instance_of(&scenario);
         let oracle = reference_simple_greedy(&scenario.config, &scenario.stream);
-        for backend in [IndexBackend::LinearScan, IndexBackend::Grid] {
+        for backend in IndexBackend::ALL {
             let result = SimulationEngine::new(backend)
                 .run(&instance, &mut SimpleGreedy.policy());
             prop_assert_eq!(
@@ -210,7 +210,7 @@ proptest! {
     ) {
         let instance = instance_of(&scenario);
         let oracle = reference_batch_greedy(&scenario.config, &scenario.stream, window);
-        for backend in [IndexBackend::LinearScan, IndexBackend::Grid] {
+        for backend in IndexBackend::ALL {
             let result = SimulationEngine::new(backend)
                 .run(&instance, &mut BatchGreedy { window_minutes: window }.policy());
             prop_assert_eq!(
@@ -234,14 +234,19 @@ proptest! {
         let polar_op = PolarOp::default();
         let linear = SimulationEngine::new(IndexBackend::LinearScan);
         let grid = SimulationEngine::new(IndexBackend::Grid);
+        let kd = SimulationEngine::new(IndexBackend::Kd);
 
         let polar_linear = linear.run(&instance, &mut polar.policy(&instance, &guide));
         let polar_grid = grid.run(&instance, &mut polar.policy(&instance, &guide));
+        let polar_kd = kd.run(&instance, &mut polar.policy(&instance, &guide));
         prop_assert_eq!(polar_linear.matching_size(), polar_grid.matching_size());
+        prop_assert_eq!(polar_linear.matching_size(), polar_kd.matching_size());
 
         let op_linear = linear.run(&instance, &mut polar_op.policy(&instance, &guide));
         let op_grid = grid.run(&instance, &mut polar_op.policy(&instance, &guide));
+        let op_kd = kd.run(&instance, &mut polar_op.policy(&instance, &guide));
         prop_assert_eq!(op_linear.matching_size(), op_grid.matching_size());
+        prop_assert_eq!(op_linear.matching_size(), op_kd.matching_size());
 
         prop_assert!(op_grid.matching_size() >= polar_grid.matching_size());
         prop_assert!(
