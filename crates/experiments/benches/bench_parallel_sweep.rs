@@ -64,16 +64,27 @@ fn bench_parallel_sweep(c: &mut Criterion) {
         println!("quick mode: skipping BENCH_parallel.json and the speedup assertion");
         return;
     }
-    if cores >= threads {
+    // State the arming condition before deciding, so a log reader can tell a
+    // skipped assertion from a passed one at a glance.
+    let armed = cores >= threads;
+    println!(
+        "speedup assertion (>= 2x): {} — armed iff cores >= threads \
+         (this host: {cores} core(s) for {threads} threads)",
+        if armed { "ARMED" } else { "DISARMED" }
+    );
+    let note = if armed {
+        format!("speedup assertion armed: host had {cores} cores for {threads} threads")
+    } else {
+        format!(
+            "speedup assertion disarmed: host had {cores} core(s) for {threads} threads, \
+             so sub-1x speedup reflects scheduling overhead, not a regression"
+        )
+    };
+    if armed {
         assert!(
             speedup >= 2.0,
             "expected at least 2x wall-clock speedup at {threads} threads on {cores} cores, \
              measured {speedup:.2}x"
-        );
-    } else {
-        println!(
-            "only {cores} core(s) available for {threads} threads: recording the measured \
-             speedup without asserting the 2x target"
         );
     }
 
@@ -82,7 +93,7 @@ fn bench_parallel_sweep(c: &mut Criterion) {
          \"threads\": {threads},\n  \"cores\": {cores},\n  \
          \"serial_seconds\": {serial_seconds:.6},\n  \
          \"parallel_seconds\": {parallel_seconds:.6},\n  \"speedup\": {speedup:.2},\n  \
-         \"outputs_byte_identical\": true\n}}\n"
+         \"outputs_byte_identical\": true,\n  \"note\": \"{note}\"\n}}\n"
     );
     let out =
         std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_parallel.json");

@@ -19,9 +19,6 @@
 //! captures and replays trace files; the Criterion benches under `benches/`
 //! time the same sweeps at a reduced scale.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod figures;
 pub mod metrics;
 pub mod report;

@@ -14,11 +14,11 @@
 use ftoa_core::algorithms::OptMode;
 use ftoa_core::{
     AlgorithmResult, BatchGreedy, IndexBackend, Instance, OfflineGuide, Opt, Polar, PolarOp,
-    SimpleGreedy, SimulationEngine,
+    SimpleGreedy, SimulationEngine, Stopwatch,
 };
 use ftoa_runtime::JobPool;
 use std::sync::OnceLock;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use workload::Scenario;
 
 /// Options controlling which algorithms run and how.
@@ -191,13 +191,13 @@ pub fn run_matrix(
             ),
             Algo::Polar | Algo::PolarOp => {
                 let (guide, preprocessing) = guides[si].get_or_init(|| {
-                    let start = Instant::now();
+                    let clock = Stopwatch::start();
                     let guide = OfflineGuide::build(
                         &scenario.config,
                         &scenario.predicted_workers,
                         &scenario.predicted_tasks,
                     );
-                    (guide, start.elapsed())
+                    (guide, clock.elapsed())
                 });
                 let mut result = if algo == Algo::Polar {
                     let polar =

@@ -24,9 +24,6 @@
 //! * [`BipartiteGraph`] — a convenience wrapper that hides the source/sink
 //!   plumbing and returns matchings as `(left, right)` index pairs.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod bipartite;
 pub mod dinic;
 pub mod edmonds_karp;

@@ -134,6 +134,7 @@ fn flush(ctx: &mut EngineContext<'_>, t: TimeStamp) {
     // task deadline — i.e. lie inside the task's reachable disk at `t`.
     // The range query prunes the candidate pairs; the exact travel-time
     // check below keeps the edge set identical to the full double loop.
+    // Lookup-only map (never iterated; the `edges` vec is sorted below).
     let worker_slot: std::collections::HashMap<usize, usize> =
         workers.iter().enumerate().map(|(wi, w)| (w.id.index(), wi)).collect();
     let mut edges: Vec<(usize, usize)> = Vec::new();

@@ -163,26 +163,26 @@ fn solve_aggregated(ctx: &mut EngineContext<'_>) {
     // workers and tasks type by type following the aggregated matching.
     // (Individual pairs are representative; the cardinality is the quantity
     // the evaluation uses.)
-    let mut workers_by_type: std::collections::HashMap<TypeKey, Vec<usize>> =
-        std::collections::HashMap::new();
+    let mut workers_by_type: std::collections::BTreeMap<TypeKey, Vec<usize>> =
+        std::collections::BTreeMap::new();
     for (i, w) in ctx.stream.workers().iter().enumerate() {
         workers_by_type
             .entry(TypeKey::new(config.slots.slot_of(w.start), config.grid.cell_of(&w.location)))
             .or_default()
             .push(i);
     }
-    let mut tasks_by_type: std::collections::HashMap<TypeKey, Vec<usize>> =
-        std::collections::HashMap::new();
+    let mut tasks_by_type: std::collections::BTreeMap<TypeKey, Vec<usize>> =
+        std::collections::BTreeMap::new();
     for (i, r) in ctx.stream.tasks().iter().enumerate() {
         tasks_by_type
             .entry(TypeKey::new(config.slots.slot_of(r.release), config.grid.cell_of(&r.location)))
             .or_default()
             .push(i);
     }
-    let mut type_cursor_w: std::collections::HashMap<TypeKey, usize> =
-        std::collections::HashMap::new();
-    let mut type_cursor_r: std::collections::HashMap<TypeKey, usize> =
-        std::collections::HashMap::new();
+    let mut type_cursor_w: std::collections::BTreeMap<TypeKey, usize> =
+        std::collections::BTreeMap::new();
+    let mut type_cursor_r: std::collections::BTreeMap<TypeKey, usize> =
+        std::collections::BTreeMap::new();
     for node in guide.worker_nodes().iter() {
         if let Some(r_idx) = node.partner {
             let r_key = guide.task_nodes()[r_idx].key;

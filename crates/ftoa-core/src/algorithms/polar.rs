@@ -20,15 +20,14 @@
 //! accounting of the analysis.
 
 use crate::algorithms::OnlineAlgorithm;
-use crate::engine::{EngineContext, OnlinePolicy, SimulationEngine};
+use crate::engine::{EngineContext, OnlinePolicy, SimulationEngine, Stopwatch};
 use crate::guide::{GuideEngine, GuideObjective, OfflineGuide};
 use crate::instance::Instance;
 use crate::memory::{map_bytes, vec_bytes};
 use crate::movement::WorkerPlan;
 use crate::result::AlgorithmResult;
 use ftoa_types::{Task, TimeStamp, TypeKey, Worker};
-use std::collections::HashMap;
-use std::time::Instant;
+use std::collections::BTreeMap;
 
 /// The POLAR algorithm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,8 +58,8 @@ impl Polar {
             guide,
             worker_occupant: vec![None; guide.num_worker_nodes()],
             task_occupant: vec![None; guide.num_task_nodes()],
-            cursor_w: HashMap::new(),
-            cursor_r: HashMap::new(),
+            cursor_w: BTreeMap::new(),
+            cursor_r: BTreeMap::new(),
             plans: vec![None; instance.stream.num_workers()],
         }
     }
@@ -79,8 +78,9 @@ pub struct PolarPolicy<'g> {
     guide: &'g OfflineGuide,
     worker_occupant: Vec<Option<usize>>,
     task_occupant: Vec<Option<usize>>,
-    cursor_w: HashMap<TypeKey, usize>,
-    cursor_r: HashMap<TypeKey, usize>,
+    // Ordered maps: per-type state must never depend on hash order (tidy R2).
+    cursor_w: BTreeMap<TypeKey, usize>,
+    cursor_r: BTreeMap<TypeKey, usize>,
     plans: Vec<Option<WorkerPlan>>,
 }
 
@@ -192,7 +192,7 @@ impl OnlineAlgorithm for Polar {
     }
 
     fn run(&self, instance: &Instance<'_>) -> AlgorithmResult {
-        let pre_start = Instant::now();
+        let pre_start = Stopwatch::start();
         let guide = OfflineGuide::build_with(
             instance.config,
             instance.predicted_workers,

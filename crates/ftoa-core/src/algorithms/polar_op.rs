@@ -14,15 +14,14 @@
 
 use crate::algorithms::polar::object_key;
 use crate::algorithms::OnlineAlgorithm;
-use crate::engine::{EngineContext, OnlinePolicy, SimulationEngine};
+use crate::engine::{EngineContext, OnlinePolicy, SimulationEngine, Stopwatch};
 use crate::guide::{GuideEngine, GuideObjective, OfflineGuide};
 use crate::instance::Instance;
 use crate::memory::{map_bytes, vec_bytes};
 use crate::movement::WorkerPlan;
 use crate::result::AlgorithmResult;
 use ftoa_types::{Task, TypeKey, Worker};
-use std::collections::HashMap;
-use std::time::Instant;
+use std::collections::BTreeMap;
 
 /// The POLAR-OP algorithm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,13 +54,13 @@ impl PolarOp {
     ) -> PolarOpPolicy<'g> {
         // Matched nodes per type (only nodes with a guide partner can ever
         // produce an assignment; they are reused round-robin).
-        let mut matched_w_nodes: HashMap<TypeKey, Vec<usize>> = HashMap::new();
+        let mut matched_w_nodes: BTreeMap<TypeKey, Vec<usize>> = BTreeMap::new();
         for (i, n) in guide.worker_nodes().iter().enumerate() {
             if n.partner.is_some() {
                 matched_w_nodes.entry(n.key).or_default().push(i);
             }
         }
-        let mut matched_r_nodes: HashMap<TypeKey, Vec<usize>> = HashMap::new();
+        let mut matched_r_nodes: BTreeMap<TypeKey, Vec<usize>> = BTreeMap::new();
         for (i, n) in guide.task_nodes().iter().enumerate() {
             if n.partner.is_some() {
                 matched_r_nodes.entry(n.key).or_default().push(i);
@@ -72,8 +71,8 @@ impl PolarOp {
             guide,
             matched_w_nodes,
             matched_r_nodes,
-            rr_w: HashMap::new(),
-            rr_r: HashMap::new(),
+            rr_w: BTreeMap::new(),
+            rr_r: BTreeMap::new(),
             waiting_workers_at: vec![Vec::new(); guide.num_worker_nodes()],
             waiting_tasks_at: vec![Vec::new(); guide.num_task_nodes()],
             plans: vec![None; instance.stream.num_workers()],
@@ -91,10 +90,11 @@ impl PolarOp {
 pub struct PolarOpPolicy<'g> {
     strict_feasibility: bool,
     guide: &'g OfflineGuide,
-    matched_w_nodes: HashMap<TypeKey, Vec<usize>>,
-    matched_r_nodes: HashMap<TypeKey, Vec<usize>>,
-    rr_w: HashMap<TypeKey, usize>,
-    rr_r: HashMap<TypeKey, usize>,
+    // Ordered maps: per-type state must never depend on hash order (tidy R2).
+    matched_w_nodes: BTreeMap<TypeKey, Vec<usize>>,
+    matched_r_nodes: BTreeMap<TypeKey, Vec<usize>>,
+    rr_w: BTreeMap<TypeKey, usize>,
+    rr_r: BTreeMap<TypeKey, usize>,
     /// Unmatched real objects currently associated with each node.
     waiting_workers_at: Vec<Vec<usize>>,
     waiting_tasks_at: Vec<Vec<usize>>,
@@ -211,7 +211,7 @@ impl OnlineAlgorithm for PolarOp {
     }
 
     fn run(&self, instance: &Instance<'_>) -> AlgorithmResult {
-        let pre_start = Instant::now();
+        let pre_start = Stopwatch::start();
         let guide = OfflineGuide::build_with(
             instance.config,
             instance.predicted_workers,
@@ -229,8 +229,8 @@ impl OnlineAlgorithm for PolarOp {
 /// Pick the next node of the given type in round-robin order, or `None` when
 /// the type has no matched node.
 fn pick_node(
-    nodes_by_type: &HashMap<TypeKey, Vec<usize>>,
-    cursors: &mut HashMap<TypeKey, usize>,
+    nodes_by_type: &BTreeMap<TypeKey, Vec<usize>>,
+    cursors: &mut BTreeMap<TypeKey, usize>,
     key: TypeKey,
 ) -> Option<usize> {
     let nodes = nodes_by_type.get(&key)?;

@@ -1,11 +1,11 @@
 //! The [`OnlinePolicy`] trait and the [`SimulationEngine`] driver.
 
+use crate::engine::clock::Stopwatch;
 use crate::engine::context::EngineContext;
 use crate::engine::index::IndexBackend;
 use crate::instance::Instance;
 use crate::result::AlgorithmResult;
 use ftoa_types::{Event, Task, TimeStamp, Worker};
-use std::time::Instant;
 
 /// An online task-assignment policy: the algorithm-specific reaction to each
 /// event of the stream. All pool/queue/metric bookkeeping lives in the
@@ -60,7 +60,7 @@ impl SimulationEngine {
     /// result (assignments, runtime, memory and
     /// [`crate::result::EngineStats`]).
     pub fn run(&self, instance: &Instance<'_>, policy: &mut dyn OnlinePolicy) -> AlgorithmResult {
-        let start = Instant::now();
+        let clock = Stopwatch::start();
         let mut ctx = EngineContext::new(
             instance.config,
             instance.stream,
@@ -86,7 +86,7 @@ impl SimulationEngine {
             algorithm: policy.name().to_string(),
             assignments,
             preprocessing: std::time::Duration::ZERO,
-            runtime: start.elapsed(),
+            runtime: clock.elapsed(),
             memory_bytes,
             stats,
         }

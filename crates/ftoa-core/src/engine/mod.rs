@@ -32,11 +32,13 @@
 //! by the property tests in `tests/proptest_engine_equivalence.rs` at the
 //! workspace root.
 
+pub mod clock;
 pub mod context;
 pub mod driver;
 pub mod index;
 pub mod item;
 
+pub use clock::Stopwatch;
 pub use context::EngineContext;
 pub use driver::{OnlinePolicy, SimulationEngine};
 pub use index::{

@@ -19,7 +19,7 @@ use flow::min_cost::{min_cost_max_flow, McmfNetwork};
 use flow::{dinic, edmonds_karp, FlowNetwork};
 use ftoa_types::{CellId, ProblemConfig, SlotId, TimeStamp, TypeKey};
 use prediction::SpatioTemporalMatrix;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Objective used when computing the guide matching.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -57,8 +57,9 @@ pub struct GuideNode {
 pub struct OfflineGuide {
     worker_nodes: Vec<GuideNode>,
     task_nodes: Vec<GuideNode>,
-    worker_nodes_by_type: HashMap<TypeKey, Vec<usize>>,
-    task_nodes_by_type: HashMap<TypeKey, Vec<usize>>,
+    // Ordered maps so any future drain/iteration is deterministic (tidy R2).
+    worker_nodes_by_type: BTreeMap<TypeKey, Vec<usize>>,
+    task_nodes_by_type: BTreeMap<TypeKey, Vec<usize>>,
     matching_size: usize,
 }
 
@@ -140,8 +141,8 @@ impl OfflineGuide {
     ) -> Self {
         let mut worker_nodes: Vec<GuideNode> = Vec::new();
         let mut task_nodes: Vec<GuideNode> = Vec::new();
-        let mut worker_nodes_by_type: HashMap<TypeKey, Vec<usize>> = HashMap::new();
-        let mut task_nodes_by_type: HashMap<TypeKey, Vec<usize>> = HashMap::new();
+        let mut worker_nodes_by_type: BTreeMap<TypeKey, Vec<usize>> = BTreeMap::new();
+        let mut task_nodes_by_type: BTreeMap<TypeKey, Vec<usize>> = BTreeMap::new();
 
         // Create all nodes, remembering per-type "next unmatched" cursors.
         let mut left_start = Vec::with_capacity(left.len());

@@ -27,9 +27,6 @@
 //! * [`instance`] / [`result`] — the common input/output types of all
 //!   algorithms, including runtime, memory and per-event engine accounting.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod algorithms;
 pub mod engine;
 pub mod guide;
@@ -42,7 +39,7 @@ pub mod result;
 pub use algorithms::{BatchGreedy, OnlineAlgorithm, Opt, Polar, PolarOp, SimpleGreedy};
 pub use engine::{
     CandidateIndex, EngineContext, GridCandidateIndex, IndexBackend, KdCandidateIndex,
-    LinearScanIndex, OnlinePolicy, SimulationEngine,
+    LinearScanIndex, OnlinePolicy, SimulationEngine, Stopwatch,
 };
 pub use guide::{GuideEngine, GuideNode, GuideObjective, OfflineGuide};
 pub use instance::Instance;

@@ -60,8 +60,8 @@ pub fn vec_bytes<T>(n: usize) -> usize {
     size_of::<T>() * n + size_of::<Vec<T>>()
 }
 
-/// Estimated bytes used by a hash map with `n` entries of key `K` and value
-/// `V` (including typical load-factor overhead).
+/// Estimated bytes used by a map (hash or ordered) with `n` entries of key
+/// `K` and value `V` (including typical load-factor / node overhead).
 pub fn map_bytes<K, V>(n: usize) -> usize {
     ((size_of::<K>() + size_of::<V>() + 8) as f64 * n as f64 * 1.3) as usize + 48
 }

@@ -27,9 +27,6 @@
 //! auto-parallel code path serial, or `FTOA_JOBS=N` to cap fan-out below the
 //! machine's available parallelism.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;

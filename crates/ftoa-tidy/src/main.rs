@@ -1,0 +1,94 @@
+//! The `ftoa-tidy` CLI.
+//!
+//! ```text
+//! cargo run -p ftoa-tidy -- --check          # CI mode: diagnostics, exit 1 on any finding
+//! cargo run -p ftoa-tidy -- --json           # machine-readable report on stdout
+//! cargo run -p ftoa-tidy -- --root <PATH>    # scan a different workspace root
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found (or waiver budget exceeded),
+//! 2 usage error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: ftoa-tidy [--check] [--json] [--root <PATH>]\n\
+         \n\
+         Determinism lint pass for the ftoa workspace. Rules:\n\
+         {}\n\
+         Waive a finding with `// tidy:allow(<rule>) -- <justification>` or a whole\n\
+         file with `// tidy:module(<rule>) -- <justification>` (budget: {}).",
+        ftoa_tidy::rules::ALL_RULES.map(|r| format!("  {r}")).join("\n"),
+        ftoa_tidy::WAIVER_BUDGET,
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => {}
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                let _ = usage();
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+
+    let root = match root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("ftoa-tidy: no workspace root found (run inside the repo or pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match ftoa_tidy::check_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ftoa-tidy: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// Ascend from the current directory to the first `Cargo.toml` declaring a
+/// `[workspace]` — the same root `cargo` itself would resolve.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.lines().any(|l| l.trim() == "[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

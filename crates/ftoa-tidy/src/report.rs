@@ -1,0 +1,183 @@
+//! Diagnostics and the machine-readable report.
+//!
+//! The JSON renderer is hand-rolled (the crate is std-only by design) and
+//! deterministic: entries are pre-sorted by the caller and contain only
+//! workspace-relative paths, so the output is byte-stable across machines —
+//! CI diffs it against the committed `tidy_report.json` to surface new
+//! waivers in review.
+
+use crate::scan::{Waiver, WaiverKind};
+
+/// One rule violation at a specific location.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Workspace-relative `/`-separated path (empty for workspace-level
+    /// findings such as a blown waiver budget).
+    pub file: String,
+    /// 1-based line number (0 for workspace-level findings).
+    pub line: usize,
+    /// The rule id, e.g. `wall-clock`.
+    pub rule: &'static str,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+/// The outcome of a full workspace scan.
+#[derive(Debug, Clone)]
+pub struct TidyReport {
+    /// Number of `.rs` files walked (shims included, though they are not
+    /// checked).
+    pub files_scanned: usize,
+    /// All violations, sorted by `(file, line, rule)`.
+    pub violations: Vec<Violation>,
+    /// All waivers in force, sorted by `(file, line)`.
+    pub waivers: Vec<Waiver>,
+}
+
+impl TidyReport {
+    /// Did the scan find nothing to complain about?
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// `file:line: [rule] message` diagnostics, one per line, ending with a
+    /// one-line summary — the `--check` output format.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            if v.file.is_empty() {
+                out.push_str(&format!("workspace: [{}] {}\n", v.rule, v.message));
+            } else {
+                out.push_str(&format!("{}:{}: [{}] {}\n", v.file, v.line, v.rule, v.message));
+            }
+        }
+        out.push_str(&format!(
+            "ftoa-tidy: {} files scanned, {} violation{}, {} waiver{} in force (budget {})\n",
+            self.files_scanned,
+            self.violations.len(),
+            if self.violations.len() == 1 { "" } else { "s" },
+            self.waivers.len(),
+            if self.waivers.len() == 1 { "" } else { "s" },
+            crate::WAIVER_BUDGET,
+        ));
+        out
+    }
+
+    /// The deterministic JSON report.
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"tool\": \"ftoa-tidy\",\n");
+        out.push_str("  \"version\": 1,\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"waiver_budget\": {},\n", crate::WAIVER_BUDGET));
+        out.push_str("  \"rules\": [");
+        for (i, rule) in crate::rules::ALL_RULES.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_str(rule));
+        }
+        out.push_str("],\n");
+        out.push_str("  \"waivers\": [");
+        for (i, w) in self.waivers.iter().enumerate() {
+            out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            out.push_str(&format!(
+                "{{\"file\": {}, \"line\": {}, \"rule\": {}, \"kind\": {}, \"justification\": {}}}",
+                json_str(&w.file),
+                w.line,
+                json_str(&w.rule),
+                json_str(match w.kind {
+                    WaiverKind::Allow => "allow",
+                    WaiverKind::Module => "module",
+                }),
+                json_str(&w.justification),
+            ));
+        }
+        out.push_str(if self.waivers.is_empty() { "],\n" } else { "\n  ],\n" });
+        out.push_str("  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            out.push_str(&format!(
+                "{{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}",
+                json_str(&v.file),
+                v.line,
+                json_str(v.rule),
+                json_str(&v.message),
+            ));
+        }
+        out.push_str(if self.violations.is_empty() { "]\n" } else { "\n  ]\n" });
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Escape a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TidyReport {
+        TidyReport {
+            files_scanned: 3,
+            violations: vec![Violation {
+                file: "crates/x/src/lib.rs".to_string(),
+                line: 7,
+                rule: "wall-clock",
+                message: "bad \"clock\"".to_string(),
+            }],
+            waivers: vec![Waiver {
+                file: "crates/y/src/clock.rs".to_string(),
+                line: 2,
+                rule: "wall-clock".to_string(),
+                kind: WaiverKind::Module,
+                justification: "sanctioned".to_string(),
+            }],
+        }
+    }
+
+    #[test]
+    fn text_format_is_file_line_rule() {
+        let text = sample().render_text();
+        assert!(text.contains("crates/x/src/lib.rs:7: [wall-clock] bad \"clock\""));
+        assert!(text.contains("3 files scanned, 1 violation, 1 waiver in force"));
+    }
+
+    #[test]
+    fn json_escapes_and_is_stable() {
+        let json = sample().render_json();
+        assert!(json.contains("\"tool\": \"ftoa-tidy\""));
+        assert!(json.contains("bad \\\"clock\\\""));
+        assert!(json.contains("\"kind\": \"module\""));
+        // Rendering twice is byte-identical (determinism of the report
+        // itself is what lets CI diff it).
+        assert_eq!(json, sample().render_json());
+    }
+
+    #[test]
+    fn empty_report_renders_empty_arrays() {
+        let report = TidyReport { files_scanned: 0, violations: vec![], waivers: vec![] };
+        assert!(report.is_clean());
+        let json = report.render_json();
+        assert!(json.contains("\"waivers\": []"));
+        assert!(json.contains("\"violations\": []"));
+    }
+}

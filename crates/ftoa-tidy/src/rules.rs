@@ -1,0 +1,597 @@
+//! The six determinism rules.
+//!
+//! Line rules (R1–R4) run on masked source (see [`crate::scan::mask`]), so a
+//! forbidden name inside a string literal or comment never fires. Workspace
+//! rules (R5, R6) read manifests and non-Rust files directly.
+
+use crate::report::Violation;
+use crate::scan::{self, FileClass, MaskedFile, Waiver};
+use std::path::Path;
+
+/// Rule id for R1.
+pub const RULE_WALL_CLOCK: &str = "wall-clock";
+/// Rule id for R2.
+pub const RULE_UNORDERED_ITER: &str = "unordered-iter";
+/// Rule id for R3.
+pub const RULE_AD_HOC_THREAD: &str = "ad-hoc-thread";
+/// Rule id for R4.
+pub const RULE_STRAY_PRINT: &str = "stray-print";
+/// Rule id for R5.
+pub const RULE_CRATE_HYGIENE: &str = "crate-hygiene";
+/// Rule id for R6.
+pub const RULE_TRACE_VERSION: &str = "trace-version";
+
+/// All rule ids a waiver may name, in R1..R6 order.
+pub const ALL_RULES: [&str; 6] = [
+    RULE_WALL_CLOCK,
+    RULE_UNORDERED_ITER,
+    RULE_AD_HOC_THREAD,
+    RULE_STRAY_PRINT,
+    RULE_CRATE_HYGIENE,
+    RULE_TRACE_VERSION,
+];
+
+fn emit(
+    violations: &mut Vec<Violation>,
+    waivers: &[Waiver],
+    file: &str,
+    line: usize,
+    rule: &'static str,
+    message: String,
+) {
+    if waivers.iter().any(|w| w.covers(rule, line)) {
+        return;
+    }
+    violations.push(Violation { file: file.to_string(), line, rule, message });
+}
+
+/// Run the line rules (R1–R4) on one masked file.
+pub fn check_file(
+    rel: &str,
+    class: FileClass,
+    masked: &MaskedFile,
+    waivers: &[Waiver],
+    violations: &mut Vec<Violation>,
+) {
+    if class == FileClass::Shim {
+        return;
+    }
+    if class == FileClass::Lib {
+        check_wall_clock(rel, masked, waivers, violations);
+        check_stray_print(rel, masked, waivers, violations);
+    }
+    if matches!(class, FileClass::Lib | FileClass::Bin) {
+        check_unordered_iter(rel, masked, waivers, violations);
+        if !rel.starts_with("crates/ftoa-runtime/") {
+            check_ad_hoc_thread(rel, masked, waivers, violations);
+        }
+    }
+}
+
+/// R1 `wall-clock`: library code must not read the wall clock. The only
+/// sanctioned reader is a module carrying a `tidy:module(wall-clock)` waiver
+/// (the engine's `Stopwatch`), whose output feeds runtime metric fields that
+/// deterministic outputs omit. `Duration` values are fine — they carry no
+/// ambient time.
+fn check_wall_clock(
+    rel: &str,
+    masked: &MaskedFile,
+    waivers: &[Waiver],
+    violations: &mut Vec<Violation>,
+) {
+    for (idx, line) in masked.lines.iter().enumerate() {
+        for pattern in ["Instant", "SystemTime", "UNIX_EPOCH"] {
+            if scan::contains_word(&line.code, pattern) {
+                emit(
+                    violations,
+                    waivers,
+                    rel,
+                    idx + 1,
+                    RULE_WALL_CLOCK,
+                    format!(
+                        "`{pattern}` in library code: route timing through \
+                         `ftoa_core::engine::Stopwatch` (the sanctioned clock module) \
+                         so deterministic outputs cannot observe wall time"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// R2 `unordered-iter`: collect every identifier bound to a `HashMap` /
+/// `HashSet` (let bindings, struct fields, fn params), then flag any
+/// iteration over one of them. Hash iteration order is seeded per-process,
+/// so an iterated hash map is a nondeterminism bug waiting to reach output;
+/// use `BTreeMap`/`BTreeSet`, sort before draining, or waive with
+/// justification when order provably cannot escape.
+fn check_unordered_iter(
+    rel: &str,
+    masked: &MaskedFile,
+    waivers: &[Waiver],
+    violations: &mut Vec<Violation>,
+) {
+    let mut tracked: Vec<String> = Vec::new();
+    for line in &masked.lines {
+        let code = &line.code;
+        if !(scan::contains_word(code, "HashMap") || scan::contains_word(code, "HashSet")) {
+            continue;
+        }
+        // `let [mut] name [: Ty] = ...HashMap...` or `name: HashMap<...>`
+        // (struct field / typed param). Both reduce to: the identifier
+        // immediately left of a `:` or `=` on a line that names the type.
+        if let Some(name) = binding_ident(code) {
+            if !tracked.contains(&name) {
+                tracked.push(name);
+            }
+        }
+    }
+    const ITER_METHODS: [&str; 9] = [
+        ".iter()",
+        ".iter_mut()",
+        ".keys()",
+        ".values()",
+        ".values_mut()",
+        ".into_iter()",
+        ".into_keys()",
+        ".into_values()",
+        ".drain(",
+    ];
+    for (idx, line) in masked.lines.iter().enumerate() {
+        let code = &line.code;
+        for name in &tracked {
+            let Some(pos) = scan::find_word(code, name) else { continue };
+            let after = &code[pos + name.len()..];
+            let fires = ITER_METHODS.iter().any(|m| after.starts_with(m))
+                || (code.contains(" in ")
+                    && scan::contains_word(code.trim_start(), "for")
+                    && code.split(" in ").nth(1).is_some_and(|tail| {
+                        scan::find_word(tail, name)
+                            .is_some_and(|p| tail[..p].trim_start_matches(['&', ' ']).is_empty())
+                    }));
+            if fires {
+                emit(
+                    violations,
+                    waivers,
+                    rel,
+                    idx + 1,
+                    RULE_UNORDERED_ITER,
+                    format!(
+                        "iterating hash-ordered `{name}`: use a BTreeMap/BTreeSet, sort \
+                         before draining, or add `// tidy:allow(unordered-iter) -- <why \
+                         order cannot escape>`"
+                    ),
+                );
+                break;
+            }
+        }
+    }
+}
+
+/// The identifier being bound/declared on a line that names `HashMap` /
+/// `HashSet`: the word immediately before the first `:` or `=`.
+fn binding_ident(code: &str) -> Option<String> {
+    let trimmed = code.trim_start();
+    if trimmed.starts_with("use ") || trimmed.starts_with("pub use ") {
+        return None;
+    }
+    let stop = code.find([':', '='])?;
+    let head = code[..stop].trim_end();
+    let ident: String = head
+        .chars()
+        .rev()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect::<String>()
+        .chars()
+        .rev()
+        .collect();
+    let skip = ["let", "mut", "pub", "const", "static", "if", "while", "in", ""];
+    if skip.contains(&ident.as_str()) || ident.starts_with(|c: char| c.is_ascii_digit()) {
+        None
+    } else {
+        Some(ident)
+    }
+}
+
+/// R3 `ad-hoc-thread`: all parallelism lives in `ftoa-runtime`'s ordered
+/// scope pool, whose joins are deterministic by construction. Spawning
+/// threads anywhere else bypasses the 1-vs-N byte-equality guarantee.
+fn check_ad_hoc_thread(
+    rel: &str,
+    masked: &MaskedFile,
+    waivers: &[Waiver],
+    violations: &mut Vec<Violation>,
+) {
+    for (idx, line) in masked.lines.iter().enumerate() {
+        let code = &line.code;
+        for pattern in ["std::thread", "thread::spawn", "available_parallelism", "rayon::"] {
+            if code.contains(pattern) {
+                emit(
+                    violations,
+                    waivers,
+                    rel,
+                    idx + 1,
+                    RULE_AD_HOC_THREAD,
+                    format!(
+                        "`{pattern}` outside ftoa-runtime: use \
+                         `ftoa_runtime::ParallelExecutor`, whose ordered joins keep \
+                         N-thread output byte-identical to serial"
+                    ),
+                );
+                break;
+            }
+        }
+    }
+}
+
+/// R4 `stray-print`: library crates must not write to stdout/stderr —
+/// reporting belongs to bins and examples. A stray print in a library both
+/// pollutes replay output diffs and hides behind whoever links the crate.
+fn check_stray_print(
+    rel: &str,
+    masked: &MaskedFile,
+    waivers: &[Waiver],
+    violations: &mut Vec<Violation>,
+) {
+    for (idx, line) in masked.lines.iter().enumerate() {
+        let code = &line.code;
+        for pattern in ["println!", "print!", "eprintln!", "eprint!", "dbg!"] {
+            if let Some(pos) = code.find(pattern) {
+                let bounded = pos == 0 || {
+                    let b = code.as_bytes()[pos - 1];
+                    !(b == b'_' || b.is_ascii_alphanumeric())
+                };
+                if bounded {
+                    emit(
+                        violations,
+                        waivers,
+                        rel,
+                        idx + 1,
+                        RULE_STRAY_PRINT,
+                        format!(
+                            "`{pattern}` in library code: return data and let a bin or \
+                             example render it"
+                        ),
+                    );
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// R5 `crate-hygiene`: every non-shim crate opts into the workspace lint
+/// policy (`[lints] workspace = true`, which carries `unsafe_code = forbid`
+/// and `missing_docs = warn`) and opens with a `//!` crate-doc header. Shim
+/// crates are exempt from the opt-in but must keep their own
+/// `#![forbid(unsafe_code)]` and doc header.
+pub fn check_crate_hygiene(root: &Path, violations: &mut Vec<Violation>) -> std::io::Result<()> {
+    for (dir, is_shim) in crate_dirs(root)? {
+        let manifest_rel = format!("{dir}/Cargo.toml");
+        let manifest = std::fs::read_to_string(root.join(&manifest_rel))?;
+        let root_file = ["src/lib.rs", "src/main.rs"]
+            .iter()
+            .map(|f| format!("{dir}/{f}"))
+            .find(|rel| root.join(rel).is_file());
+        let Some(root_rel) = root_file else {
+            violations.push(Violation {
+                file: manifest_rel,
+                line: 1,
+                rule: RULE_CRATE_HYGIENE,
+                message: "crate has neither src/lib.rs nor src/main.rs".to_string(),
+            });
+            continue;
+        };
+        let source = std::fs::read_to_string(root.join(&root_rel))?;
+        if !source.trim_start().starts_with("//!") {
+            violations.push(Violation {
+                file: root_rel.clone(),
+                line: 1,
+                rule: RULE_CRATE_HYGIENE,
+                message: "crate root must open with a `//!` doc header explaining its role"
+                    .to_string(),
+            });
+        }
+        if is_shim {
+            if !source.contains("#![forbid(unsafe_code)]") {
+                violations.push(Violation {
+                    file: root_rel,
+                    line: 1,
+                    rule: RULE_CRATE_HYGIENE,
+                    message: "shim crate must carry `#![forbid(unsafe_code)]` (shims are \
+                              exempt from the workspace lint opt-in, not from safety)"
+                        .to_string(),
+                });
+            }
+        } else if !manifest_opts_into_workspace_lints(&manifest) {
+            violations.push(Violation {
+                file: manifest_rel,
+                line: 1,
+                rule: RULE_CRATE_HYGIENE,
+                message: "crate must opt into the workspace lint policy with \
+                          `[lints]\\nworkspace = true`"
+                    .to_string(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// `(workspace-relative crate dir, is_shim)` for every crate: the facade
+/// package at the root plus everything under `crates/` and `crates/shims/`.
+fn crate_dirs(root: &Path) -> std::io::Result<Vec<(String, bool)>> {
+    let mut dirs = vec![(".".to_string(), false)];
+    for entry in std::fs::read_dir(root.join("crates"))? {
+        let entry = entry?;
+        if !entry.path().is_dir() {
+            continue;
+        }
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name == "shims" {
+            for shim in std::fs::read_dir(entry.path())? {
+                let shim = shim?;
+                if shim.path().join("Cargo.toml").is_file() {
+                    let shim_name = shim.file_name().to_string_lossy().into_owned();
+                    dirs.push((format!("crates/shims/{shim_name}"), true));
+                }
+            }
+        } else if entry.path().join("Cargo.toml").is_file() {
+            dirs.push((format!("crates/{name}"), false));
+        }
+    }
+    dirs.sort();
+    Ok(dirs)
+}
+
+/// Does a manifest contain a `[lints]` table with `workspace = true`?
+fn manifest_opts_into_workspace_lints(manifest: &str) -> bool {
+    let mut in_lints = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_lints = line == "[lints]";
+            continue;
+        }
+        if in_lints && line.replace(' ', "") == "workspace=true" {
+            return true;
+        }
+    }
+    false
+}
+
+/// R6 `trace-version`: the `ftoa-trace` format version must agree across the
+/// three places that state it — the `TRACE_MAGIC` constant in
+/// `crates/workload/src/trace.rs`, the first line of
+/// `traces/fixture_small.trace`, and every `ftoa-trace v<N>` mention in the
+/// README's grammar section. A silent skew here would make the golden gate
+/// replay a trace the documented grammar no longer describes.
+pub fn check_trace_version(root: &Path, violations: &mut Vec<Violation>) -> std::io::Result<()> {
+    const TRACE_RS: &str = "crates/workload/src/trace.rs";
+    const FIXTURE: &str = "traces/fixture_small.trace";
+    const README: &str = "README.md";
+
+    let trace_src = std::fs::read_to_string(root.join(TRACE_RS))?;
+    let Some((magic_line, magic)) = find_trace_magic(&trace_src) else {
+        violations.push(Violation {
+            file: TRACE_RS.to_string(),
+            line: 1,
+            rule: RULE_TRACE_VERSION,
+            message: "could not find `TRACE_MAGIC: &str = \"#ftoa-trace v<N>\"`".to_string(),
+        });
+        return Ok(());
+    };
+
+    let fixture = std::fs::read_to_string(root.join(FIXTURE))?;
+    let fixture_first = fixture.lines().next().unwrap_or("").trim_end();
+    if fixture_first != magic {
+        violations.push(Violation {
+            file: FIXTURE.to_string(),
+            line: 1,
+            rule: RULE_TRACE_VERSION,
+            message: format!(
+                "fixture header `{fixture_first}` disagrees with TRACE_MAGIC `{magic}` \
+                 ({TRACE_RS}:{magic_line})"
+            ),
+        });
+    }
+
+    let expected = magic.trim_start_matches('#');
+    let readme = std::fs::read_to_string(root.join(README))?;
+    let mut mentions = 0usize;
+    for (idx, line) in readme.lines().enumerate() {
+        let mut rest = line;
+        while let Some(pos) = rest.find("ftoa-trace v") {
+            let tail = &rest[pos..];
+            let version: String =
+                tail["ftoa-trace v".len()..].chars().take_while(char::is_ascii_digit).collect();
+            if !version.is_empty() {
+                mentions += 1;
+                let mention = format!("ftoa-trace v{version}");
+                if mention != expected {
+                    violations.push(Violation {
+                        file: README.to_string(),
+                        line: idx + 1,
+                        rule: RULE_TRACE_VERSION,
+                        message: format!(
+                            "README says `{mention}` but TRACE_MAGIC is `{magic}` \
+                             ({TRACE_RS}:{magic_line})"
+                        ),
+                    });
+                }
+            }
+            rest = &tail["ftoa-trace v".len()..];
+        }
+    }
+    if mentions == 0 {
+        violations.push(Violation {
+            file: README.to_string(),
+            line: 1,
+            rule: RULE_TRACE_VERSION,
+            message: format!(
+                "README never states the trace format version (`{expected}`); document \
+                 the grammar readers are expected to follow"
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// `(line, "#ftoa-trace v<N>")` of the TRACE_MAGIC constant.
+fn find_trace_magic(trace_src: &str) -> Option<(usize, String)> {
+    for (idx, line) in trace_src.lines().enumerate() {
+        if !line.contains("TRACE_MAGIC") || !line.contains('"') {
+            continue;
+        }
+        let start = line.find('"')? + 1;
+        let end = line[start..].find('"')? + start;
+        let lit = &line[start..end];
+        if lit.starts_with("#ftoa-trace v") {
+            return Some((idx + 1, lit.to_string()));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    //! Per-rule self-tests: each rule is fed a seeded-violation fixture it
+    //! must catch, a clean fixture it must pass, and (for line rules) a
+    //! waived fixture it must stay silent on. The fixture code lives in
+    //! string literals, which the masking scanner blanks — so these very
+    //! patterns never flag ftoa-tidy itself.
+
+    use super::*;
+    use crate::scan::{mask, parse_waivers};
+
+    fn run_line_rules(src: &str, class: FileClass) -> Vec<Violation> {
+        let masked = mask(src);
+        let mut violations = Vec::new();
+        let waivers = parse_waivers("fixture.rs", &masked, &mut violations);
+        check_file("fixture.rs", class, &masked, &waivers, &mut violations);
+        violations
+    }
+
+    #[test]
+    fn r1_catches_wall_clock_in_lib() {
+        let bad = "use std::time::Instant;\nfn f() { let t = Instant::now(); }\n";
+        let v = run_line_rules(bad, FileClass::Lib);
+        assert!(v.iter().any(|v| v.rule == RULE_WALL_CLOCK && v.line == 1));
+        assert!(v.iter().any(|v| v.rule == RULE_WALL_CLOCK && v.line == 2));
+    }
+
+    #[test]
+    fn r1_allows_duration_and_benches_and_waived_modules() {
+        let duration_only = "use std::time::Duration;\nconst T: Duration = Duration::ZERO;\n";
+        assert!(run_line_rules(duration_only, FileClass::Lib).is_empty());
+        let bench = "use std::time::Instant;\n";
+        assert!(run_line_rules(bench, FileClass::Bench).is_empty());
+        let waived = "// tidy:module(wall-clock) -- sanctioned clock\nuse std::time::Instant;\n";
+        assert!(run_line_rules(waived, FileClass::Lib).is_empty());
+        let in_string = "const P: &str = \"Instant::now\";\n";
+        assert!(run_line_rules(in_string, FileClass::Lib).is_empty());
+    }
+
+    #[test]
+    fn r2_catches_hash_map_iteration() {
+        let bad = "use std::collections::HashMap;\n\
+                   fn f(m: HashMap<u32, u32>) {\n\
+                       for (k, v) in m.iter() { let _ = (k, v); }\n\
+                   }\n";
+        let v = run_line_rules(bad, FileClass::Lib);
+        assert!(v.iter().any(|v| v.rule == RULE_UNORDERED_ITER && v.line == 3), "{v:?}");
+    }
+
+    #[test]
+    fn r2_catches_for_loop_and_drain_and_values() {
+        let bad = "let mut seen: std::collections::HashSet<u32> = Default::default();\n\
+                   for x in &seen { use_(x); }\n\
+                   let d: Vec<u32> = seen.drain().collect();\n\
+                   let vals: Vec<_> = seen.values().collect();\n";
+        let v = run_line_rules(bad, FileClass::Lib);
+        let lines: Vec<usize> =
+            v.iter().filter(|v| v.rule == RULE_UNORDERED_ITER).map(|v| v.line).collect();
+        assert!(lines.contains(&2), "{v:?}");
+        assert!(lines.contains(&3), "{v:?}");
+        assert!(lines.contains(&4), "{v:?}");
+    }
+
+    #[test]
+    fn r2_passes_lookup_only_maps_and_waivers() {
+        let lookup_only = "let slot: std::collections::HashMap<u32, u32> = build();\n\
+                           if let Some(v) = slot.get(&3) { use_(v); }\n\
+                           let present = slot.contains_key(&4);\n";
+        assert!(run_line_rules(lookup_only, FileClass::Lib).is_empty());
+        let waived = "let m: std::collections::HashMap<u32, u32> = build();\n\
+                      // tidy:allow(unordered-iter) -- folded through a sort below\n\
+                      let mut all: Vec<_> = m.iter().collect();\n\
+                      all.sort();\n";
+        assert!(run_line_rules(waived, FileClass::Lib).is_empty());
+        // BTreeMap iteration is the sanctioned replacement.
+        let btree = "let m: std::collections::BTreeMap<u32, u32> = build();\n\
+                     for (k, v) in m.iter() { use_(k, v); }\n";
+        assert!(run_line_rules(btree, FileClass::Lib).is_empty());
+    }
+
+    #[test]
+    fn r3_catches_ad_hoc_threads_outside_runtime() {
+        let bad = "fn f() { std::thread::spawn(|| {}); }\n";
+        let v = run_line_rules(bad, FileClass::Lib);
+        assert!(v.iter().any(|v| v.rule == RULE_AD_HOC_THREAD && v.line == 1));
+        let bin = "fn main() { let n = std::thread::available_parallelism(); }\n";
+        assert!(!run_line_rules(bin, FileClass::Bin).is_empty());
+    }
+
+    #[test]
+    fn r3_exempts_runtime_tests_and_benches() {
+        let src = "fn f() { std::thread::spawn(|| {}); }\n";
+        let masked = mask(src);
+        let mut violations = Vec::new();
+        check_file("crates/ftoa-runtime/src/lib.rs", FileClass::Lib, &masked, &[], &mut violations);
+        assert!(violations.is_empty(), "ftoa-runtime owns parallelism: {violations:?}");
+        assert!(run_line_rules(src, FileClass::Test).is_empty());
+        assert!(run_line_rules(src, FileClass::Bench).is_empty());
+    }
+
+    #[test]
+    fn r4_catches_prints_in_lib_only() {
+        let bad = "fn f() { println!(\"hi\"); }\n";
+        let v = run_line_rules(bad, FileClass::Lib);
+        assert!(v.iter().any(|v| v.rule == RULE_STRAY_PRINT && v.line == 1));
+        assert!(run_line_rules(bad, FileClass::Bin).is_empty());
+        assert!(run_line_rules(bad, FileClass::Example).is_empty());
+        let dbg = "fn f() { dbg!(3); }\n";
+        assert!(!run_line_rules(dbg, FileClass::Lib).is_empty());
+        let waived = "// tidy:allow(stray-print) -- feature-gated debug aid\n\
+                      fn f() { eprintln!(\"x\"); }\n";
+        assert!(run_line_rules(waived, FileClass::Lib).is_empty());
+    }
+
+    #[test]
+    fn r5_manifest_opt_in_detection() {
+        assert!(manifest_opts_into_workspace_lints(
+            "[package]\nname = \"x\"\n[lints]\nworkspace = true\n"
+        ));
+        assert!(!manifest_opts_into_workspace_lints("[package]\nname = \"x\"\n"));
+        assert!(!manifest_opts_into_workspace_lints("[lints.rust]\nunsafe_code = \"forbid\"\n"));
+    }
+
+    #[test]
+    fn r6_finds_magic_and_flags_skew() {
+        let src = "pub const TRACE_MAGIC: &str = \"#ftoa-trace v1\";\n";
+        assert_eq!(find_trace_magic(src), Some((1, "#ftoa-trace v1".to_string())));
+        assert_eq!(find_trace_magic("const OTHER: &str = \"nope\";\n"), None);
+    }
+
+    #[test]
+    fn binding_ident_extraction() {
+        assert_eq!(
+            binding_ident("    let worker_slot: std::collections::HashMap<usize, usize> ="),
+            Some("worker_slot".to_string())
+        );
+        assert_eq!(
+            binding_ident("    by_worker: HashMap<WorkerId, usize>,"),
+            Some("by_worker".to_string())
+        );
+        assert_eq!(binding_ident("    use std::collections::HashMap;"), None);
+    }
+}

@@ -32,6 +32,9 @@ impl Assignment {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct AssignmentSet {
     pairs: Vec<Assignment>,
+    // Lookup-only indexes (never iterated, so hash order cannot leak into
+    // output — tidy rule R2 stays satisfied); all ordered traversal goes
+    // through `pairs`, which preserves assignment order.
     by_worker: HashMap<WorkerId, usize>,
     by_task: HashMap<TaskId, usize>,
 }

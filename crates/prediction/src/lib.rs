@@ -13,9 +13,6 @@
 //! the [`SpatioTemporalMatrix`] count representation, the multi-day
 //! [`HistoryStore`] they train on and the two evaluation metrics.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod features;
 pub mod history;
 pub mod linalg;

@@ -14,9 +14,6 @@
 //! * [`kdtree`] — a static KD-tree used for bulk nearest-neighbour queries
 //!   (and as an independent oracle in property tests).
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod grid_index;
 pub mod kdtree;
 pub mod metric;

@@ -27,9 +27,6 @@
 //!   experiment harness: a problem configuration, an online event stream and
 //!   the predicted count matrices feeding the offline guide.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod city;
 pub mod distributions;
 pub mod presets;

@@ -284,11 +284,19 @@ impl TraceReader {
         let first = lines
             .next()
             .ok_or_else(|| TraceError::parse(1, "empty input: expected magic line"))??;
-        if first.trim_end() != TRACE_MAGIC {
-            return Err(TraceError::parse(
-                1,
-                format!("expected magic `{TRACE_MAGIC}`, found `{}`", first.trim_end()),
-            ));
+        let found = first.trim_end();
+        if found != TRACE_MAGIC {
+            // Distinguish "a trace from the future" from "not a trace at
+            // all": the former deserves a pointer at the version, not a
+            // generic magic mismatch.
+            let message = match found.strip_prefix("#ftoa-trace v") {
+                Some(v) if !v.is_empty() && v.bytes().all(|b| b.is_ascii_digit()) => format!(
+                    "unsupported trace format version v{v}: this reader understands \
+                     `{TRACE_MAGIC}` only"
+                ),
+                _ => format!("expected magic `{TRACE_MAGIC}`, found `{found}`"),
+            };
+            return Err(TraceError::parse(1, message));
         }
 
         let mut header = Some(HeaderBuilder::default());
@@ -561,8 +569,23 @@ mod tests {
     fn malformed_traces_report_line_numbers() {
         let cases: &[(&str, &str)] = &[
             ("", "magic"),
-            ("#ftoa-trace v2\n", "magic"),
+            ("not a trace\n", "magic"),
             ("#ftoa-trace v1\nconfig region 0 0 10 10\n", "missing"),
+            ("#ftoa-trace v1\nconfig region 0 0 ten 10\n", "invalid number `ten`"),
+            ("#ftoa-trace v1\nconfig region 0 0 10\n", "expects 4 values, found 3"),
+            ("#ftoa-trace v1\nconfig\n", "bare `config`"),
+            (
+                "#ftoa-trace v1\nconfig region 0 0 10 10\nconfig grid 2 2\n\
+                 config slots 0 15 4\nconfig velocity 1\nconfig defaults 10 5\n\
+                 w 0 1 2\n",
+                "expects 7 fields, found 4",
+            ),
+            (
+                "#ftoa-trace v1\nconfig region 0 0 10 10\nconfig grid 2 2\n\
+                 config slots 0 15 4\nconfig velocity 1\nconfig defaults 10 5\n\
+                 w 0 1 2 3 NaN 1\n",
+                "finite",
+            ),
             (
                 "#ftoa-trace v1\nconfig region 0 0 10 10\nconfig grid 2 2\n\
                  config slots 0 15 4\nconfig velocity 1\nconfig defaults 10 5\nx 0 1 2 3 4 1\n",
@@ -597,6 +620,31 @@ mod tests {
             let err = TraceReader::read_str(text).expect_err("must fail");
             let msg = err.to_string();
             assert!(msg.contains(needle), "error `{msg}` should mention `{needle}`");
+        }
+    }
+
+    #[test]
+    fn unsupported_version_points_at_the_version() {
+        let err = TraceReader::read_str("#ftoa-trace v2\n").expect_err("must fail");
+        let msg = err.to_string();
+        assert!(msg.contains("unsupported trace format version v2"), "got: {msg}");
+        assert!(msg.contains("v1"), "must name the supported version: {msg}");
+        // `v` followed by junk is not a version claim — plain magic mismatch.
+        let err = TraceReader::read_str("#ftoa-trace vNext\n").expect_err("must fail");
+        assert!(err.to_string().contains("expected magic"), "got: {err}");
+    }
+
+    #[test]
+    fn errors_carry_the_offending_line_number() {
+        let text = "#ftoa-trace v1\nconfig region 0 0 10 10\nconfig grid 2 2\n\
+                    config slots 0 15 4\nconfig velocity 1\nconfig defaults 10 5\n\
+                    w 0 1 2 3 10 1\nt 0 1 2 3\n";
+        match TraceReader::read_str(text).expect_err("must fail") {
+            TraceError::Parse { line, message } => {
+                assert_eq!(line, 8, "truncated event is on line 8");
+                assert!(message.contains("7 fields"), "got: {message}");
+            }
+            other => panic!("expected parse error, got {other}"),
         }
     }
 
