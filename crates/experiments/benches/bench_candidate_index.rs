@@ -1,26 +1,28 @@
-//! Candidate-index benchmark: linear-scan vs. grid-index vs. kd-tree
-//! candidate search on the ~100k-event scalability scenario
+//! Candidate-index benchmark: linear-scan vs. grid-index vs. kd-tree vs.
+//! hybrid candidate search on the ~100k-event scalability scenario
 //! (`SyntheticConfig::scalability`).
 //!
 //! Both index-driven algorithms are timed end to end through the
 //! `SimulationEngine` — SimpleGreedy (nearest-feasible queries bounded by the
 //! reachable disk) and GR (per-task reachable-disk range queries feeding the
 //! batch matching) — once per backend. Besides wall-clock times the run
-//! records the deterministic `candidates_examined` counters, which measure
-//! the pruning independently of machine noise, and writes everything to
-//! `BENCH_engine.json` at the repository root.
+//! records the deterministic `candidates_examined` counters (plus the
+//! derived `ns_per_candidate` cost of one examined candidate), which measure
+//! the pruning and the kernel throughput independently of machine noise, and
+//! writes everything to `BENCH_engine.json` at the repository root.
 //!
 //! Setting `FTOA_BENCH_QUICK=1` (or passing `--quick`) shrinks the workload
-//! to a few thousand events so CI can *execute* the three-backend
-//! comparison — including the backend-agreement assertions and the pruning
-//! check — on every PR. Quick runs do not overwrite `BENCH_engine.json`.
+//! to a few thousand events so CI can *execute* the four-backend
+//! comparison — including the backend-agreement assertions, the pruning
+//! check, and the committed-fixture pruning assertion — on every PR. Quick
+//! runs do not overwrite `BENCH_engine.json`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ftoa_core::{
     AlgorithmResult, BatchGreedy, IndexBackend, Instance, SimpleGreedy, SimulationEngine,
 };
 use std::time::{Duration, Instant};
-use workload::SyntheticConfig;
+use workload::{SyntheticConfig, TraceReader};
 
 struct Measured {
     seconds: f64,
@@ -50,9 +52,14 @@ fn measure(run: impl Fn() -> AlgorithmResult) -> Measured {
 }
 
 fn entry(m: &Measured) -> String {
+    // ns_per_candidate folds wall-clock and pruning into one number: the
+    // cost of examining a single candidate, i.e. the kernel + dispatch
+    // overhead per inner-loop element.
+    let ns_per_candidate = m.seconds * 1e9 / (m.candidates.max(1)) as f64;
     format!(
-        "{{\"seconds\": {:.6}, \"matching_size\": {}, \"candidates_examined\": {}}}",
-        m.seconds, m.matching, m.candidates
+        "{{\"seconds\": {:.6}, \"matching_size\": {}, \"candidates_examined\": {}, \
+         \"ns_per_candidate\": {:.2}}}",
+        m.seconds, m.matching, m.candidates, ns_per_candidate
     )
 }
 
@@ -61,8 +68,52 @@ fn quick_mode() -> bool {
         || std::env::args().any(|a| a == "--quick")
 }
 
+/// Pruning sanity on the committed fixture trace (runs in quick mode too):
+/// the spatial backends must examine no more candidates than the exhaustive
+/// scan on the exact workload the golden-metrics gate replays.
+fn assert_fixture_pruning() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("traces/fixture_small.trace");
+    let scenario = TraceReader::read_file(&path).expect("read fixture trace").into_scenario();
+    let instance = Instance::new(
+        &scenario.config,
+        &scenario.stream,
+        &scenario.predicted_workers,
+        &scenario.predicted_tasks,
+    );
+    for policy in ["SimpleGreedy", "GR"] {
+        let run = |backend: IndexBackend| -> AlgorithmResult {
+            let engine = SimulationEngine::new(backend);
+            match policy {
+                "SimpleGreedy" => engine.run(&instance, &mut SimpleGreedy.policy()),
+                _ => engine.run(&instance, &mut BatchGreedy::default().policy()),
+            }
+        };
+        let linear = run(IndexBackend::LinearScan);
+        let grid = run(IndexBackend::Grid);
+        let hybrid = run(IndexBackend::Hybrid);
+        assert_eq!(linear.matching_size(), grid.matching_size(), "{policy}: fixture grid");
+        assert_eq!(linear.matching_size(), hybrid.matching_size(), "{policy}: fixture hybrid");
+        assert!(
+            grid.stats.candidates_examined <= linear.stats.candidates_examined,
+            "{policy}: grid examined more than the scan on the fixture trace ({} vs {})",
+            grid.stats.candidates_examined,
+            linear.stats.candidates_examined
+        );
+        assert!(
+            hybrid.stats.candidates_examined <= linear.stats.candidates_examined,
+            "{policy}: hybrid examined more than the scan on the fixture trace ({} vs {})",
+            hybrid.stats.candidates_examined,
+            linear.stats.candidates_examined
+        );
+    }
+    println!("fixture trace: grid and hybrid prune at or below the linear scan");
+}
+
 fn bench_candidate_index(c: &mut Criterion) {
     let quick = quick_mode();
+    assert_fixture_pruning();
     let config = if quick {
         SyntheticConfig { num_workers: 3_000, num_tasks: 3_000, ..SyntheticConfig::default() }
     } else {
@@ -93,33 +144,24 @@ fn bench_candidate_index(c: &mut Criterion) {
         })
     };
 
-    let greedy_linear = run_greedy(IndexBackend::LinearScan);
-    let greedy_grid = run_greedy(IndexBackend::Grid);
-    let greedy_kd = run_greedy(IndexBackend::Kd);
-    assert_eq!(
-        greedy_linear.matching, greedy_grid.matching,
-        "index backends must agree on SimpleGreedy's total utility"
-    );
-    assert_eq!(
-        greedy_linear.matching, greedy_kd.matching,
-        "kd backend must agree on SimpleGreedy's total utility"
-    );
-    let gr_linear = run_gr(IndexBackend::LinearScan);
-    let gr_grid = run_gr(IndexBackend::Grid);
-    let gr_kd = run_gr(IndexBackend::Kd);
-    assert_eq!(
-        gr_linear.matching, gr_grid.matching,
-        "index backends must agree on GR's total utility"
-    );
-    assert_eq!(gr_linear.matching, gr_kd.matching, "kd backend must agree on GR's total utility");
+    let greedy: Vec<Measured> = IndexBackend::ALL.iter().map(|&b| run_greedy(b)).collect();
+    let gr: Vec<Measured> = IndexBackend::ALL.iter().map(|&b| run_gr(b)).collect();
 
-    for (name, linear, grid, kd) in [
-        ("SimpleGreedy", &greedy_linear, &greedy_grid, &greedy_kd),
-        ("GR", &gr_linear, &gr_grid, &gr_kd),
-    ] {
+    for (name, runs) in [("SimpleGreedy", &greedy), ("GR", &gr)] {
+        let linear = &runs[0];
+        for (backend, m) in IndexBackend::ALL.iter().zip(runs.iter()).skip(1) {
+            assert_eq!(
+                linear.matching,
+                m.matching,
+                "{name}: {} backend must agree on the total utility",
+                backend.name()
+            );
+        }
+        let [_, grid, kd, hybrid] = &runs[..] else { unreachable!("four backends") };
         println!(
             "{name}: linear-scan {:.3}s ({} candidates) vs grid-index {:.3}s ({} candidates, \
-             {:.1}x) vs kd-tree {:.3}s ({} candidates, {:.1}x)",
+             {:.1}x) vs kd-tree {:.3}s ({} candidates, {:.1}x) vs hybrid {:.3}s ({} candidates, \
+             {:.1}x)",
             linear.seconds,
             linear.candidates,
             grid.seconds,
@@ -128,10 +170,15 @@ fn bench_candidate_index(c: &mut Criterion) {
             kd.seconds,
             kd.candidates,
             linear.seconds / kd.seconds.max(1e-9),
+            hybrid.seconds,
+            hybrid.candidates,
+            linear.seconds / hybrid.seconds.max(1e-9),
         );
         // The pruning ratio is deterministic (machine-independent), so it is
-        // asserted even on noisy CI runners: both spatial indexes must
-        // examine strictly fewer candidates than the exhaustive scan.
+        // asserted even on noisy CI runners: both dedicated spatial indexes
+        // must examine strictly fewer candidates than the exhaustive scan,
+        // and the hybrid — which may route sparse queries either way — never
+        // more.
         assert!(
             grid.candidates < linear.candidates,
             "{name}: grid index failed to prune ({} vs {})",
@@ -144,6 +191,12 @@ fn bench_candidate_index(c: &mut Criterion) {
             kd.candidates,
             linear.candidates
         );
+        assert!(
+            hybrid.candidates <= linear.candidates,
+            "{name}: hybrid failed to prune ({} vs {})",
+            hybrid.candidates,
+            linear.candidates
+        );
     }
 
     if quick {
@@ -153,25 +206,29 @@ fn bench_candidate_index(c: &mut Criterion) {
         return;
     }
 
+    let section = |runs: &[Measured]| {
+        let [linear, grid, kd, hybrid] = runs else { unreachable!("four backends") };
+        format!(
+            "{{\n    \"linear_scan\": {},\n    \"grid_index\": {},\n    \"kd_tree\": {},\n    \
+             \"hybrid\": {},\n    \"speedup\": {:.2},\n    \"kd_speedup\": {:.2},\n    \
+             \"hybrid_speedup\": {:.2}\n  }}",
+            entry(linear),
+            entry(grid),
+            entry(kd),
+            entry(hybrid),
+            linear.seconds / grid.seconds.max(1e-9),
+            linear.seconds / kd.seconds.max(1e-9),
+            linear.seconds / hybrid.seconds.max(1e-9),
+        )
+    };
     let json = format!(
         "{{\n  \"scenario\": {{\"workers\": {}, \"tasks\": {}, \"events\": {}, \"seed\": 2017}},\n  \
-         \"simple_greedy\": {{\n    \"linear_scan\": {},\n    \"grid_index\": {},\n    \
-         \"kd_tree\": {},\n    \"speedup\": {:.2},\n    \"kd_speedup\": {:.2}\n  }},\n  \
-         \"gr\": {{\n    \"linear_scan\": {},\n    \"grid_index\": {},\n    \
-         \"kd_tree\": {},\n    \"speedup\": {:.2},\n    \"kd_speedup\": {:.2}\n  }}\n}}\n",
+         \"simple_greedy\": {},\n  \"gr\": {}\n}}\n",
         scenario.stream.num_workers(),
         scenario.stream.num_tasks(),
         scenario.stream.len(),
-        entry(&greedy_linear),
-        entry(&greedy_grid),
-        entry(&greedy_kd),
-        greedy_linear.seconds / greedy_grid.seconds.max(1e-9),
-        greedy_linear.seconds / greedy_kd.seconds.max(1e-9),
-        entry(&gr_linear),
-        entry(&gr_grid),
-        entry(&gr_kd),
-        gr_linear.seconds / gr_grid.seconds.max(1e-9),
-        gr_linear.seconds / gr_kd.seconds.max(1e-9),
+        section(&greedy),
+        section(&gr),
     );
     let out =
         std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_engine.json");

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! replay --trace traces/fixture_small.trace [--algo all|name[,name...]]
-//!        [--backend grid|linear|kd] [--threads N]
+//!        [--backend grid|linear|kd|hybrid] [--threads N]
 //!        [--deterministic-only] [--out metrics.json]
 //! ```
 //!
@@ -49,7 +49,7 @@ fn main() {
     if let Err(message) = run(&args) {
         eprintln!("error: {message}");
         eprintln!(
-            "usage: replay --trace <file> [--algo all|name,..] [--backend grid|linear|kd] \
+            "usage: replay --trace <file> [--algo all|name,..] [--backend grid|linear|kd|hybrid] \
              [--threads N] [--deterministic-only] [--out <file>]\n       \
              replay --capture <fixture|hotspot|rush-hour|imbalance|synthetic> [--seed N] \
              [--scale F] [--ratio R] --out <file>"
@@ -162,7 +162,7 @@ fn parse_algos(spec: &str) -> Result<Vec<Algo>, String> {
 
 fn parse_backend(spec: &str) -> Result<IndexBackend, String> {
     IndexBackend::parse(spec)
-        .ok_or_else(|| format!("unknown backend `{spec}` (expected grid|linear|kd)"))
+        .ok_or_else(|| format!("unknown backend `{spec}` (expected grid|linear|kd|hybrid)"))
 }
 
 fn parse_or<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> Result<T, String> {

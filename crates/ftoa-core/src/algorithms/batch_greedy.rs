@@ -39,16 +39,35 @@ impl Default for BatchGreedy {
 impl BatchGreedy {
     /// The incremental policy implementing GR on the engine.
     pub fn policy(&self) -> BatchPolicy {
-        BatchPolicy { window: TimeDelta::minutes(self.window_minutes.max(1e-6)), window_end: None }
+        BatchPolicy {
+            window: TimeDelta::minutes(self.window_minutes.max(1e-6)),
+            window_end: None,
+            scratch: FlushScratch::default(),
+        }
     }
 }
 
+/// Reusable per-flush buffers: cleared (not dropped) between batches, so the
+/// steady-state event loop allocates nothing once the buffers reach their
+/// high-water marks.
+#[derive(Debug, Clone, Default)]
+struct FlushScratch {
+    workers: Vec<Worker>,
+    tasks: Vec<Task>,
+    edges: Vec<(usize, usize)>,
+    /// Dense worker id → position in `workers` for the current flush
+    /// (`u32::MAX` when absent). Grow-only; entries used by a flush are
+    /// reset on its way out.
+    worker_slot: Vec<u32>,
+}
+
 /// Per-event batching logic of GR.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct BatchPolicy {
     window: TimeDelta,
     /// End of the currently open window (`None` until the first arrival).
     window_end: Option<TimeStamp>,
+    scratch: FlushScratch,
 }
 
 impl BatchPolicy {
@@ -62,7 +81,7 @@ impl BatchPolicy {
             }
         };
         while now >= window_end {
-            flush(ctx, window_end);
+            flush(ctx, window_end, &mut self.scratch);
             window_end += self.window;
         }
         self.window_end = Some(window_end);
@@ -86,7 +105,7 @@ impl OnlinePolicy for BatchPolicy {
 
     fn on_finish(&mut self, ctx: &mut EngineContext<'_>) {
         if let Some(window_end) = self.window_end {
-            flush(ctx, window_end);
+            flush(ctx, window_end, &mut self.scratch);
         }
     }
 
@@ -105,10 +124,14 @@ impl OnlinePolicy for BatchPolicy {
 /// arrival order, edges worker-major), so the committed pairs — not just the
 /// matching size — are identical to the historical behaviour regardless of
 /// the index backend.
-fn flush(ctx: &mut EngineContext<'_>, t: TimeStamp) {
+fn flush(ctx: &mut EngineContext<'_>, t: TimeStamp, scratch: &mut FlushScratch) {
     let velocity = ctx.velocity();
-    let mut workers: Vec<Worker> = Vec::new();
-    ctx.idle_workers().for_each(&mut |w| {
+    let FlushScratch { workers, tasks, edges, worker_slot } = scratch;
+    // Slot-order collection (O(peak live), not O(ids ever seen)); the
+    // arrival-order sorts below impose the canonical total order, so the
+    // collection order never leaks into the committed matching.
+    workers.clear();
+    ctx.idle_workers().for_each_unordered(&mut |w| {
         if w.deadline() >= t {
             workers.push(*w);
         }
@@ -116,8 +139,8 @@ fn flush(ctx: &mut EngineContext<'_>, t: TimeStamp) {
     if workers.is_empty() {
         return;
     }
-    let mut tasks: Vec<Task> = Vec::new();
-    ctx.pending_tasks().for_each(&mut |r| {
+    tasks.clear();
+    ctx.pending_tasks().for_each_unordered(&mut |r| {
         if r.deadline() >= t {
             tasks.push(*r);
         }
@@ -134,25 +157,41 @@ fn flush(ctx: &mut EngineContext<'_>, t: TimeStamp) {
     // task deadline — i.e. lie inside the task's reachable disk at `t`.
     // The range query prunes the candidate pairs; the exact travel-time
     // check below keeps the edge set identical to the full double loop.
-    // Lookup-only map (never iterated; the `edges` vec is sorted below).
-    let worker_slot: std::collections::HashMap<usize, usize> =
-        workers.iter().enumerate().map(|(wi, w)| (w.id.index(), wi)).collect();
-    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for (wi, w) in workers.iter().enumerate() {
+        let id = w.id.index();
+        if id >= worker_slot.len() {
+            worker_slot.resize(id + 1, u32::MAX);
+        }
+        worker_slot[id] = wi as u32;
+    }
+    // Tasks are queried in arrival order; a spatially sorted query order was
+    // tried for bucket-row locality but the per-flush sort cost more than the
+    // locality bought back (the windows are small, so consecutive arrivals
+    // are already clustered). The edge sort below canonicalises the graph
+    // either way, so query order cannot leak into the matching.
+    edges.clear();
     for (ri, r) in tasks.iter().enumerate() {
         let radius = r.reach_radius_at(t, velocity);
         let location = r.location;
         let deadline = r.deadline();
         ctx.idle_workers().for_each_within(&location, radius, &mut |w| {
-            if let Some(&wi) = worker_slot.get(&w.id.index()) {
-                if t + w.location.travel_time(&location, velocity) <= deadline {
-                    edges.push((wi, ri));
+            match worker_slot.get(w.id.index()) {
+                // The pool can hold workers already past the batch instant
+                // (the batched expiry cutoff keeps them for *earlier*
+                // flushes); those never made it into `workers`.
+                Some(&wi)
+                    if wi != u32::MAX
+                        && t + w.location.travel_time(&location, velocity) <= deadline =>
+                {
+                    edges.push((wi as usize, ri));
                 }
+                _ => {}
             }
         });
     }
     edges.sort_unstable();
     let mut graph = BipartiteGraph::new(workers.len(), tasks.len());
-    for &(wi, ri) in &edges {
+    for &(wi, ri) in edges.iter() {
         graph.add_edge(wi, ri);
     }
     ctx.memory_mut().allocate(vec_bytes::<(usize, usize)>(edges.len()));
@@ -163,6 +202,10 @@ fn flush(ctx: &mut EngineContext<'_>, t: TimeStamp) {
         ctx.assign_at(worker_id, task_id, t);
     }
     ctx.memory_mut().release(vec_bytes::<(usize, usize)>(edges.len()));
+    // Reset the sentinel map for the next flush.
+    for w in workers.iter() {
+        worker_slot[w.id.index()] = u32::MAX;
+    }
 }
 
 impl OnlineAlgorithm for BatchGreedy {

@@ -64,8 +64,8 @@ impl OnlinePolicy for GreedyPolicy {
         } else {
             None
         };
-        if let Some((task_index, _)) = found {
-            let task = ctx.claim_task(task_index).expect("candidate came from the pool");
+        if let Some((task_handle, _)) = found {
+            let task = ctx.claim_task(task_handle).expect("candidate came from the pool");
             ctx.assign(w.id, task.id);
         } else {
             ctx.admit_worker(w);
@@ -81,8 +81,8 @@ impl OnlinePolicy for GreedyPolicy {
         let found = ctx.idle_workers().nearest_within(&r.location, radius, &mut |worker| {
             worker_can_serve_now(worker, r, now, velocity)
         });
-        if let Some((worker_index, _)) = found {
-            let worker = ctx.claim_worker(worker_index).expect("candidate came from the pool");
+        if let Some((worker_handle, _)) = found {
+            let worker = ctx.claim_worker(worker_handle).expect("candidate came from the pool");
             ctx.assign(worker.id, r.id);
         } else {
             ctx.admit_task(r);

@@ -1,15 +1,106 @@
 //! The engine-owned state a policy sees while handling one event.
+//!
+//! Since the arena refactor the pools are split in two: an [`ItemArena`]
+//! per side owns the objects (struct-of-arrays coordinates + deadlines +
+//! the `Copy` items, recycled through a free-list), and an [`EngineIndex`]
+//! per side maintains whatever acceleration structure the selected backend
+//! needs over the arena's slots. Policies see both through a [`PoolView`],
+//! and claim objects by [`PoolHandle`] — a slot + generation stamp that can
+//! never resurrect a freed or recycled object, which is what makes
+//! double-release a structural impossibility rather than a bookkeeping
+//! convention.
 
+use crate::engine::arena::ItemArena;
 use crate::engine::driver::OnlinePolicy;
-use crate::engine::index::{CandidateIndex, IndexBackend};
-use crate::memory::{vec_bytes, MemoryTracker};
+use crate::engine::index::{CandidateIndex, EngineIndex, IndexBackend};
+use crate::engine::item::SpatialItem;
+use crate::memory::MemoryTracker;
 use crate::result::EngineStats;
 use ftoa_types::{
-    Assignment, AssignmentSet, EventStream, ProblemConfig, Task, TaskId, TimeStamp, Worker,
-    WorkerId,
+    Assignment, AssignmentSet, EventStream, Location, PoolHandle, ProblemConfig, Task, TaskId,
+    TimeStamp, Worker, WorkerId,
 };
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// A read/query view over one pool: the arena that owns the objects plus
+/// the backend index that accelerates the candidate queries. Queries that
+/// scan candidates take `&mut self` because they advance the index's
+/// examined counter; object lookups are plain reads.
+pub struct PoolView<'p, T: SpatialItem> {
+    arena: &'p ItemArena<T>,
+    index: &'p mut EngineIndex<T>,
+}
+
+impl<'p, T: SpatialItem> PoolView<'p, T> {
+    /// Number of live objects.
+    pub fn len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Is the pool empty?
+    pub fn is_empty(&self) -> bool {
+        self.arena.is_empty()
+    }
+
+    /// Is an object with this dense index (`WorkerId` / `TaskId`) live?
+    pub fn contains(&self, index: usize) -> bool {
+        self.arena.contains_index(index)
+    }
+
+    /// The object behind a (live) handle.
+    pub fn get(&self, handle: PoolHandle) -> Option<&T> {
+        self.arena.get(handle)
+    }
+
+    /// The current handle for a dense index, if that object is live.
+    pub fn handle_of(&self, index: usize) -> Option<PoolHandle> {
+        self.arena.handle_of(index)
+    }
+
+    /// The nearest live object (Euclidean distance from `query`) accepted
+    /// by `feasible`, as `(handle, distance)`.
+    pub fn nearest_where(
+        &mut self,
+        query: &Location,
+        feasible: &mut dyn FnMut(&T) -> bool,
+    ) -> Option<(PoolHandle, f64)> {
+        self.index.nearest_within(self.arena, query, f64::INFINITY, feasible)
+    }
+
+    /// Like [`Self::nearest_where`], restricted to objects within
+    /// `max_radius` of `query` (inclusive). Policies pass the reachable-disk
+    /// radius implied by the deadline constraint so that hopeless queries
+    /// terminate without examining distant candidates.
+    pub fn nearest_within(
+        &mut self,
+        query: &Location,
+        max_radius: f64,
+        feasible: &mut dyn FnMut(&T) -> bool,
+    ) -> Option<(PoolHandle, f64)> {
+        self.index.nearest_within(self.arena, query, max_radius, feasible)
+    }
+
+    /// Visit every live object within `radius` of `center` (inclusive).
+    pub fn for_each_within(&mut self, center: &Location, radius: f64, visit: &mut dyn FnMut(&T)) {
+        self.index.for_each_within(self.arena, center, radius, visit);
+    }
+
+    /// Visit every live object in ascending dense-index order (the
+    /// canonical deterministic iteration order; served straight from the
+    /// arena, no backend involvement).
+    pub fn for_each(&self, visit: &mut dyn FnMut(&T)) {
+        self.arena.for_each_ordered(visit);
+    }
+
+    /// Visit every live object in arena slot order — deterministic for a
+    /// fixed event history but *not* the canonical order, so callers must
+    /// impose their own total order on what they collect (batch flushes
+    /// sort by arrival). Costs O(peak live) instead of O(ids ever seen).
+    pub fn for_each_unordered(&self, visit: &mut dyn FnMut(&T)) {
+        self.arena.for_each_unordered(visit);
+    }
+}
 
 /// The engine-owned state a policy sees while handling one event.
 pub struct EngineContext<'a> {
@@ -19,8 +110,10 @@ pub struct EngineContext<'a> {
     /// ahead of the current event — the engine drives the iteration).
     pub stream: &'a EventStream,
     now: TimeStamp,
-    idle_workers: Box<dyn CandidateIndex<Worker>>,
-    pending_tasks: Box<dyn CandidateIndex<Task>>,
+    workers: ItemArena<Worker>,
+    tasks: ItemArena<Task>,
+    worker_index: EngineIndex<Worker>,
+    task_index: EngineIndex<Task>,
     assignments: AssignmentSet,
     memory: MemoryTracker,
     worker_expiry: BinaryHeap<Reverse<(TimeStamp, usize)>>,
@@ -30,7 +123,9 @@ pub struct EngineContext<'a> {
 
 impl<'a> EngineContext<'a> {
     /// Fresh context over a stream, with the pools instantiated on the given
-    /// backend. Only the driver constructs contexts.
+    /// backend. The arenas pre-reserve room for the whole stream so the
+    /// event loop runs without growing them. Only the driver constructs
+    /// contexts.
     pub(crate) fn new(
         config: &'a ProblemConfig,
         stream: &'a EventStream,
@@ -41,12 +136,14 @@ impl<'a> EngineContext<'a> {
             config,
             stream,
             now: TimeStamp::ZERO,
-            idle_workers: backend.make::<Worker>(config),
-            pending_tasks: backend.make::<Task>(config),
+            workers: ItemArena::with_capacity(stream.num_workers()),
+            tasks: ItemArena::with_capacity(stream.num_tasks()),
+            worker_index: backend.build::<Worker>(config),
+            task_index: backend.build::<Task>(config),
             assignments: AssignmentSet::with_capacity(assignment_capacity),
             memory: MemoryTracker::new(),
-            worker_expiry: BinaryHeap::new(),
-            task_expiry: BinaryHeap::new(),
+            worker_expiry: BinaryHeap::with_capacity(stream.num_workers()),
+            task_expiry: BinaryHeap::with_capacity(stream.num_tasks()),
             stats: EngineStats { backend: backend.name(), ..EngineStats::default() },
         }
     }
@@ -71,46 +168,64 @@ impl<'a> EngineContext<'a> {
     }
 
     /// Admit a worker into the idle pool (it will be offered as a candidate
-    /// and expired automatically when its deadline passes).
-    pub fn admit_worker(&mut self, worker: &Worker) {
-        self.idle_workers.insert(*worker);
+    /// and expired automatically when its deadline passes). Returns the
+    /// handle naming this admission.
+    pub fn admit_worker(&mut self, worker: &Worker) -> PoolHandle {
+        let handle = self.workers.insert(*worker);
+        self.worker_index.insert(&self.workers, handle);
         self.worker_expiry.push(Reverse((worker.deadline(), worker.id.index())));
-        self.memory.allocate(vec_bytes::<Worker>(1));
+        handle
     }
 
     /// Admit a task into the pending pool.
-    pub fn admit_task(&mut self, task: &Task) {
-        self.pending_tasks.insert(*task);
+    pub fn admit_task(&mut self, task: &Task) -> PoolHandle {
+        let handle = self.tasks.insert(*task);
+        self.task_index.insert(&self.tasks, handle);
         self.task_expiry.push(Reverse((task.deadline(), task.id.index())));
-        self.memory.allocate(vec_bytes::<Task>(1));
+        handle
     }
 
     /// The idle-worker pool.
-    pub fn idle_workers(&mut self) -> &mut dyn CandidateIndex<Worker> {
-        self.idle_workers.as_mut()
+    pub fn idle_workers(&mut self) -> PoolView<'_, Worker> {
+        PoolView { arena: &self.workers, index: &mut self.worker_index }
     }
 
     /// The pending-task pool.
-    pub fn pending_tasks(&mut self) -> &mut dyn CandidateIndex<Task> {
-        self.pending_tasks.as_mut()
+    pub fn pending_tasks(&mut self) -> PoolView<'_, Task> {
+        PoolView { arena: &self.tasks, index: &mut self.task_index }
     }
 
     /// Remove a worker from the idle pool (e.g. because it was matched).
-    pub fn claim_worker(&mut self, index: usize) -> Option<Worker> {
-        let w = self.idle_workers.remove(index);
-        if w.is_some() {
-            self.memory.release(vec_bytes::<Worker>(1));
+    /// A stale handle — the worker already claimed, expired, or its slot
+    /// recycled — returns `None` and changes nothing.
+    pub fn claim_worker(&mut self, handle: PoolHandle) -> Option<Worker> {
+        if !self.workers.is_live(handle) {
+            return None;
         }
-        w
+        // The index is told first, while the arena still holds the item
+        // (the hybrid backend reads the coordinates to maintain its region
+        // counters).
+        self.worker_index.remove(&self.workers, handle);
+        self.workers.remove(handle)
     }
 
     /// Remove a task from the pending pool.
-    pub fn claim_task(&mut self, index: usize) -> Option<Task> {
-        let t = self.pending_tasks.remove(index);
-        if t.is_some() {
-            self.memory.release(vec_bytes::<Task>(1));
+    pub fn claim_task(&mut self, handle: PoolHandle) -> Option<Task> {
+        if !self.tasks.is_live(handle) {
+            return None;
         }
-        t
+        self.task_index.remove(&self.tasks, handle);
+        self.tasks.remove(handle)
+    }
+
+    /// Claim a worker by dense id index, if it is live.
+    pub fn claim_worker_by_index(&mut self, index: usize) -> Option<Worker> {
+        self.workers.handle_of(index).and_then(|h| self.claim_worker(h))
+    }
+
+    /// Claim a task by dense id index, if it is live.
+    pub fn claim_task_by_index(&mut self, index: usize) -> Option<Task> {
+        self.tasks.handle_of(index).and_then(|h| self.claim_task(h))
     }
 
     /// Commit an irrevocable assignment at the current time. Both objects are
@@ -122,11 +237,33 @@ impl<'a> EngineContext<'a> {
 
     /// Commit an assignment with an explicit timestamp (used by offline
     /// policies that reconstruct a matching after the stream has ended).
+    ///
+    /// Claiming goes through the generational handles, so a side the policy
+    /// already claimed is simply absent (idempotent). In debug builds this
+    /// additionally asserts that neither claimed object's deadline has
+    /// strictly passed at `at` — a policy assigning an expired object is a
+    /// bug the release build would silently accept.
     pub fn assign_at(&mut self, worker: WorkerId, task: TaskId, at: TimeStamp) {
-        // Claim (not raw-remove) so the pooled objects' bytes are released
-        // whether or not the policy claimed them beforehand.
-        self.claim_worker(worker.index());
-        self.claim_task(task.index());
+        if let Some(h) = self.workers.handle_of(worker.index()) {
+            debug_assert!(
+                self.workers.deadline_of(h).expect("handle is live") >= at.as_minutes(),
+                "assignment at t={} claims worker {} expired at t={}",
+                at.as_minutes(),
+                worker.index(),
+                self.workers.deadline_of(h).unwrap_or(f64::NAN),
+            );
+            self.claim_worker(h);
+        }
+        if let Some(h) = self.tasks.handle_of(task.index()) {
+            debug_assert!(
+                self.tasks.deadline_of(h).expect("handle is live") >= at.as_minutes(),
+                "assignment at t={} claims task {} expired at t={}",
+                at.as_minutes(),
+                task.index(),
+                self.tasks.deadline_of(h).unwrap_or(f64::NAN),
+            );
+            self.claim_task(h);
+        }
         self.assignments
             .push(Assignment::new(worker, task, at))
             .expect("policy must not double-assign a worker or task");
@@ -152,7 +289,7 @@ impl<'a> EngineContext<'a> {
                 break;
             }
             self.worker_expiry.pop();
-            if let Some(worker) = self.claim_worker(index) {
+            if let Some(worker) = self.claim_worker_by_index(index) {
                 self.stats.expired_workers += 1;
                 policy.on_worker_expiry(self, &worker);
             }
@@ -162,21 +299,170 @@ impl<'a> EngineContext<'a> {
                 break;
             }
             self.task_expiry.pop();
-            if let Some(task) = self.claim_task(index) {
+            if let Some(task) = self.claim_task_by_index(index) {
                 self.stats.expired_tasks += 1;
                 policy.on_task_expiry(self, &task);
             }
         }
     }
 
-    /// Close the run: fold the index structures into the peak footprint and
-    /// the per-pool candidate counters into the stats, then hand the parts
-    /// back to the driver.
+    /// Close the run: fold the storage (arenas) and index structures into
+    /// the peak footprint and the per-pool candidate counters into the
+    /// stats, then hand the parts back to the driver.
+    ///
+    /// Charging the arenas here — from vector *capacities*, which never
+    /// shrink — replaces the old per-object admit/claim charges, whose
+    /// pairing drifted whenever an object was released twice (claimed and
+    /// then expired). The capacity measure is monotone over the run, so the
+    /// reported peak is exact for the storage layer by construction.
     pub(crate) fn finish(mut self) -> (AssignmentSet, usize, EngineStats) {
-        self.memory
-            .allocate(self.idle_workers.structure_bytes() + self.pending_tasks.structure_bytes());
+        self.memory.allocate(
+            self.workers.structure_bytes()
+                + self.tasks.structure_bytes()
+                + self.worker_index.structure_bytes()
+                + self.task_index.structure_bytes(),
+        );
         self.stats.candidates_examined =
-            self.idle_workers.candidates_examined() + self.pending_tasks.candidates_examined();
+            self.worker_index.candidates_examined() + self.task_index.candidates_examined();
         (self.assignments, self.memory.peak_with_overhead(), self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftoa_types::{GridPartition, Location, SlotPartition, TimeDelta};
+
+    fn config() -> ProblemConfig {
+        ProblemConfig::new(
+            GridPartition::square(10.0, 5).unwrap(),
+            SlotPartition::over_horizon(TimeDelta::minutes(60.0), 4).unwrap(),
+            1.0,
+            TimeDelta::minutes(10.0),
+            TimeDelta::minutes(5.0),
+        )
+    }
+
+    fn worker(i: usize, t: f64, patience: f64) -> Worker {
+        Worker::new(
+            WorkerId(i),
+            Location::new(1.0, 1.0),
+            TimeStamp::minutes(t),
+            TimeDelta::minutes(patience),
+        )
+    }
+
+    fn task(i: usize, t: f64, patience: f64) -> Task {
+        Task::new(
+            TaskId(i),
+            Location::new(2.0, 1.0),
+            TimeStamp::minutes(t),
+            TimeDelta::minutes(patience),
+        )
+    }
+
+    /// No-op policy for driving `run_expiries` directly.
+    struct Inert;
+    impl OnlinePolicy for Inert {
+        fn name(&self) -> &'static str {
+            "inert"
+        }
+        fn on_worker_arrival(&mut self, _: &mut EngineContext<'_>, _: &Worker) {}
+        fn on_task_arrival(&mut self, _: &mut EngineContext<'_>, _: &Task) {}
+    }
+
+    #[test]
+    fn claiming_a_handle_twice_returns_none_the_second_time() {
+        let cfg = config();
+        let stream = EventStream::new(vec![worker(0, 0.0, 10.0)], vec![]);
+        let mut ctx = EngineContext::new(&cfg, &stream, IndexBackend::Grid, 4);
+        let h = ctx.admit_worker(&stream.workers()[0]);
+        assert!(ctx.claim_worker(h).is_some());
+        assert!(ctx.claim_worker(h).is_none(), "second claim of the same handle is a no-op");
+        assert!(ctx.claim_worker_by_index(0).is_none());
+    }
+
+    #[test]
+    fn stale_handle_cannot_claim_a_recycled_slot() {
+        let cfg = config();
+        let stream = EventStream::new(vec![worker(0, 0.0, 10.0), worker(1, 0.0, 10.0)], vec![]);
+        let mut ctx = EngineContext::new(&cfg, &stream, IndexBackend::Grid, 4);
+        let h0 = ctx.admit_worker(&stream.workers()[0]);
+        ctx.claim_worker(h0);
+        // Worker 1 recycles worker 0's slot; the old handle must not see it.
+        let h1 = ctx.admit_worker(&stream.workers()[1]);
+        assert_eq!(h1.slot(), h0.slot());
+        assert!(ctx.claim_worker(h0).is_none(), "stale handle must not claim the new occupant");
+        assert_eq!(ctx.claim_worker(h1).map(|w| w.id), Some(WorkerId(1)));
+    }
+
+    /// Satellite regression: deadlines are inclusive, so an assignment at
+    /// exactly the deadline instant is legal — expiry only claims strictly
+    /// earlier deadlines, and the `assign_at` debug assertion accepts
+    /// equality.
+    #[test]
+    fn assignment_at_the_deadline_instant_is_legal() {
+        let cfg = config();
+        // Worker deadline = 0 + 5 = 5.0; task deadline = 1 + 4 = 5.0.
+        let stream = EventStream::new(vec![worker(0, 0.0, 5.0)], vec![task(0, 1.0, 4.0)]);
+        let mut ctx = EngineContext::new(&cfg, &stream, IndexBackend::Grid, 4);
+        ctx.admit_worker(&stream.workers()[0]);
+        ctx.admit_task(&stream.tasks()[0]);
+        // At t == deadline both objects are still live (inclusive model).
+        ctx.run_expiries(TimeStamp::minutes(5.0), &mut Inert);
+        assert!(ctx.idle_workers().contains(0));
+        assert!(ctx.pending_tasks().contains(0));
+        // …and assigning at that instant passes the expiry debug assertion.
+        ctx.assign_at(WorkerId(0), TaskId(0), TimeStamp::minutes(5.0));
+        assert_eq!(ctx.assignments().len(), 1);
+        assert!(!ctx.idle_workers().contains(0));
+        assert!(!ctx.pending_tasks().contains(0));
+    }
+
+    #[test]
+    fn expiry_claims_strictly_past_deadlines_only() {
+        let cfg = config();
+        let stream = EventStream::new(vec![worker(0, 0.0, 5.0)], vec![]);
+        let mut ctx = EngineContext::new(&cfg, &stream, IndexBackend::Grid, 4);
+        ctx.admit_worker(&stream.workers()[0]);
+        ctx.run_expiries(TimeStamp::minutes(5.0), &mut Inert);
+        assert!(ctx.idle_workers().contains(0), "deadline == cutoff stays live");
+        ctx.run_expiries(TimeStamp::minutes(5.0 + 1e-9), &mut Inert);
+        assert!(!ctx.idle_workers().contains(0), "deadline < cutoff expires");
+    }
+
+    /// Satellite regression for the memory-accounting drift: the reported
+    /// peak is charged from arena capacities at `finish`, so admit / claim /
+    /// expire churn — including objects released twice under the old
+    /// pairing (claimed by a policy, then popped by the expiry queue) — can
+    /// never push the measure backwards.
+    #[test]
+    fn peak_memory_is_monotone_under_admit_claim_expire_churn() {
+        let cfg = config();
+        let workers: Vec<Worker> = (0..16).map(|i| worker(i, i as f64, 1.0)).collect();
+        let tasks: Vec<Task> = (0..16).map(|i| task(i, i as f64, 1.0)).collect();
+        let stream = EventStream::new(workers, tasks);
+        let mut ctx = EngineContext::new(&cfg, &stream, IndexBackend::Grid, 16);
+        let mut last_footprint = 0usize;
+        for i in 0..16 {
+            let h = ctx.admit_worker(&stream.workers()[i]);
+            ctx.admit_task(&stream.tasks()[i]);
+            if i % 3 == 0 {
+                // Claim, then let the expiry queue find the same worker gone
+                // — the double-release case that drifted under per-object
+                // charges.
+                ctx.claim_worker(h);
+            }
+            ctx.run_expiries(TimeStamp::minutes(i as f64), &mut Inert);
+            let footprint = ctx.workers.structure_bytes()
+                + ctx.tasks.structure_bytes()
+                + ctx.worker_index.structure_bytes()
+                + ctx.task_index.structure_bytes()
+                + ctx.memory.peak_with_overhead();
+            assert!(footprint >= last_footprint, "round {i}: {footprint} < {last_footprint}");
+            last_footprint = footprint;
+        }
+        let (_, peak, _) = ctx.finish();
+        assert!(peak >= last_footprint, "finish folds the structures into the peak");
     }
 }

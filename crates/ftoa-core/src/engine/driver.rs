@@ -191,9 +191,12 @@ mod tests {
                 ctx.admit_worker(w);
             }
             fn on_task_arrival(&mut self, ctx: &mut EngineContext<'_>, r: &Task) {
-                let found = ctx.idle_workers().nearest_where(&r.location, &mut |_| true);
-                if let Some((wi, _)) = found {
-                    ctx.assign(WorkerId(wi), r.id);
+                let mut pool = ctx.idle_workers();
+                let found = pool
+                    .nearest_where(&r.location, &mut |_| true)
+                    .map(|(h, _)| pool.get(h).expect("fresh handle").id);
+                if let Some(worker_id) = found {
+                    ctx.assign(worker_id, r.id);
                 }
             }
         }

@@ -1,0 +1,131 @@
+//! The adaptive hybrid backend: grid where it's dense, KD-tree where it's
+//! sparse.
+//!
+//! The two indexed backends have complementary failure modes. The uniform
+//! grid shines in dense regions (the first ring already holds a close
+//! candidate; bucket scans are contiguous kernel sweeps) but degrades in
+//! sparse ones, where the ring expansion walks many empty buckets before it
+//! finds anyone. The KD-tree prunes sparse space geometrically but pays
+//! pointer-chasing overhead per node that dense bucket sweeps do not.
+//!
+//! The hybrid keeps **both** sub-indexes fully maintained (every insert and
+//! remove goes to both — both are exact, so correctness is choice-
+//! independent) and routes each *query* by observed local density: the
+//! bounded world is covered by a coarse `REGIONS`×`REGIONS` occupancy grid
+//! of plain counters bumped on insert/remove, and a query whose region
+//! currently holds at least [`DENSE_REGION_THRESHOLD`] live objects goes to
+//! the grid, anything sparser to the KD-tree. The threshold is a fixed
+//! constant compared against deterministic counters — no clocks, no
+//! sampling — so replays stay byte-identical.
+
+use crate::engine::arena::ItemArena;
+use crate::engine::index::grid::GridCandidateIndex;
+use crate::engine::index::kd::KdCandidateIndex;
+use crate::engine::index::CandidateIndex;
+use crate::engine::item::SpatialItem;
+use ftoa_types::{BoundingBox, Location, PoolHandle, ProblemConfig};
+
+/// Occupancy-counter resolution per axis (coarser than the bucket grid: the
+/// counters estimate neighbourhood density, not bucket membership).
+const REGIONS: usize = 8;
+
+/// A query whose coarse region holds at least this many live objects is
+/// routed to the grid; sparser regions go to the KD-tree. At 32 objects in
+/// a 64th of the world, the first grid ring around a query is essentially
+/// always populated, which is where bucket sweeps beat tree descent.
+pub const DENSE_REGION_THRESHOLD: u32 = 32;
+
+/// Adaptive backend: a fully-maintained grid and KD-tree pair with per-query
+/// routing by coarse-region occupancy.
+pub struct HybridCandidateIndex<T> {
+    grid: GridCandidateIndex<T>,
+    kd: KdCandidateIndex<T>,
+    bounds: BoundingBox,
+    /// Live-object counts per coarse region, row-major `REGIONS`×`REGIONS`.
+    region_counts: [u32; REGIONS * REGIONS],
+}
+
+impl<T: SpatialItem> HybridCandidateIndex<T> {
+    /// Create a pool over the problem's grid bounds.
+    pub fn for_config(config: &ProblemConfig) -> Self {
+        Self {
+            grid: GridCandidateIndex::for_config(config),
+            kd: KdCandidateIndex::new(),
+            bounds: *config.grid.bounds(),
+            region_counts: [0; REGIONS * REGIONS],
+        }
+    }
+
+    /// The coarse region containing `(x, y)`, clamped into bounds exactly
+    /// like bucket coordinates are.
+    fn region_of(&self, x: f64, y: f64) -> usize {
+        let rw = self.bounds.width() / REGIONS as f64;
+        let rh = self.bounds.height() / REGIONS as f64;
+        let rx = (((x - self.bounds.min_x) / rw).floor() as isize).clamp(0, REGIONS as isize - 1);
+        let ry = (((y - self.bounds.min_y) / rh).floor() as isize).clamp(0, REGIONS as isize - 1);
+        ry as usize * REGIONS + rx as usize
+    }
+
+    /// Should a query at this point use the grid sub-index?
+    fn dense_at(&self, point: &Location) -> bool {
+        self.region_counts[self.region_of(point.x, point.y)] >= DENSE_REGION_THRESHOLD
+    }
+}
+
+impl<T: SpatialItem> CandidateIndex<T> for HybridCandidateIndex<T> {
+    fn insert(&mut self, arena: &ItemArena<T>, handle: PoolHandle) {
+        let slot = handle.slot() as usize;
+        self.region_counts[self.region_of(arena.xs()[slot], arena.ys()[slot])] += 1;
+        self.grid.insert(arena, handle);
+        self.kd.insert(arena, handle);
+    }
+
+    fn remove(&mut self, arena: &ItemArena<T>, handle: PoolHandle) {
+        // Called while the arena still holds the item, so the coordinates
+        // are readable here.
+        let slot = handle.slot() as usize;
+        let region = self.region_of(arena.xs()[slot], arena.ys()[slot]);
+        debug_assert!(self.region_counts[region] > 0, "region counter underflow");
+        self.region_counts[region] -= 1;
+        self.grid.remove(arena, handle);
+        self.kd.remove(arena, handle);
+    }
+
+    fn nearest_within(
+        &mut self,
+        arena: &ItemArena<T>,
+        query: &Location,
+        max_radius: f64,
+        feasible: &mut dyn FnMut(&T) -> bool,
+    ) -> Option<(PoolHandle, f64)> {
+        if self.dense_at(query) {
+            self.grid.nearest_within(arena, query, max_radius, feasible)
+        } else {
+            self.kd.nearest_within(arena, query, max_radius, feasible)
+        }
+    }
+
+    fn for_each_within(
+        &mut self,
+        arena: &ItemArena<T>,
+        center: &Location,
+        radius: f64,
+        visit: &mut dyn FnMut(&T),
+    ) {
+        if self.dense_at(center) {
+            self.grid.for_each_within(arena, center, radius, visit);
+        } else {
+            self.kd.for_each_within(arena, center, radius, visit);
+        }
+    }
+
+    fn candidates_examined(&self) -> u64 {
+        self.grid.candidates_examined() + self.kd.candidates_examined()
+    }
+
+    fn structure_bytes(&self) -> usize {
+        self.grid.structure_bytes()
+            + self.kd.structure_bytes()
+            + std::mem::size_of::<[u32; REGIONS * REGIONS]>()
+    }
+}

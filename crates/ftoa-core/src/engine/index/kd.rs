@@ -5,91 +5,89 @@
 //! for per-batch snapshots), but the engine's pools mutate on every event.
 //! This wrapper bridges the gap the classic way:
 //!
-//! * **removals tombstone**: the slot is cleared immediately (queries filter
-//!   dead entries by a per-insertion version stamp) while the stale copy
-//!   stays in the tree until the next rebuild;
-//! * **insertions buffer**: new items go into a small `fresh` overflow list
-//!   that queries scan linearly alongside the tree;
+//! * **removals tombstone**: tree payloads are arena `(slot, generation)`
+//!   stamps, and the arena bumps a slot's generation whenever the object
+//!   leaves — so a stale tree entry is detected by a single generation
+//!   compare, with no bookkeeping here beyond a dirty counter;
+//! * **insertions buffer**: new items go into a small struct-of-arrays
+//!   `fresh` overflow list that queries scan with the batched distance
+//!   kernels alongside the tree;
 //! * when the dirty work (`stale + fresh`) crosses a threshold proportional
-//!   to the live size, the tree is **rebuilt** over the live set and both
-//!   lists reset — amortising the O(n log n) build over Ω(n) mutations.
+//!   to the live size, the tree is **rebuilt** over the arena's live set and
+//!   both lists reset — amortising the O(n log n) build over Ω(n) mutations.
 //!
 //! Queries are exact at every instant (tree hits and fresh hits are merged,
-//! dead versions are filtered), so the backend agrees with the linear-scan
+//! dead stamps are filtered), so the backend agrees with the linear-scan
 //! oracle on every query — pinned by the backend-agreement tests and the CI
 //! replay gate.
 
+use crate::engine::arena::ItemArena;
 use crate::engine::index::CandidateIndex;
 use crate::engine::item::SpatialItem;
+use crate::engine::kernels;
 use crate::memory::vec_bytes;
-use ftoa_types::Location;
+use ftoa_types::{Location, PoolHandle};
 use spatial::KdTree;
+use std::marker::PhantomData;
 
-/// Rebuild once the dirty work exceeds `REBUILD_BASE + live / 2`: small
-/// pools rebuild rarely (the linear `fresh` scan is cheap there), large
-/// pools keep the stale fraction bounded by ~half the live set.
-const REBUILD_BASE: usize = 32;
+/// Rebuild once the dirty work exceeds `REBUILD_BASE + live / 8`: the
+/// constant absorbs churn in tiny pools, the fraction keeps the per-query
+/// overhead (fresh entries kernel-scanned + in-disk tombstones) bounded by
+/// ~an eighth of the live set, so the backend's examined-candidates count
+/// stays below the exhaustive scan even on small fixtures.
+const REBUILD_BASE: usize = 8;
 
-/// Dynamic KD-tree pool: a static tree over a past epoch plus version
+/// Dynamic KD-tree pool: a static tree over a past epoch plus generation
 /// filtering, a fresh-insert buffer and threshold-triggered rebuilds.
 pub struct KdCandidateIndex<T> {
-    /// Live objects with the version stamp of their current insertion.
-    slots: Vec<Option<(T, u64)>>,
-    live: usize,
-    /// Snapshot of a past epoch; payloads are `(dense index, version)` and
-    /// entries whose version no longer matches the slot are dead.
-    tree: KdTree<(usize, u64)>,
-    /// Insertions since the last rebuild (never in `tree`), as
-    /// `(dense index, version)`; dead versions are skipped on scan.
-    fresh: Vec<(usize, u64)>,
-    /// Tree entries invalidated by a removal or overwrite since the last
-    /// rebuild.
+    /// Snapshot of a past epoch; payloads are arena `(slot, generation)`
+    /// stamps and entries whose generation no longer matches are dead.
+    tree: KdTree<(u32, u32)>,
+    /// Insertions since the last rebuild (never in `tree`), struct-of-arrays
+    /// so queries can kernel-scan the coordinates.
+    fresh_xs: Vec<f64>,
+    fresh_ys: Vec<f64>,
+    fresh_stamps: Vec<(u32, u32)>,
+    /// Tree entries invalidated by a removal since the last rebuild.
     stale: usize,
-    next_version: u64,
     examined: u64,
+    _items: PhantomData<T>,
 }
 
 impl<T: SpatialItem> KdCandidateIndex<T> {
     /// Create an empty pool.
     pub fn new() -> Self {
         Self {
-            slots: Vec::new(),
-            live: 0,
             tree: KdTree::build(Vec::new()),
-            fresh: Vec::new(),
+            fresh_xs: Vec::new(),
+            fresh_ys: Vec::new(),
+            fresh_stamps: Vec::new(),
             stale: 0,
-            next_version: 0,
             examined: 0,
+            _items: PhantomData,
         }
     }
 
     /// Entries whose work queries must absorb until the next rebuild.
     fn dirty(&self) -> usize {
-        self.stale + self.fresh.len()
+        self.stale + self.fresh_stamps.len()
     }
 
-    fn maybe_rebuild(&mut self) {
-        if self.dirty() > REBUILD_BASE + self.live / 2 {
-            let points: Vec<(Location, (usize, u64))> = self
-                .slots
-                .iter()
-                .enumerate()
-                .filter_map(|(idx, slot)| {
-                    slot.as_ref().map(|(item, ver)| (item.item_location(), (idx, *ver)))
+    fn maybe_rebuild(&mut self, arena: &ItemArena<T>) {
+        if self.dirty() > REBUILD_BASE + arena.len() / 8 {
+            let points: Vec<(Location, (u32, u32))> = (0..arena.slot_count())
+                .filter_map(|slot| {
+                    arena.slot_item(slot).map(|item| {
+                        let handle = arena.handle_at_slot(slot);
+                        (item.item_location(), (handle.slot(), handle.generation()))
+                    })
                 })
                 .collect();
             self.tree = KdTree::build(points);
-            self.fresh.clear();
+            self.fresh_xs.clear();
+            self.fresh_ys.clear();
+            self.fresh_stamps.clear();
             self.stale = 0;
-        }
-    }
-
-    /// The live item for a `(index, version)` stamp, if that insertion is
-    /// still current.
-    fn live_item(&self, index: usize, version: u64) -> Option<&T> {
-        match self.slots.get(index)?.as_ref() {
-            Some((item, live_ver)) if *live_ver == version => Some(item),
-            _ => None,
         }
     }
 }
@@ -101,110 +99,103 @@ impl<T: SpatialItem> Default for KdCandidateIndex<T> {
 }
 
 impl<T: SpatialItem> CandidateIndex<T> for KdCandidateIndex<T> {
-    fn insert(&mut self, item: T) {
-        let idx = item.item_index();
-        if idx >= self.slots.len() {
-            self.slots.resize_with(idx + 1, || None);
-        }
-        let version = self.next_version;
-        self.next_version += 1;
-        if self.slots[idx].replace((item, version)).is_some() {
-            // The overwritten insertion's copy (in the tree or in `fresh`)
-            // is dead from now on; count it toward the dirty work either way.
-            self.stale += 1;
-        } else {
-            self.live += 1;
-        }
-        self.fresh.push((idx, version));
-        self.maybe_rebuild();
+    fn insert(&mut self, arena: &ItemArena<T>, handle: PoolHandle) {
+        let slot = handle.slot() as usize;
+        self.fresh_xs.push(arena.xs()[slot]);
+        self.fresh_ys.push(arena.ys()[slot]);
+        self.fresh_stamps.push((handle.slot(), handle.generation()));
+        self.maybe_rebuild(arena);
     }
 
-    fn remove(&mut self, index: usize) -> Option<T> {
-        let (item, _version) = self.slots.get_mut(index)?.take()?;
-        self.live -= 1;
+    fn remove(&mut self, arena: &ItemArena<T>, _handle: PoolHandle) {
+        // The copy (in the tree or in `fresh`) dies via the arena's
+        // generation bump; only the dirty counter needs to know.
         self.stale += 1;
-        self.maybe_rebuild();
-        Some(item)
-    }
-
-    fn contains(&self, index: usize) -> bool {
-        matches!(self.slots.get(index), Some(Some(_)))
-    }
-
-    fn len(&self) -> usize {
-        self.live
+        self.maybe_rebuild(arena);
     }
 
     fn nearest_within(
         &mut self,
+        arena: &ItemArena<T>,
         query: &Location,
         max_radius: f64,
         feasible: &mut dyn FnMut(&T) -> bool,
-    ) -> Option<(usize, f64)> {
+    ) -> Option<(PoolHandle, f64)> {
         let mut scanned = 0u64;
-        let slots = &self.slots;
         // The radius bound prunes the tree search itself (subtrees beyond
         // the reachable disk are never entered), so `scanned` counts only
         // in-disk tree candidates plus the fresh buffer — the same
         // disk-proportional work profile as the grid backend.
         let tree_best = self
             .tree
-            .nearest_within_where(query, max_radius, |&(idx, version), _| {
+            .nearest_within_where(query, max_radius, |&(slot, generation), _| {
                 scanned += 1;
-                let Some((item, live_ver)) = slots.get(idx).and_then(|s| s.as_ref()) else {
-                    return false;
-                };
-                if *live_ver != version {
-                    return false;
+                match arena.stamped_item(slot as usize, generation) {
+                    Some(item) => feasible(item),
+                    None => false,
                 }
-                feasible(item)
             })
-            .map(|(_, &(idx, _), d)| (idx, d));
+            .map(|(_, &(slot, _), d)| (slot as usize, d));
         // Merge with the not-yet-indexed fresh buffer; strict `<` keeps the
         // tree hit on exact ties, which is deterministic for a fixed epoch
         // history.
+        scanned += self.fresh_stamps.len() as u64;
+        let max_r2 = if max_radius < 0.0 { f64::NEG_INFINITY } else { max_radius * max_radius };
         let mut best = tree_best;
-        for &(idx, version) in &self.fresh {
-            scanned += 1;
-            let Some(item) = self.live_item(idx, version) else { continue };
-            let d = query.distance(&item.item_location());
-            if d > max_radius {
-                continue;
-            }
-            if !feasible(item) {
-                continue;
-            }
-            if best.is_none_or(|(_, bd)| d < bd) {
-                best = Some((idx, d));
-            }
-        }
+        let stamps = &self.fresh_stamps;
+        kernels::for_each_within_sq(
+            &self.fresh_xs,
+            &self.fresh_ys,
+            query.x,
+            query.y,
+            max_r2,
+            &mut |pos, d2| {
+                let (slot, generation) = stamps[pos];
+                let Some(item) = arena.stamped_item(slot as usize, generation) else { return };
+                let d = d2.sqrt();
+                if best.is_some_and(|(_, best_d)| d >= best_d) {
+                    return;
+                }
+                if feasible(item) {
+                    best = Some((slot as usize, d));
+                }
+            },
+        );
         self.examined += scanned;
-        best
+        best.map(|(slot, d)| (arena.handle_at_slot(slot), d))
     }
 
-    fn for_each_within(&mut self, center: &Location, radius: f64, visit: &mut dyn FnMut(&T)) {
+    fn for_each_within(
+        &mut self,
+        arena: &ItemArena<T>,
+        center: &Location,
+        radius: f64,
+        visit: &mut dyn FnMut(&T),
+    ) {
         let mut scanned = 0u64;
-        for (_, &(idx, version), _) in self.tree.within_radius(center, radius) {
+        for (_, &(slot, generation), _) in self.tree.within_radius(center, radius) {
             scanned += 1;
-            if let Some(item) = self.live_item(idx, version) {
+            if let Some(item) = arena.stamped_item(slot as usize, generation) {
                 visit(item);
             }
         }
-        let r2 = radius * radius;
-        for &(idx, version) in &self.fresh {
-            scanned += 1;
-            let Some(item) = self.live_item(idx, version) else { continue };
-            if center.distance_sq(&item.item_location()) <= r2 {
-                visit(item);
-            }
-        }
+        scanned += self.fresh_stamps.len() as u64;
+        let r2 = if radius < 0.0 { f64::NEG_INFINITY } else { radius * radius };
+        let stamps = &self.fresh_stamps;
+        kernels::for_each_within_sq(
+            &self.fresh_xs,
+            &self.fresh_ys,
+            center.x,
+            center.y,
+            r2,
+            &mut |pos, _| {
+                let (slot, generation) = stamps[pos];
+                if let Some(item) = arena.stamped_item(slot as usize, generation) {
+                    visit(item);
+                }
+            },
+        );
         self.examined += scanned;
-    }
-
-    fn for_each(&self, visit: &mut dyn FnMut(&T)) {
-        for item in self.slots.iter().flatten() {
-            visit(&item.0);
-        }
     }
 
     fn candidates_examined(&self) -> u64 {
@@ -212,12 +203,13 @@ impl<T: SpatialItem> CandidateIndex<T> for KdCandidateIndex<T> {
     }
 
     fn structure_bytes(&self) -> usize {
-        // Slot table + fresh buffer + tree points and nodes (the node layout
-        // is private to `spatial`; approximate it with one pointer-and-axis
-        // record per stored point).
-        vec_bytes::<Option<(T, u64)>>(self.slots.len())
-            + vec_bytes::<(usize, u64)>(self.fresh.len())
-            + vec_bytes::<(Location, (usize, u64))>(self.tree.len())
+        // Fresh buffer + tree points and nodes (the node layout is private
+        // to `spatial`; approximate it with one pointer-and-axis record per
+        // stored point).
+        vec_bytes::<f64>(self.fresh_xs.capacity())
+            + vec_bytes::<f64>(self.fresh_ys.capacity())
+            + vec_bytes::<(u32, u32)>(self.fresh_stamps.capacity())
+            + vec_bytes::<(Location, (u32, u32))>(self.tree.len())
             + vec_bytes::<(usize, usize, usize, u8)>(self.tree.len())
     }
 }
@@ -225,85 +217,108 @@ impl<T: SpatialItem> CandidateIndex<T> for KdCandidateIndex<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::index::linear::LinearScanIndex;
     use ftoa_types::{TimeDelta, TimeStamp, Worker, WorkerId};
 
     fn worker(i: usize, x: f64, y: f64) -> Worker {
-        Worker::new(WorkerId(i), Location::new(x, y), TimeStamp::ZERO, TimeDelta::minutes(10.0))
+        Worker::new(WorkerId(i), Location::new(x, y), TimeStamp::ZERO, TimeDelta::minutes(60.0))
     }
 
-    /// Enough churn to force several epoch rebuilds, checked against a
-    /// straight linear scan after every mutation batch.
+    /// Deterministic scatter with no duplicate distances from the queries.
+    fn coords(i: usize) -> (f64, f64) {
+        (((i * 37) % 101) as f64 * 0.37, ((i * 59) % 89) as f64 * 0.53)
+    }
+
+    /// Heavy insert/remove churn (forcing several epoch rebuilds) never makes
+    /// the kd backend disagree with the exhaustive linear oracle.
     #[test]
-    fn heavy_churn_stays_exact_across_rebuilds() {
+    fn churn_agrees_with_the_linear_oracle() {
+        let mut arena: ItemArena<Worker> = ItemArena::new();
         let mut kd: KdCandidateIndex<Worker> = KdCandidateIndex::new();
-        let mut reference: Vec<Option<Worker>> = vec![None; 400];
-        let mut state = 0x2017u64;
-        let mut rng = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            (state >> 33) as usize
-        };
-        for round in 0..600 {
-            let idx = rng() % 400;
-            if rng() % 3 == 0 && reference[idx].is_some() {
+        let mut oracle: LinearScanIndex<Worker> = LinearScanIndex::new();
+        let mut handles = Vec::new();
+
+        for round in 0..200 {
+            let (x, y) = coords(round);
+            let handle = arena.insert(worker(round, x, y));
+            kd.insert(&arena, handle);
+            oracle.insert(&arena, handle);
+            handles.push(handle);
+            if round % 3 == 2 {
+                // Remove the oldest still-live handle: plenty of tombstones.
+                let victim = handles.remove(0);
+                kd.remove(&arena, victim);
+                oracle.remove(&arena, victim);
+                arena.remove(victim);
+            }
+
+            let query = Location::new((round % 7) as f64 * 4.1, (round % 5) as f64 * 6.3);
+            for radius in [3.0, 12.0, f64::INFINITY] {
+                let got = kd.nearest_within(&arena, &query, radius, &mut |_| true);
+                let want = oracle.nearest_within(&arena, &query, radius, &mut |_| true);
                 assert_eq!(
-                    kd.remove(idx).map(|w| w.id),
-                    reference[idx].take().map(|w| w.id),
-                    "round {round}"
+                    got.map(|(h, _)| h),
+                    want.map(|(h, _)| h),
+                    "round {round}, radius {radius}"
                 );
-            } else {
-                let w = worker(idx, (rng() % 1000) as f64 / 10.0, (rng() % 1000) as f64 / 10.0);
-                kd.insert(w);
-                reference[idx] = Some(w);
-            }
-            let live = reference.iter().flatten().count();
-            assert_eq!(kd.len(), live, "round {round}");
-            // Nearest-feasible agreement with the exhaustive scan.
-            let q = Location::new((rng() % 1000) as f64 / 10.0, (rng() % 1000) as f64 / 10.0);
-            let brute = reference
-                .iter()
-                .flatten()
-                .map(|w| (w.id.index(), q.distance(&w.location)))
-                .min_by(|a, b| a.1.total_cmp(&b.1));
-            let kd_hit = kd.nearest_where(&q, &mut |_| true);
-            match (brute, kd_hit) {
-                (None, None) => {}
-                (Some((_, bd)), Some((_, kdd))) => {
-                    assert!((bd - kdd).abs() < 1e-12, "round {round}: {bd} vs {kdd}")
-                }
-                other => panic!("round {round}: {other:?}"),
+
+                let mut got_ids: Vec<usize> = Vec::new();
+                kd.for_each_within(&arena, &query, radius, &mut |w| got_ids.push(w.id.index()));
+                let mut want_ids: Vec<usize> = Vec::new();
+                oracle
+                    .for_each_within(&arena, &query, radius, &mut |w| want_ids.push(w.id.index()));
+                got_ids.sort_unstable();
+                want_ids.sort_unstable();
+                assert_eq!(got_ids, want_ids, "round {round}, radius {radius}");
             }
         }
-        assert!(kd.candidates_examined() > 0);
-        assert!(kd.structure_bytes() > 0);
     }
 
+    /// A removed object disappears from queries immediately, and a new
+    /// insertion into its recycled slot is visible immediately — both before
+    /// any rebuild happens.
     #[test]
-    fn reinsert_after_remove_is_visible_and_single() {
-        let mut kd = KdCandidateIndex::new();
-        kd.insert(worker(3, 1.0, 1.0));
-        assert!(kd.remove(3).is_some());
-        kd.insert(worker(3, 2.0, 2.0));
+    fn removal_and_slot_reuse_are_visible_before_a_rebuild() {
+        let mut arena: ItemArena<Worker> = ItemArena::new();
+        let mut kd: KdCandidateIndex<Worker> = KdCandidateIndex::new();
+
+        let h0 = arena.insert(worker(0, 1.0, 1.0));
+        kd.insert(&arena, h0);
+        let query = Location::new(0.0, 0.0);
+        assert!(kd.nearest_within(&arena, &query, 10.0, &mut |_| true).is_some());
+
+        kd.remove(&arena, h0);
+        arena.remove(h0);
+        assert!(
+            kd.nearest_within(&arena, &query, 10.0, &mut |_| true).is_none(),
+            "tombstoned entry must not be returned"
+        );
+
+        let h1 = arena.insert(worker(1, 2.0, 2.0));
+        kd.insert(&arena, h1);
+        assert_eq!(h1.slot(), h0.slot(), "slot is recycled");
+        let (hit, _) = kd.nearest_within(&arena, &query, 10.0, &mut |_| true).expect("fresh hit");
+        assert_eq!(hit, h1);
         let mut seen = Vec::new();
-        kd.for_each_within(&Location::new(0.0, 0.0), 10.0, &mut |w| seen.push(w.id.index()));
-        assert_eq!(seen, vec![3], "exactly one live copy must be visible");
-        let (idx, d) = kd.nearest_where(&Location::new(2.0, 2.0), &mut |_| true).unwrap();
-        assert_eq!(idx, 3);
-        assert_eq!(d, 0.0, "the query must see the re-inserted location, not the tombstone");
+        kd.for_each_within(&arena, &query, 10.0, &mut |w| seen.push(w.id.index()));
+        assert_eq!(seen, vec![1]);
     }
 
+    /// The examined counter grows monotonically and rebuilds reset the dirty
+    /// bookkeeping (fresh buffer drained into the tree).
     #[test]
-    fn overwrite_moves_the_object() {
-        let mut kd = KdCandidateIndex::new();
-        // Push the first copy into the tree via a rebuild-forcing burst.
-        for i in 0..100 {
-            kd.insert(worker(i, i as f64, 0.0));
+    fn rebuilds_drain_the_fresh_buffer() {
+        let mut arena: ItemArena<Worker> = ItemArena::new();
+        let mut kd: KdCandidateIndex<Worker> = KdCandidateIndex::new();
+        for i in 0..64 {
+            let (x, y) = coords(i);
+            let handle = arena.insert(worker(i, x, y));
+            kd.insert(&arena, handle);
         }
-        kd.insert(worker(7, 90.0, 90.0)); // move worker 7 far away
-        assert_eq!(kd.len(), 100);
-        let near_old = kd.nearest_within(&Location::new(7.0, 0.0), 0.5, &mut |w| w.id.index() == 7);
-        assert!(near_old.is_none(), "the stale copy at (7, 0) must be invisible");
-        let near_new =
-            kd.nearest_within(&Location::new(90.0, 90.0), 0.5, &mut |w| w.id.index() == 7);
-        assert_eq!(near_new.map(|(i, _)| i), Some(7));
+        // 64 inserts crossed the rebuild threshold (8 + len/8) several times;
+        // after the most recent crossing the fresh buffer was reset and holds
+        // fewer entries than the threshold.
+        assert!(kd.dirty() <= REBUILD_BASE + arena.len() / 8);
+        assert!(!kd.tree.is_empty(), "rebuild moved fresh entries into the tree");
     }
 }

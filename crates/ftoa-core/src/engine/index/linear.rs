@@ -1,24 +1,27 @@
 //! The exhaustive linear-scan backend (reference / oracle).
 
+use crate::engine::arena::ItemArena;
 use crate::engine::index::CandidateIndex;
 use crate::engine::item::SpatialItem;
-use crate::memory::vec_bytes;
-use ftoa_types::Location;
+use crate::engine::kernels;
+use ftoa_types::{Location, PoolHandle};
+use std::marker::PhantomData;
 
-/// Reference backend: an exhaustive scan over a dense slot vector. O(n) per
-/// query, deterministic (ascending index order), with no spatial pruning —
-/// the oracle the indexed backends are tested against.
+/// Reference backend: every query runs the distance kernels over the
+/// arena's *entire* coordinate slices (vacant slots fall out via their NaN
+/// coordinates). O(n) per query with no spatial pruning — the oracle the
+/// indexed backends are tested against. The index itself holds no spatial
+/// structure at all; the arena is the storage.
 #[derive(Debug, Clone)]
 pub struct LinearScanIndex<T> {
-    slots: Vec<Option<T>>,
-    live: usize,
     examined: u64,
+    _items: PhantomData<T>,
 }
 
 impl<T: SpatialItem> LinearScanIndex<T> {
-    /// Create an empty pool.
+    /// Create the (stateless) scanner.
     pub fn new() -> Self {
-        Self { slots: Vec::new(), live: 0, examined: 0 }
+        Self { examined: 0, _items: PhantomData }
     }
 }
 
@@ -29,69 +32,52 @@ impl<T: SpatialItem> Default for LinearScanIndex<T> {
 }
 
 impl<T: SpatialItem> CandidateIndex<T> for LinearScanIndex<T> {
-    fn insert(&mut self, item: T) {
-        let idx = item.item_index();
-        if idx >= self.slots.len() {
-            self.slots.resize_with(idx + 1, || None);
-        }
-        if self.slots[idx].replace(item).is_none() {
-            self.live += 1;
-        }
-    }
+    fn insert(&mut self, _arena: &ItemArena<T>, _handle: PoolHandle) {}
 
-    fn remove(&mut self, index: usize) -> Option<T> {
-        let removed = self.slots.get_mut(index)?.take();
-        if removed.is_some() {
-            self.live -= 1;
-        }
-        removed
-    }
-
-    fn contains(&self, index: usize) -> bool {
-        matches!(self.slots.get(index), Some(Some(_)))
-    }
-
-    fn len(&self) -> usize {
-        self.live
-    }
+    fn remove(&mut self, _arena: &ItemArena<T>, _handle: PoolHandle) {}
 
     fn nearest_within(
         &mut self,
+        arena: &ItemArena<T>,
         query: &Location,
         max_radius: f64,
         feasible: &mut dyn FnMut(&T) -> bool,
-    ) -> Option<(usize, f64)> {
-        let mut best: Option<(usize, f64)> = None;
-        for item in self.slots.iter().flatten() {
-            self.examined += 1;
-            let d = query.distance(&item.item_location());
-            if d > max_radius {
-                continue;
-            }
-            if !feasible(item) {
-                continue;
-            }
-            if best.is_none_or(|(_, bd)| d < bd) {
-                best = Some((item.item_index(), d));
-            }
-        }
-        best
+    ) -> Option<(PoolHandle, f64)> {
+        // The scan touches every live entry, exactly like the pre-arena
+        // dense-slot loop did.
+        self.examined += arena.len() as u64;
+        // A negative radius admits nothing (squaring would lose the sign).
+        let max_r2 = if max_radius < 0.0 { f64::NEG_INFINITY } else { max_radius * max_radius };
+        let best = kernels::nearest_within_sq(
+            arena.xs(),
+            arena.ys(),
+            query.x,
+            query.y,
+            max_r2,
+            &mut |slot| feasible(arena.slot_item(slot).expect("kernel hits are live slots")),
+        );
+        best.map(|(slot, d2)| (arena.handle_at_slot(slot), d2.sqrt()))
     }
 
-    fn for_each_within(&mut self, center: &Location, radius: f64, visit: &mut dyn FnMut(&T)) {
-        let r2 = radius * radius;
-        for item in self.slots.iter().flatten() {
-            self.examined += 1;
-            if center.distance_sq(&item.item_location()) <= r2 {
-                visit(item);
-            }
-        }
-    }
-
-    fn for_each(&self, visit: &mut dyn FnMut(&T)) {
-        for item in self.slots.iter().flatten() {
-            visit(item);
-        }
+    fn for_each_within(
+        &mut self,
+        arena: &ItemArena<T>,
+        center: &Location,
+        radius: f64,
+        visit: &mut dyn FnMut(&T),
+    ) {
+        self.examined += arena.len() as u64;
+        let r2 = if radius < 0.0 { f64::NEG_INFINITY } else { radius * radius };
+        kernels::for_each_within_sq(
+            arena.xs(),
+            arena.ys(),
+            center.x,
+            center.y,
+            r2,
+            &mut |slot, _| {
+                visit(arena.slot_item(slot).expect("kernel hits are live slots"));
+            },
+        );
     }
 
     fn candidates_examined(&self) -> u64 {
@@ -99,6 +85,7 @@ impl<T: SpatialItem> CandidateIndex<T> for LinearScanIndex<T> {
     }
 
     fn structure_bytes(&self) -> usize {
-        vec_bytes::<Option<T>>(self.slots.len())
+        // The arena owns the storage; the scanner adds nothing.
+        std::mem::size_of::<Self>()
     }
 }

@@ -3,80 +3,81 @@
 //! The online algorithms ask two spatial questions about the live pools —
 //! *nearest feasible object* and *all objects within a reachable disk* —
 //! and every backend must answer them deterministically so runs are
-//! reproducible. Three interchangeable backends implement the trait:
+//! reproducible. Since the arena refactor, object *storage* lives in the
+//! [`crate::engine::ItemArena`] (struct-of-arrays coordinates the distance
+//! kernels consume directly); a backend only maintains whatever acceleration
+//! structure it needs over arena slots, and every query threads the arena
+//! through by reference. Four interchangeable backends implement the trait:
 //!
-//! * [`LinearScanIndex`] (`linear.rs`) — exhaustive scan in ascending
-//!   dense-index order; O(n) per query, no pruning. The reference/oracle.
-//! * [`GridCandidateIndex`] (`grid.rs`) — uniform-grid buckets
-//!   ([`spatial::GridBucketIndex`]): nearest queries expand ring by ring,
-//!   range queries touch only overlapping buckets.
+//! * [`LinearScanIndex`] (`linear.rs`) — kernel sweep over the arena's
+//!   entire coordinate slices; O(n) per query, no pruning. The
+//!   reference/oracle.
+//! * [`GridCandidateIndex`] (`grid.rs`) — uniform-grid buckets stored
+//!   struct-of-arrays: nearest queries expand ring by ring, range queries
+//!   touch only overlapping buckets, each bucket scanned by the kernels.
 //! * [`KdCandidateIndex`] (`kd.rs`) — an epoch-rebuild wrapper around the
-//!   static [`spatial::KdTree`]: mutations tombstone/buffer until a dirty
-//!   threshold triggers a rebuild over the live set.
+//!   static [`spatial::KdTree`]: removals tombstone via arena generations,
+//!   inserts buffer until a dirty threshold triggers a rebuild.
+//! * [`HybridCandidateIndex`] (`hybrid.rs`) — maintains grid *and* KD-tree
+//!   and routes each query by coarse-region occupancy: dense regions to the
+//!   grid, sparse ones to the tree.
 //!
-//! [`IndexBackend`] is the runtime knob selecting among them.
+//! [`IndexBackend`] is the runtime knob selecting among them; the engine
+//! holds the selected backend in the monomorphised [`EngineIndex`] enum, so
+//! the hot path dispatches with a four-way match instead of a virtual call.
 
 pub mod grid;
+pub mod hybrid;
 pub mod kd;
 pub mod linear;
 
 pub use grid::GridCandidateIndex;
+pub use hybrid::HybridCandidateIndex;
 pub use kd::KdCandidateIndex;
 pub use linear::LinearScanIndex;
 
+use crate::engine::arena::ItemArena;
 use crate::engine::item::SpatialItem;
-use ftoa_types::{Location, ProblemConfig};
+use ftoa_types::{Location, PoolHandle, ProblemConfig};
 
-/// A dynamic pool of spatial objects answering the two candidate queries the
-/// online algorithms need: *nearest feasible* and *all within a reachable
-/// disk*. Implementations must visit candidates deterministically so runs
-/// are reproducible; they additionally count how many candidates each query
+/// An acceleration structure over one [`ItemArena`] answering the two
+/// candidate queries the online algorithms need: *nearest feasible* and
+/// *all within a reachable disk*. The arena owns the objects; the index is
+/// notified of every insert/remove (by handle, while the arena still holds
+/// the item) and answers queries against the arena's coordinate columns.
+/// Implementations must visit candidates deterministically so runs are
+/// reproducible; they additionally count how many candidates each query
 /// examines, which is the backend-independent measure of pruning quality
 /// reported in [`crate::result::EngineStats`].
 pub trait CandidateIndex<T: SpatialItem> {
-    /// Insert an object (keyed by its dense index).
-    fn insert(&mut self, item: T);
+    /// Note that `handle` was just inserted into `arena`.
+    fn insert(&mut self, arena: &ItemArena<T>, handle: PoolHandle);
 
-    /// Remove an object by dense index, returning it if it was present.
-    fn remove(&mut self, index: usize) -> Option<T>;
+    /// Note that `handle` is about to be removed from `arena` (the arena
+    /// still holds the item, so its coordinates are readable).
+    fn remove(&mut self, arena: &ItemArena<T>, handle: PoolHandle);
 
-    /// Is an object with this dense index present?
-    fn contains(&self, index: usize) -> bool;
-
-    /// Number of live objects.
-    fn len(&self) -> usize;
-
-    /// Is the pool empty?
-    fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// The nearest live object (Euclidean distance from `query`) accepted by
-    /// `feasible`, as `(dense index, distance)`.
-    fn nearest_where(
-        &mut self,
-        query: &Location,
-        feasible: &mut dyn FnMut(&T) -> bool,
-    ) -> Option<(usize, f64)> {
-        self.nearest_within(query, f64::INFINITY, feasible)
-    }
-
-    /// Like [`Self::nearest_where`], restricted to objects within
-    /// `max_radius` of `query` (inclusive). Policies pass the reachable-disk
-    /// radius implied by the deadline constraint so that hopeless queries
-    /// terminate without examining distant candidates.
+    /// The nearest live object (Euclidean distance from `query`) within
+    /// `max_radius` (inclusive) accepted by `feasible`, as
+    /// `(handle, distance)`. Policies pass the reachable-disk radius implied
+    /// by the deadline constraint so that hopeless queries terminate without
+    /// examining distant candidates.
     fn nearest_within(
         &mut self,
+        arena: &ItemArena<T>,
         query: &Location,
         max_radius: f64,
         feasible: &mut dyn FnMut(&T) -> bool,
-    ) -> Option<(usize, f64)>;
+    ) -> Option<(PoolHandle, f64)>;
 
     /// Visit every live object within `radius` of `center` (inclusive).
-    fn for_each_within(&mut self, center: &Location, radius: f64, visit: &mut dyn FnMut(&T));
-
-    /// Visit every live object in ascending dense-index order.
-    fn for_each(&self, visit: &mut dyn FnMut(&T));
+    fn for_each_within(
+        &mut self,
+        arena: &ItemArena<T>,
+        center: &Location,
+        radius: f64,
+        visit: &mut dyn FnMut(&T),
+    );
 
     /// Stored entries *scanned* by queries so far (distance computed or
     /// feasibility checked). The linear backend scans every live entry per
@@ -86,7 +87,7 @@ pub trait CandidateIndex<T: SpatialItem> {
     fn candidates_examined(&self) -> u64;
 
     /// Estimated bytes held by the index structure itself (excluding the
-    /// per-object bytes, which the engine accounts for on admit/claim).
+    /// arena's storage, which the engine accounts for separately).
     fn structure_bytes(&self) -> usize;
 }
 
@@ -100,12 +101,14 @@ pub enum IndexBackend {
     Grid,
     /// KD-tree with epoch rebuilds (tombstoned removals, buffered inserts).
     Kd,
+    /// Adaptive grid/KD pair routed per query by coarse-region density.
+    Hybrid,
 }
 
 impl IndexBackend {
     /// Every backend, in the canonical comparison order (reference first).
-    pub const ALL: [IndexBackend; 3] =
-        [IndexBackend::LinearScan, IndexBackend::Grid, IndexBackend::Kd];
+    pub const ALL: [IndexBackend; 4] =
+        [IndexBackend::LinearScan, IndexBackend::Grid, IndexBackend::Kd, IndexBackend::Hybrid];
 
     /// Short display name (used in stats and bench output).
     pub fn name(self) -> &'static str {
@@ -113,6 +116,7 @@ impl IndexBackend {
             IndexBackend::LinearScan => "linear-scan",
             IndexBackend::Grid => "grid-index",
             IndexBackend::Kd => "kd-tree",
+            IndexBackend::Hybrid => "hybrid",
         }
     }
 
@@ -122,19 +126,85 @@ impl IndexBackend {
             "linear" | "linear-scan" | "linearscan" => Some(IndexBackend::LinearScan),
             "grid" | "grid-index" | "gridindex" => Some(IndexBackend::Grid),
             "kd" | "kd-tree" | "kdtree" => Some(IndexBackend::Kd),
+            "hybrid" | "adaptive" => Some(IndexBackend::Hybrid),
             _ => None,
         }
     }
 
-    pub(crate) fn make<T: SpatialItem + Clone + 'static>(
-        self,
-        config: &ProblemConfig,
-    ) -> Box<dyn CandidateIndex<T>> {
+    /// Instantiate the backend as an [`EngineIndex`] over `config`'s grid.
+    pub(crate) fn build<T: SpatialItem>(self, config: &ProblemConfig) -> EngineIndex<T> {
         match self {
-            IndexBackend::LinearScan => Box::new(LinearScanIndex::new()),
-            IndexBackend::Grid => Box::new(GridCandidateIndex::for_config(config)),
-            IndexBackend::Kd => Box::new(KdCandidateIndex::new()),
+            IndexBackend::LinearScan => EngineIndex::Linear(LinearScanIndex::new()),
+            IndexBackend::Grid => EngineIndex::Grid(GridCandidateIndex::for_config(config)),
+            IndexBackend::Kd => EngineIndex::Kd(KdCandidateIndex::new()),
+            IndexBackend::Hybrid => EngineIndex::Hybrid(HybridCandidateIndex::for_config(config)),
         }
+    }
+}
+
+/// The engine's monomorphised backend holder: one enum variant per backend,
+/// dispatched with a `match` instead of a `Box<dyn ...>` virtual call, so
+/// query closures inline into the kernel loops on the hot path.
+// One instance exists per engine run (never stored per item), so the size
+// skew between the hybrid variant and the linear scan cannot multiply.
+#[allow(clippy::large_enum_variant)]
+pub enum EngineIndex<T> {
+    /// See [`LinearScanIndex`].
+    Linear(LinearScanIndex<T>),
+    /// See [`GridCandidateIndex`].
+    Grid(GridCandidateIndex<T>),
+    /// See [`KdCandidateIndex`].
+    Kd(KdCandidateIndex<T>),
+    /// See [`HybridCandidateIndex`].
+    Hybrid(HybridCandidateIndex<T>),
+}
+
+macro_rules! dispatch {
+    ($self:expr, $idx:ident => $body:expr) => {
+        match $self {
+            EngineIndex::Linear($idx) => $body,
+            EngineIndex::Grid($idx) => $body,
+            EngineIndex::Kd($idx) => $body,
+            EngineIndex::Hybrid($idx) => $body,
+        }
+    };
+}
+
+impl<T: SpatialItem> CandidateIndex<T> for EngineIndex<T> {
+    fn insert(&mut self, arena: &ItemArena<T>, handle: PoolHandle) {
+        dispatch!(self, idx => idx.insert(arena, handle))
+    }
+
+    fn remove(&mut self, arena: &ItemArena<T>, handle: PoolHandle) {
+        dispatch!(self, idx => idx.remove(arena, handle))
+    }
+
+    fn nearest_within(
+        &mut self,
+        arena: &ItemArena<T>,
+        query: &Location,
+        max_radius: f64,
+        feasible: &mut dyn FnMut(&T) -> bool,
+    ) -> Option<(PoolHandle, f64)> {
+        dispatch!(self, idx => idx.nearest_within(arena, query, max_radius, feasible))
+    }
+
+    fn for_each_within(
+        &mut self,
+        arena: &ItemArena<T>,
+        center: &Location,
+        radius: f64,
+        visit: &mut dyn FnMut(&T),
+    ) {
+        dispatch!(self, idx => idx.for_each_within(arena, center, radius, visit))
+    }
+
+    fn candidates_examined(&self) -> u64 {
+        dispatch!(self, idx => idx.candidates_examined())
+    }
+
+    fn structure_bytes(&self) -> usize {
+        dispatch!(self, idx => idx.structure_bytes())
     }
 }
 
@@ -164,8 +234,28 @@ mod tests {
         )
     }
 
-    fn backends() -> Vec<Box<dyn CandidateIndex<Worker>>> {
-        IndexBackend::ALL.iter().map(|b| b.make::<Worker>(&config())).collect()
+    /// One (arena, index) pair per backend.
+    fn pools() -> Vec<(ItemArena<Worker>, EngineIndex<Worker>)> {
+        IndexBackend::ALL.iter().map(|b| (ItemArena::new(), b.build::<Worker>(&config()))).collect()
+    }
+
+    fn admit(
+        arena: &mut ItemArena<Worker>,
+        idx: &mut EngineIndex<Worker>,
+        w: Worker,
+    ) -> PoolHandle {
+        let h = arena.insert(w);
+        idx.insert(arena, h);
+        h
+    }
+
+    fn evict(
+        arena: &mut ItemArena<Worker>,
+        idx: &mut EngineIndex<Worker>,
+        h: PoolHandle,
+    ) -> Worker {
+        idx.remove(arena, h);
+        arena.remove(h).expect("handle is live")
     }
 
     #[test]
@@ -174,50 +264,58 @@ mod tests {
             assert_eq!(IndexBackend::parse(backend.name()), Some(backend), "{}", backend.name());
         }
         assert_eq!(IndexBackend::parse("KD"), Some(IndexBackend::Kd));
+        assert_eq!(IndexBackend::parse("Hybrid"), Some(IndexBackend::Hybrid));
         assert_eq!(IndexBackend::parse("nope"), None);
     }
 
     #[test]
-    fn all_backends_support_insert_remove_contains() {
-        for mut idx in backends() {
-            assert!(idx.is_empty());
-            idx.insert(worker(3, 1.0, 1.0, 0.0));
-            idx.insert(worker(7, 9.0, 9.0, 0.0));
-            assert_eq!(idx.len(), 2);
-            assert!(idx.contains(3));
-            assert!(!idx.contains(5));
-            let w = idx.remove(3).unwrap();
+    fn all_backends_support_insert_remove_via_the_arena() {
+        for (mut arena, mut idx) in pools() {
+            assert!(arena.is_empty());
+            let h3 = admit(&mut arena, &mut idx, worker(3, 1.0, 1.0, 0.0));
+            admit(&mut arena, &mut idx, worker(7, 9.0, 9.0, 0.0));
+            assert_eq!(arena.len(), 2);
+            assert!(arena.contains_index(3));
+            assert!(!arena.contains_index(5));
+            let w = evict(&mut arena, &mut idx, h3);
             assert_eq!(w.id, WorkerId(3));
-            assert!(idx.remove(3).is_none());
-            assert_eq!(idx.len(), 1);
+            assert!(arena.remove(h3).is_none(), "stale handle removes nothing");
+            assert_eq!(arena.len(), 1);
         }
     }
 
     #[test]
-    fn nearest_where_agrees_between_backends() {
-        for mut idx in backends() {
+    fn nearest_query_agrees_between_backends() {
+        for (mut arena, mut idx) in pools() {
             for (i, (x, y)) in [(1.0, 1.0), (5.0, 5.0), (9.0, 2.0)].iter().enumerate() {
-                idx.insert(worker(i, *x, *y, 0.0));
+                admit(&mut arena, &mut idx, worker(i, *x, *y, 0.0));
             }
             let q = Location::new(4.5, 4.5);
-            let (best, d) = idx.nearest_where(&q, &mut |_| true).unwrap();
-            assert_eq!(best, 1);
+            let (best, d) = idx.nearest_within(&arena, &q, f64::INFINITY, &mut |_| true).unwrap();
+            assert_eq!(arena.get(best).unwrap().id, WorkerId(1));
             assert!((d - Location::new(5.0, 5.0).distance(&q)).abs() < 1e-12);
             // Filtered query skips the nearest.
-            let (second, _) = idx.nearest_where(&q, &mut |w| w.id.index() != 1).unwrap();
-            assert_eq!(second, 0);
+            let (second, _) =
+                idx.nearest_within(&arena, &q, f64::INFINITY, &mut |w| w.id.index() != 1).unwrap();
+            assert_eq!(arena.get(second).unwrap().id, WorkerId(0));
             assert!(idx.candidates_examined() > 0);
         }
     }
 
     #[test]
     fn range_query_agrees_between_backends() {
-        for mut idx in backends() {
+        for (mut arena, mut idx) in pools() {
             for i in 0..20 {
-                idx.insert(worker(i, (i % 5) as f64 * 2.0, (i / 5) as f64 * 2.0, 0.0));
+                admit(
+                    &mut arena,
+                    &mut idx,
+                    worker(i, (i % 5) as f64 * 2.0, (i / 5) as f64 * 2.0, 0.0),
+                );
             }
             let mut found = Vec::new();
-            idx.for_each_within(&Location::new(0.0, 0.0), 2.5, &mut |w| found.push(w.id.index()));
+            idx.for_each_within(&arena, &Location::new(0.0, 0.0), 2.5, &mut |w| {
+                found.push(w.id.index())
+            });
             found.sort_unstable();
             // (0,0), (2,0), (0,2) are within 2.5; (2,2) is at 2.83.
             assert_eq!(found, vec![0, 1, 5]);
@@ -226,26 +324,35 @@ mod tests {
 
     #[test]
     fn nearest_within_respects_the_radius_on_every_backend() {
-        for mut idx in backends() {
-            idx.insert(worker(0, 1.0, 1.0, 0.0));
-            idx.insert(worker(1, 8.0, 8.0, 0.0));
+        for (mut arena, mut idx) in pools() {
+            admit(&mut arena, &mut idx, worker(0, 1.0, 1.0, 0.0));
+            admit(&mut arena, &mut idx, worker(1, 8.0, 8.0, 0.0));
             let q = Location::new(2.0, 1.0);
-            let hit = idx.nearest_within(&q, 1.5, &mut |_| true);
-            assert_eq!(hit.map(|(i, _)| i), Some(0));
-            let miss = idx.nearest_within(&Location::new(4.5, 4.5), 2.0, &mut |_| true);
+            let hit = idx.nearest_within(&arena, &q, 1.5, &mut |_| true);
+            assert_eq!(hit.map(|(h, _)| arena.get(h).unwrap().id), Some(WorkerId(0)));
+            let miss = idx.nearest_within(&arena, &Location::new(4.5, 4.5), 2.0, &mut |_| true);
             assert!(miss.is_none());
+            let negative = idx.nearest_within(&arena, &q, -1.0, &mut |_| true);
+            assert!(negative.is_none(), "negative radius admits nothing");
         }
     }
 
     #[test]
-    fn for_each_visits_in_ascending_index_order() {
-        for mut idx in backends() {
-            for i in [4usize, 0, 2, 9, 1] {
-                idx.insert(worker(i, i as f64, i as f64, 0.0));
-            }
-            let mut seen = Vec::new();
-            idx.for_each(&mut |w| seen.push(w.id.index()));
-            assert_eq!(seen, vec![0, 1, 2, 4, 9]);
+    fn queries_stay_exact_after_slot_reuse() {
+        for (mut arena, mut idx) in pools() {
+            let h0 = admit(&mut arena, &mut idx, worker(0, 1.0, 1.0, 0.0));
+            admit(&mut arena, &mut idx, worker(1, 8.0, 8.0, 0.0));
+            evict(&mut arena, &mut idx, h0);
+            // Slot 0 is recycled for a different worker at a new location.
+            admit(&mut arena, &mut idx, worker(2, 4.0, 4.0, 0.0));
+            let q = Location::new(4.1, 4.1);
+            let (best, _) = idx.nearest_within(&arena, &q, f64::INFINITY, &mut |_| true).unwrap();
+            assert_eq!(arena.get(best).unwrap().id, WorkerId(2));
+            let mut found = Vec::new();
+            idx.for_each_within(&arena, &Location::new(1.0, 1.0), 0.5, &mut |w| {
+                found.push(w.id.index())
+            });
+            assert!(found.is_empty(), "the removed worker at (1,1) must be gone: {found:?}");
         }
     }
 }

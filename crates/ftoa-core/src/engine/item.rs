@@ -1,17 +1,19 @@
 //! The [`SpatialItem`] trait: what the candidate pools store.
 
-use ftoa_types::{Location, Task, Worker};
+use ftoa_types::{Location, Task, TimeStamp, Worker};
 
-/// An object that can live in a [`crate::engine::CandidateIndex`]: it has a
-/// dense index and a location. Deadlines deliberately stay off this trait —
-/// expiry is owned by the engine's priority queues
-/// ([`crate::engine::EngineContext`] records each object's deadline at
-/// admit time), so the indexes never need to ask.
+/// An object that can live in the engine's pools: it has a dense index, a
+/// location, and a deadline. The [`crate::engine::ItemArena`] records all
+/// three in its struct-of-arrays columns at admit time; the candidate
+/// indexes only ever read them back through the arena, and expiry is owned
+/// by the engine's priority queues ([`crate::engine::EngineContext`]).
 pub trait SpatialItem: Copy {
     /// Dense 0-based identifier (`WorkerId` / `TaskId` index).
     fn item_index(&self) -> usize;
     /// Where the object is (its appearance location).
     fn item_location(&self) -> Location;
+    /// When the object silently leaves the platform (inclusive).
+    fn item_deadline(&self) -> TimeStamp;
 }
 
 impl SpatialItem for Worker {
@@ -21,6 +23,9 @@ impl SpatialItem for Worker {
     fn item_location(&self) -> Location {
         self.location
     }
+    fn item_deadline(&self) -> TimeStamp {
+        self.deadline()
+    }
 }
 
 impl SpatialItem for Task {
@@ -29,5 +34,8 @@ impl SpatialItem for Task {
     }
     fn item_location(&self) -> Location {
         self.location
+    }
+    fn item_deadline(&self) -> TimeStamp {
+        self.deadline()
     }
 }

@@ -11,14 +11,27 @@
 //! * [`item`] — the [`SpatialItem`] trait: anything (worker or task) that
 //!   can live in a candidate pool, keyed by dense index, located in space
 //!   and bounded by a deadline;
-//! * [`index`] — the [`CandidateIndex`] trait plus its three backends: the
-//!   exhaustive [`LinearScanIndex`] (reference/oracle), the
-//!   [`GridCandidateIndex`] built on [`spatial::GridBucketIndex`] ring and
-//!   reachable-disk range queries, and the [`KdCandidateIndex`]
-//!   epoch-rebuild wrapper around the static [`spatial::KdTree`];
+//! * [`arena`] — the [`ItemArena`]: generational struct-of-arrays storage
+//!   for one pool. Coordinates and deadlines live in parallel `Vec<f64>`s,
+//!   freed slots recycle through a free-list, and [`ftoa_types::PoolHandle`]
+//!   stamps (slot + generation) make stale references structurally
+//!   unobservable;
+//! * [`kernels`] — batched squared-distance loops over the arena's
+//!   coordinate slices, written as straight-line chunked iteration the
+//!   compiler auto-vectorises; every backend funnels its candidate scans
+//!   through these two functions;
+//! * [`index`] — the [`CandidateIndex`] trait plus its four backends: the
+//!   exhaustive [`LinearScanIndex`] (reference/oracle), the struct-of-arrays
+//!   [`GridCandidateIndex`] with ring and reachable-disk range queries, the
+//!   [`KdCandidateIndex`] epoch-rebuild wrapper around the static
+//!   [`spatial::KdTree`], and the adaptive [`HybridCandidateIndex`] routing
+//!   each query to grid or tree by coarse-region density. The engine holds
+//!   the selection in the monomorphised [`EngineIndex`] enum — a four-way
+//!   match on the hot path instead of a virtual call;
 //! * [`context`] — the [`EngineContext`] a policy sees while handling one
-//!   event: the idle-worker/pending-task pools, deadline-expiry queues,
-//!   committed assignments and memory accounting;
+//!   event: the idle-worker/pending-task pools (each an arena + index pair
+//!   surfaced as a [`PoolView`]), deadline-expiry queues, committed
+//!   assignments and memory accounting;
 //! * [`driver`] — the [`OnlinePolicy`] trait (an algorithm shrunk to a
 //!   handful of incremental callbacks) and the [`SimulationEngine`] that
 //!   drives a policy over a stream and assembles the
@@ -26,22 +39,25 @@
 //!
 //! The existing [`crate::algorithms::OnlineAlgorithm::run`] entry points are
 //! thin adapters that instantiate a policy and hand it to the engine, so all
-//! previous callers keep working unchanged; every name of the pre-split
-//! `engine.rs` is re-exported here. Equivalence between the index backends —
-//! and against straight ports of the pre-refactor event loops — is enforced
-//! by the property tests in `tests/proptest_engine_equivalence.rs` at the
-//! workspace root.
+//! previous callers keep working unchanged. Equivalence between the index
+//! backends — and against straight ports of the pre-refactor event loops —
+//! is enforced by the property tests in
+//! `tests/proptest_engine_equivalence.rs` at the workspace root.
 
+pub mod arena;
 pub mod clock;
 pub mod context;
 pub mod driver;
 pub mod index;
 pub mod item;
+pub mod kernels;
 
+pub use arena::ItemArena;
 pub use clock::Stopwatch;
-pub use context::EngineContext;
+pub use context::{EngineContext, PoolView};
 pub use driver::{OnlinePolicy, SimulationEngine};
 pub use index::{
-    CandidateIndex, GridCandidateIndex, IndexBackend, KdCandidateIndex, LinearScanIndex,
+    CandidateIndex, EngineIndex, GridCandidateIndex, HybridCandidateIndex, IndexBackend,
+    KdCandidateIndex, LinearScanIndex,
 };
 pub use item::SpatialItem;

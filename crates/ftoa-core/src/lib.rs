@@ -13,12 +13,14 @@
 //!   nodes, CR ≈ 0.47) and [`algorithms::Opt`] (the offline optimum with full
 //!   knowledge and free worker movement).
 //! * [`engine`] — the unified streaming simulation engine, decomposed into
-//!   one module per responsibility (`item` / `index` / `context` /
-//!   `driver`): every algorithm is an incremental [`engine::OnlinePolicy`]
-//!   driven by [`engine::SimulationEngine`], with candidate generation
-//!   behind the [`engine::CandidateIndex`] trait (linear-scan reference,
-//!   grid-index and epoch-rebuild KD-tree backends built on the `spatial`
-//!   crate).
+//!   one module per responsibility (`item` / `arena` / `kernels` / `index` /
+//!   `context` / `driver`): every algorithm is an incremental
+//!   [`engine::OnlinePolicy`] driven by [`engine::SimulationEngine`]. Live
+//!   objects sit in generational struct-of-arrays [`engine::ItemArena`]s,
+//!   candidate scans run through the batched distance kernels, and candidate
+//!   generation sits behind the [`engine::CandidateIndex`] trait (linear-scan
+//!   reference, grid-index, epoch-rebuild KD-tree, and an adaptive hybrid
+//!   that routes queries by local density).
 //! * [`replay`] — the trace-replay entry point: derives realised
 //!   per-slot/per-cell counts from a recorded stream and drives any policy
 //!   over it through the unchanged engine.
@@ -38,8 +40,9 @@ pub mod result;
 
 pub use algorithms::{BatchGreedy, OnlineAlgorithm, Opt, Polar, PolarOp, SimpleGreedy};
 pub use engine::{
-    CandidateIndex, EngineContext, GridCandidateIndex, IndexBackend, KdCandidateIndex,
-    LinearScanIndex, OnlinePolicy, SimulationEngine, Stopwatch,
+    CandidateIndex, EngineContext, EngineIndex, GridCandidateIndex, HybridCandidateIndex,
+    IndexBackend, ItemArena, KdCandidateIndex, LinearScanIndex, OnlinePolicy, PoolView,
+    SimulationEngine, Stopwatch,
 };
 pub use guide::{GuideEngine, GuideNode, GuideObjective, OfflineGuide};
 pub use instance::Instance;

@@ -262,8 +262,10 @@ fn check_stray_print(
 
 /// R5 `crate-hygiene`: every non-shim crate opts into the workspace lint
 /// policy (`[lints] workspace = true`, which carries `unsafe_code = forbid`
-/// and `missing_docs = warn`) and opens with a `//!` crate-doc header. Shim
-/// crates are exempt from the opt-in but must keep their own
+/// and `missing_docs = warn`) and opens with a `//!` crate-doc header, and
+/// every module file under its `src/` tree opens with its own `//!` header
+/// (inner attributes such as `#![allow(...)]` may precede it). Shim crates
+/// are exempt from the opt-in and the module walk but must keep their own
 /// `#![forbid(unsafe_code)]` and doc header.
 pub fn check_crate_hygiene(root: &Path, violations: &mut Vec<Violation>) -> std::io::Result<()> {
     for (dir, is_shim) in crate_dirs(root)? {
@@ -283,7 +285,7 @@ pub fn check_crate_hygiene(root: &Path, violations: &mut Vec<Violation>) -> std:
             continue;
         };
         let source = std::fs::read_to_string(root.join(&root_rel))?;
-        if !source.trim_start().starts_with("//!") {
+        if !opens_with_doc_header(&source) {
             violations.push(Violation {
                 file: root_rel.clone(),
                 line: 1,
@@ -291,6 +293,26 @@ pub fn check_crate_hygiene(root: &Path, violations: &mut Vec<Violation>) -> std:
                 message: "crate root must open with a `//!` doc header explaining its role"
                     .to_string(),
             });
+        }
+        if !is_shim {
+            for module_rel in module_files(root, &dir)? {
+                // The crate root was already checked above (its path may
+                // carry a leading `./` for the facade package).
+                if module_rel == root_rel.trim_start_matches("./") {
+                    continue;
+                }
+                let module_src = std::fs::read_to_string(root.join(&module_rel))?;
+                if !opens_with_doc_header(&module_src) {
+                    violations.push(Violation {
+                        file: module_rel,
+                        line: 1,
+                        rule: RULE_CRATE_HYGIENE,
+                        message: "module must open with a `//!` doc header (inner \
+                                  attributes may precede it)"
+                            .to_string(),
+                    });
+                }
+            }
         }
         if is_shim {
             if !source.contains("#![forbid(unsafe_code)]") {
@@ -341,6 +363,47 @@ fn crate_dirs(root: &Path) -> std::io::Result<Vec<(String, bool)>> {
     }
     dirs.sort();
     Ok(dirs)
+}
+
+/// Does the file open with a `//!` doc header? Blank lines and inner
+/// attributes (`#![...]`, e.g. a file-scoped `#![allow(...)]`) may precede
+/// it — what matters is that the first real content documents the file.
+fn opens_with_doc_header(source: &str) -> bool {
+    for line in source.lines() {
+        let line = line.trim_start();
+        if line.is_empty() || line.starts_with("#![") {
+            continue;
+        }
+        return line.starts_with("//!");
+    }
+    false
+}
+
+/// Every `.rs` file under `<dir>/src`, workspace-relative, sorted so the
+/// emitted violations (and the JSON report) are deterministic.
+fn module_files(root: &Path, dir: &str) -> std::io::Result<Vec<String>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.join(dir).join("src")];
+    while let Some(current) = stack.pop() {
+        if !current.is_dir() {
+            continue;
+        }
+        for entry in std::fs::read_dir(&current)? {
+            let path = entry?.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|ext| ext == "rs") {
+                let rel = path
+                    .strip_prefix(root)
+                    .expect("walk stays under the workspace root")
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                files.push(rel);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
 }
 
 /// Does a manifest contain a `[lints]` table with `workspace = true`?
@@ -573,6 +636,30 @@ mod tests {
         ));
         assert!(!manifest_opts_into_workspace_lints("[package]\nname = \"x\"\n"));
         assert!(!manifest_opts_into_workspace_lints("[lints.rust]\nunsafe_code = \"forbid\"\n"));
+    }
+
+    #[test]
+    fn r5_module_doc_header_detection() {
+        // Shaped like the engine's kernels module: header first, code after.
+        let kernels = "//! Batched squared-distance kernels shared by the scan backends.\n\
+                       //!\n\
+                       //! The loops are written over parallel `&[f64]` slices so the\n\
+                       //! compiler can keep the hot path branch-free.\n\n\
+                       pub const LANES: usize = 8;\n";
+        assert!(opens_with_doc_header(kernels));
+
+        // A file-scoped attribute may precede the header (the nn predictor
+        // opens with `#![allow(clippy::needless_range_loop)]`).
+        let attributed = "#![allow(clippy::needless_range_loop)] // mirrors the math\n\n\
+                          //! Nearest-neighbour predictor.\n\
+                          pub struct Nn;\n";
+        assert!(opens_with_doc_header(attributed));
+
+        // Headerless modules fail, even with attributes or blank lines.
+        assert!(!opens_with_doc_header("pub const LANES: usize = 8;\n"));
+        assert!(!opens_with_doc_header("#![allow(dead_code)]\n\nuse std::fmt;\n"));
+        assert!(!opens_with_doc_header("// plain comment, not a doc header\n//! too late\n"));
+        assert!(!opens_with_doc_header(""));
     }
 
     #[test]

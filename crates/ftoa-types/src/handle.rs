@@ -1,0 +1,60 @@
+//! Generational pool handles.
+//!
+//! The engine's live pools store workers and tasks in a struct-of-arrays
+//! arena whose slots are recycled as objects are matched or expire. A
+//! [`PoolHandle`] names one *insertion* into such an arena: the slot it
+//! occupies plus the generation stamp the slot carried at insert time. A
+//! handle therefore can never resurrect a different object that later reuses
+//! the same slot — the arena rejects any handle whose generation no longer
+//! matches. Handles are small `Copy` values that policies may hold across
+//! queries within one event; across events an object may expire, so handle
+//! validity must be re-checked (the arena APIs all do).
+
+/// A generational handle into an item arena: `(slot, generation)`.
+///
+/// The generation uses a parity convention maintained by the arena: odd
+/// generations are live insertions, even generations are vacant slots. A
+/// handle is valid exactly while the arena slot still carries the same (odd)
+/// generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PoolHandle {
+    slot: u32,
+    generation: u32,
+}
+
+impl PoolHandle {
+    /// Assemble a handle from its parts (arenas do this on insert).
+    pub fn new(slot: u32, generation: u32) -> Self {
+        Self { slot, generation }
+    }
+
+    /// The dense arena slot this handle points at.
+    pub fn slot(self) -> u32 {
+        self.slot
+    }
+
+    /// The generation stamp the slot carried when the handle was issued.
+    pub fn generation(self) -> u32 {
+        self.generation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_round_trips_its_parts() {
+        let h = PoolHandle::new(42, 7);
+        assert_eq!(h.slot(), 42);
+        assert_eq!(h.generation(), 7);
+    }
+
+    #[test]
+    fn handles_order_by_slot_then_generation() {
+        let a = PoolHandle::new(1, 9);
+        let b = PoolHandle::new(2, 1);
+        assert!(a < b);
+        assert!(PoolHandle::new(1, 1) < a);
+    }
+}

@@ -16,6 +16,7 @@ pub mod config;
 pub mod error;
 pub mod event;
 pub mod grid;
+pub mod handle;
 pub mod ids;
 pub mod location;
 pub mod slot;
@@ -28,6 +29,7 @@ pub use config::ProblemConfig;
 pub use error::TypeError;
 pub use event::{Event, EventKind, EventStream};
 pub use grid::{BoundingBox, CellId, GridPartition};
+pub use handle::PoolHandle;
 pub use ids::{TaskId, WorkerId};
 pub use location::Location;
 pub use slot::{SlotId, SlotPartition};

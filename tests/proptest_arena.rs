@@ -1,0 +1,123 @@
+//! Property tests for the generational `ItemArena` backing the engine pools.
+//!
+//! A random insert/remove/reinsert workload is replayed against a plain
+//! `BTreeMap` model. The properties pin the two guarantees every candidate
+//! backend builds on:
+//!
+//! * **handles are never stale**: a handle returned by an insert resolves to
+//!   exactly that insertion until it is removed, and never again afterwards —
+//!   even when the slot is recycled by a later insert;
+//! * **ordered iteration is dense-index order**: `for_each_ordered` visits
+//!   the live items in ascending `WorkerId` order regardless of the slot
+//!   permutation the free-list produced.
+
+use ftoa::core_algorithms::ItemArena;
+use ftoa::types::{Location, PoolHandle, TimeDelta, TimeStamp, Worker, WorkerId};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// One step of the random workload, interpreted against the current state:
+/// `Insert` admits the first non-live index derived from `index_seed`;
+/// `Remove` drops the live object whose position (in dense order) is
+/// `pick % live`.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { index_seed: usize, x: f64, y: f64 },
+    Remove { pick: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // ~60% inserts, ~40% removes (the shimmed proptest has no `prop_oneof`,
+    // so the choice is folded into one mapped tuple).
+    (0u32..5, 0usize..24, -50.0f64..50.0, -50.0f64..50.0).prop_map(|(kind, seed, x, y)| {
+        if kind < 3 {
+            Op::Insert { index_seed: seed, x, y }
+        } else {
+            Op::Remove { pick: seed }
+        }
+    })
+}
+
+fn worker(index: usize, x: f64, y: f64) -> Worker {
+    Worker::new(WorkerId(index), Location::new(x, y), TimeStamp::ZERO, TimeDelta::minutes(30.0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arena_agrees_with_a_map_model_under_churn(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut arena: ItemArena<Worker> = ItemArena::new();
+        // Dense index -> (current handle, item) for the live set.
+        let mut model: BTreeMap<usize, (PoolHandle, Worker)> = BTreeMap::new();
+        // Every handle ever retired, with the slot it occupied.
+        let mut retired: Vec<PoolHandle> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Insert { index_seed, x, y } => {
+                    // Find a not-currently-live index so the insert is legal
+                    // (skip the step when every index is live).
+                    let Some(index) = (index_seed..index_seed + 24)
+                        .map(|i| i % 24)
+                        .find(|i| !model.contains_key(i))
+                    else {
+                        continue;
+                    };
+                    let item = worker(index, x, y);
+                    let handle = arena.insert(item);
+                    prop_assert!(arena.is_live(handle));
+                    prop_assert_eq!(arena.handle_of(index), Some(handle));
+                    model.insert(index, (handle, item));
+                }
+                Op::Remove { pick } => {
+                    if model.is_empty() {
+                        continue;
+                    }
+                    let index = *model.keys().nth(pick % model.len()).expect("pick is in range");
+                    let (handle, item) = model.remove(&index).expect("picked a live index");
+                    let removed = arena.remove(handle).expect("live handle removes");
+                    prop_assert_eq!(removed.id, item.id);
+                    prop_assert!(!arena.is_live(handle));
+                    prop_assert!(arena.remove(handle).is_none(), "double remove is a no-op");
+                    retired.push(handle);
+                }
+            }
+
+            // The live set matches the model exactly.
+            prop_assert_eq!(arena.len(), model.len());
+            for (&index, &(handle, item)) in model.iter() {
+                prop_assert_eq!(arena.handle_of(index), Some(handle));
+                let got = arena.get(handle).expect("live handle resolves");
+                prop_assert_eq!(got.id, item.id);
+                prop_assert_eq!(got.location, item.location);
+            }
+
+            // No retired handle ever resolves again, even after its slot was
+            // recycled by a later insertion.
+            for &stale in retired.iter() {
+                prop_assert!(!arena.is_live(stale));
+                prop_assert!(arena.get(stale).is_none());
+                prop_assert!(arena.deadline_of(stale).is_none());
+            }
+
+            // Ordered iteration = ascending dense-index order, independent of
+            // the slot permutation the free-list produced.
+            let mut seen = Vec::new();
+            arena.for_each_ordered(&mut |w: &Worker| seen.push(w.id.index()));
+            let expected: Vec<usize> = model.keys().copied().collect();
+            prop_assert_eq!(seen, expected);
+
+            // Vacant slots carry NaN coordinates (what keeps the distance
+            // kernels from ever surfacing them).
+            let live_slots: Vec<usize> =
+                model.values().map(|&(h, _)| h.slot() as usize).collect();
+            for slot in 0..arena.slot_count() {
+                if !live_slots.contains(&slot) {
+                    prop_assert!(arena.xs()[slot].is_nan());
+                    prop_assert!(arena.ys()[slot].is_nan());
+                }
+            }
+        }
+    }
+}

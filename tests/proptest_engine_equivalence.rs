@@ -8,9 +8,10 @@
 //! * engine-based SimpleGreedy and GR produce matchings of **identical total
 //!   utility** to straight ports of the pre-refactor whole-stream loops
 //!   (kept below as oracles);
-//! * the linear-scan backend (the reference), the grid-index backend and the
-//!   epoch-rebuild KD-tree backend agree on the total utility of every
-//!   algorithm, while the grid backend never examines more candidates;
+//! * the linear-scan backend (the reference), the grid-index backend, the
+//!   epoch-rebuild KD-tree backend and the adaptive hybrid agree on the
+//!   total utility of every algorithm, while the grid backend never
+//!   examines more candidates;
 //! * POLAR / POLAR-OP are index-independent, and every matching stays valid.
 
 use ftoa::core_algorithms::{
@@ -235,18 +236,23 @@ proptest! {
         let linear = SimulationEngine::new(IndexBackend::LinearScan);
         let grid = SimulationEngine::new(IndexBackend::Grid);
         let kd = SimulationEngine::new(IndexBackend::Kd);
+        let hybrid = SimulationEngine::new(IndexBackend::Hybrid);
 
         let polar_linear = linear.run(&instance, &mut polar.policy(&instance, &guide));
         let polar_grid = grid.run(&instance, &mut polar.policy(&instance, &guide));
         let polar_kd = kd.run(&instance, &mut polar.policy(&instance, &guide));
+        let polar_hybrid = hybrid.run(&instance, &mut polar.policy(&instance, &guide));
         prop_assert_eq!(polar_linear.matching_size(), polar_grid.matching_size());
         prop_assert_eq!(polar_linear.matching_size(), polar_kd.matching_size());
+        prop_assert_eq!(polar_linear.matching_size(), polar_hybrid.matching_size());
 
         let op_linear = linear.run(&instance, &mut polar_op.policy(&instance, &guide));
         let op_grid = grid.run(&instance, &mut polar_op.policy(&instance, &guide));
         let op_kd = kd.run(&instance, &mut polar_op.policy(&instance, &guide));
+        let op_hybrid = hybrid.run(&instance, &mut polar_op.policy(&instance, &guide));
         prop_assert_eq!(op_linear.matching_size(), op_grid.matching_size());
         prop_assert_eq!(op_linear.matching_size(), op_kd.matching_size());
+        prop_assert_eq!(op_linear.matching_size(), op_hybrid.matching_size());
 
         prop_assert!(op_grid.matching_size() >= polar_grid.matching_size());
         prop_assert!(
