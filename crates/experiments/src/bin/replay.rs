@@ -9,13 +9,15 @@
 //!        [--deterministic-only] [--out metrics.json]
 //! ```
 //!
-//! Runs the selected algorithms (default: all five) over the trace via
-//! `Trace::into_scenario` + `run_algorithms` — predictions are the trace's
-//! realised counts, through the same canonical
+//! Runs the selected algorithms (default: all five; the flow-backed batch
+//! policies `batch-mf` / `batch-hun` must be named explicitly) over the
+//! trace via `Trace::into_scenario` + `ReplayConfig` — predictions are the
+//! trace's realised counts, through the same canonical
 //! `SpatioTemporalMatrix::from_arrivals` derivation that
 //! `ftoa_core::ReplayDriver` (the single-policy library entry point) uses —
 //! and writes a `ftoa-replay-metrics v1` JSON document to `--out` (stdout if
-//! omitted). `--threads N` fans the algorithm cells over N workers of the
+//! omitted). Replaying a v2 trace additionally reports each algorithm's
+//! `capacity_utilisation` against the stream's total worker capacity. `--threads N` fans the algorithm cells over N workers of the
 //! deterministic `ftoa_runtime::JobPool` (default: `FTOA_JOBS` or the
 //! available hardware parallelism; the reduction is ordered, so the output
 //! is byte-identical at any setting). Note that concurrent cells contend
@@ -30,19 +32,20 @@
 //! Capture mode:
 //!
 //! ```text
-//! replay --capture fixture|hotspot|rush-hour|imbalance|synthetic
+//! replay --capture fixture|fixture-weighted|hotspot|rush-hour|imbalance|synthetic
 //!        [--seed N] [--scale F] [--ratio R] --out file.trace
 //! ```
 //!
-//! Generates the named preset deterministically and writes it as a v1 trace
-//! file. `traces/fixture_small.trace` is `--capture fixture` verbatim; see
-//! the README for the regeneration recipe.
+//! Generates the named preset deterministically and writes it as a v2 trace
+//! file. `traces/fixture_small.trace` is `--capture fixture` verbatim (as a
+//! legacy v1 file) and `traces/fixture_weighted.trace` is
+//! `--capture fixture-weighted`; see the README for the regeneration recipe.
 
 use experiments::metrics::ReplayMetrics;
-use experiments::runner::{run_algorithms, Algo, SuiteOptions};
+use experiments::runner::{Algo, ReplayConfig, SuiteOptions};
 use ftoa_core::IndexBackend;
 use ftoa_runtime::JobPool;
-use workload::{presets, Scenario, TraceReader, TraceWriter};
+use workload::{presets, Scenario, TraceReader, TraceVersion, TraceWriter};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -51,8 +54,8 @@ fn main() {
         eprintln!(
             "usage: replay --trace <file> [--algo all|name,..] [--backend grid|linear|kd|hybrid] \
              [--threads N] [--deterministic-only] [--out <file>]\n       \
-             replay --capture <fixture|hotspot|rush-hour|imbalance|synthetic> [--seed N] \
-             [--scale F] [--ratio R] --out <file>"
+             replay --capture <fixture|fixture-weighted|hotspot|rush-hour|imbalance|synthetic> \
+             [--seed N] [--scale F] [--ratio R] --out <file>"
         );
         std::process::exit(1);
     }
@@ -71,6 +74,10 @@ fn run(args: &[String]) -> Result<(), String> {
     let threads = JobPool::new(parse_or(args, "--threads", 0)?).threads();
 
     let trace = TraceReader::read_file(&trace_path).map_err(|e| e.to_string())?;
+    // On a weighted (v2) trace, report how much of the total worker capacity
+    // each matching uses; v1 traces keep the exact historical rendering.
+    let total_capacity: Option<u64> = (trace.version == TraceVersion::V2)
+        .then(|| trace.stream.workers().iter().map(|w| u64::from(w.capacity)).sum());
     let scenario = trace.into_scenario();
     eprintln!(
         "replaying {}: {} workers, {} tasks, {} events ({} backend, {} thread{})",
@@ -84,7 +91,7 @@ fn run(args: &[String]) -> Result<(), String> {
     );
 
     let opts = SuiteOptions::default().with_backend(backend).with_threads(threads);
-    let results = run_algorithms(&scenario, &opts, &algos);
+    let results = ReplayConfig::new(&scenario).options(opts).algos(&algos).run();
     for r in &results {
         eprintln!(
             "  {:<14} matched {:>6}  ({} candidates examined, {:.3}s)",
@@ -95,7 +102,7 @@ fn run(args: &[String]) -> Result<(), String> {
         );
     }
 
-    let metrics = ReplayMetrics::new(
+    let mut metrics = ReplayMetrics::new(
         &trace_path,
         backend.name(),
         scenario.stream.num_workers(),
@@ -104,6 +111,9 @@ fn run(args: &[String]) -> Result<(), String> {
         threads,
         &results,
     );
+    if let Some(total) = total_capacity {
+        metrics = metrics.with_total_capacity(total);
+    }
     emit(args, &metrics.to_json(deterministic_only))
 }
 
@@ -113,6 +123,7 @@ fn capture(args: &[String], preset: &str) -> Result<(), String> {
     let ratio: f64 = parse_or(args, "--ratio", 1.0)?;
     let scenario: Scenario = match preset {
         "fixture" => presets::ci_fixture(),
+        "fixture-weighted" => presets::ci_fixture_weighted(),
         "hotspot" => presets::hotspot_skewed(scale, seed),
         "rush-hour" => presets::rush_hour(scale, seed),
         "imbalance" => presets::imbalance(ratio, scale, seed),

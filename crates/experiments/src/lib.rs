@@ -27,4 +27,6 @@ pub mod table5;
 
 pub use metrics::{AlgorithmMetrics, ReplayMetrics};
 pub use report::SweepReport;
-pub use runner::{run_algorithms, run_matrix, run_suite, Algo, SuiteOptions};
+#[allow(deprecated)]
+pub use runner::run_algorithms;
+pub use runner::{run_matrix, run_suite, Algo, ReplayConfig, SuiteOptions};

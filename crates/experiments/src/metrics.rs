@@ -24,10 +24,11 @@ pub struct AlgorithmMetrics {
     pub algorithm: String,
     /// Number of assigned pairs.
     pub matching_size: usize,
-    /// Total payoff of the matching. The v1 trace model is unit-payoff, so
-    /// this equals the matching size; it is reported separately so golden
-    /// files stay stable when weighted payoffs arrive.
-    pub total_payoff: usize,
+    /// Total payoff `Σ payoff` of the matching. Unit-payoff (v1) traces
+    /// accrue `1.0` per pair, so there this equals the matching size — and
+    /// the canonical rendering prints such whole values without a decimal
+    /// point, keeping the v1 golden files byte-identical.
+    pub total_payoff: f64,
     /// Candidates examined across all index queries.
     pub candidates_examined: u64,
     /// Workers that expired unmatched.
@@ -48,7 +49,7 @@ impl From<&AlgorithmResult> for AlgorithmMetrics {
         Self {
             algorithm: r.algorithm.clone(),
             matching_size: r.matching_size(),
-            total_payoff: r.matching_size(),
+            total_payoff: r.total_payoff,
             candidates_examined: r.stats.candidates_examined,
             expired_workers: r.stats.expired_workers,
             expired_tasks: r.stats.expired_tasks,
@@ -79,6 +80,11 @@ pub struct ReplayMetrics {
     pub threads: usize,
     /// One entry per replayed algorithm, in run order.
     pub algorithms: Vec<AlgorithmMetrics>,
+    /// Total worker capacity offered by the trace (`Σ capacity`), when the
+    /// trace format carries live capacity fields (v2). `None` for v1
+    /// replays, which keeps their rendering — and the v1 golden files —
+    /// untouched.
+    pub total_capacity: Option<u64>,
 }
 
 impl ReplayMetrics {
@@ -100,7 +106,16 @@ impl ReplayMetrics {
             events,
             threads,
             algorithms: results.iter().map(AlgorithmMetrics::from).collect(),
+            total_capacity: None,
         }
+    }
+
+    /// Report per-algorithm capacity utilisation against the trace's total
+    /// offered worker capacity (v2 traces; each assigned pair consumes one
+    /// capacity unit).
+    pub fn with_total_capacity(mut self, total_capacity: u64) -> Self {
+        self.total_capacity = Some(total_capacity);
+        self
     }
 
     /// Render as canonical JSON. With `deterministic_only` the
@@ -133,6 +148,11 @@ impl ReplayMetrics {
                 a.expired_workers,
                 a.expired_tasks
             );
+            if let Some(capacity) = self.total_capacity {
+                let utilisation =
+                    if capacity == 0 { 0.0 } else { a.matching_size as f64 / capacity as f64 };
+                let _ = write!(out, ", \"capacity_utilisation\": {utilisation:.6}");
+            }
             if !deterministic_only {
                 let _ = write!(
                     out,
@@ -183,6 +203,7 @@ mod tests {
         AlgorithmResult {
             algorithm: name.into(),
             assignments,
+            total_payoff: size as f64,
             preprocessing: Duration::from_millis(3),
             runtime: Duration::from_millis(17),
             memory_bytes: 4096,
@@ -208,6 +229,7 @@ mod tests {
         assert!(!json.contains("runtime_secs"));
         assert!(!json.contains("memory_bytes"));
         assert!(!json.contains("threads"), "thread count is execution metadata, not trace data");
+        assert!(!json.contains("capacity_utilisation"), "v1 documents carry no capacity");
         // Canonical: identical inputs render byte-identically, and the
         // thread count never leaks into the deterministic rendering.
         assert_eq!(json, metrics.to_json(true));
@@ -223,6 +245,17 @@ mod tests {
         assert!(json.contains("\"runtime_secs\": 0.017000"));
         assert!(json.contains("\"memory_bytes\": 4096"));
         assert!(json.contains("\"threads\": 4"));
+    }
+
+    #[test]
+    fn capacity_utilisation_is_emitted_only_when_capacity_is_known() {
+        let results = [fake_result("BATCH-MF", 3, 9)];
+        let metrics =
+            ReplayMetrics::new("t", "grid-index", 4, 3, 7, 1, &results).with_total_capacity(6);
+        let json = metrics.to_json(true);
+        assert!(json.contains("\"capacity_utilisation\": 0.500000"));
+        // Still canonical and deterministic.
+        assert_eq!(json, metrics.to_json(true));
     }
 
     #[test]

@@ -180,6 +180,7 @@ mod tests {
         AlgorithmResult {
             algorithm: name.into(),
             assignments,
+            total_payoff: size as f64,
             preprocessing: Duration::ZERO,
             runtime: Duration::from_millis(10 * (size as u64 + 1)),
             memory_bytes: 1024 * 1024,

@@ -13,8 +13,8 @@
 
 use ftoa_core::algorithms::OptMode;
 use ftoa_core::{
-    AlgorithmResult, BatchGreedy, IndexBackend, Instance, OfflineGuide, Opt, Polar, PolarOp,
-    SimpleGreedy, SimulationEngine, Stopwatch,
+    AlgorithmResult, BatchGreedy, BatchHungarian, BatchMaxFlow, IndexBackend, Instance,
+    OfflineGuide, Opt, Polar, PolarOp, SimpleGreedy, SimulationEngine, Stopwatch,
 };
 use ftoa_runtime::JobPool;
 use std::sync::OnceLock;
@@ -74,8 +74,9 @@ impl SuiteOptions {
     }
 }
 
-/// One of the five evaluated algorithms, for selecting a subset of the suite
-/// (the `replay` CLI's `--algo` knob).
+/// One of the runnable algorithms, for selecting a subset of the suite
+/// (the `replay` CLI's `--algo` knob): the paper's five plus the
+/// flow-backed batch policies of the weighted model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Algo {
     /// Nearest-feasible-neighbour greedy (wait in place).
@@ -88,12 +89,25 @@ pub enum Algo {
     PolarOp,
     /// The offline optimum.
     Opt,
+    /// Windowed batch rounds solved as maximum bipartite matching
+    /// (Hopcroft–Karp), capacity-aware.
+    BatchMaxFlow,
+    /// Windowed batch rounds solved as payoff-maximal maximum matching
+    /// (min-cost max-flow), capacity-aware.
+    BatchHungarian,
 }
 
 impl Algo {
-    /// All five algorithms in the canonical suite order.
+    /// The paper's five algorithms in the canonical suite order. The
+    /// flow-backed batch policies are deliberately *not* part of this list:
+    /// `--algo all` and the v1 golden-metrics gate must keep covering exactly
+    /// the original suite. Select [`Algo::BatchMaxFlow`] /
+    /// [`Algo::BatchHungarian`] explicitly (or via [`Algo::FLOW`]).
     pub const ALL: [Algo; 5] =
         [Algo::SimpleGreedy, Algo::Gr, Algo::Polar, Algo::PolarOp, Algo::Opt];
+
+    /// The flow-backed batch policies of the weighted model.
+    pub const FLOW: [Algo; 2] = [Algo::BatchMaxFlow, Algo::BatchHungarian];
 
     /// The display name used in results and the paper's plots.
     pub fn name(self) -> &'static str {
@@ -103,6 +117,8 @@ impl Algo {
             Algo::Polar => "POLAR",
             Algo::PolarOp => "POLAR-OP",
             Algo::Opt => "OPT",
+            Algo::BatchMaxFlow => "BATCH-MF",
+            Algo::BatchHungarian => "BATCH-HUN",
         }
     }
 
@@ -125,6 +141,10 @@ impl Algo {
             "polar" => Some(Algo::Polar),
             "polar-op" | "polarop" => Some(Algo::PolarOp),
             "opt" => Some(Algo::Opt),
+            "batch-mf" | "batchmaxflow" | "batch-maxflow" | "maxflow" => Some(Algo::BatchMaxFlow),
+            "batch-hun" | "batchhungarian" | "batch-hungarian" | "hungarian" => {
+                Some(Algo::BatchHungarian)
+            }
             _ => None,
         }
     }
@@ -136,21 +156,81 @@ impl Algo {
 /// construction time is reported in each result's `preprocessing` field (the
 /// paper excludes it from the online running times).
 pub fn run_suite(scenario: &Scenario, opts: &SuiteOptions) -> Vec<AlgorithmResult> {
-    run_algorithms(scenario, opts, Algo::suite(opts.include_opt))
+    ReplayConfig::new(scenario).options(*opts).algos(Algo::suite(opts.include_opt)).run()
 }
 
-/// Run an explicit subset of the suite, in the order given. The offline guide
-/// is built lazily (only when POLAR or POLAR-OP is selected) and shared.
-/// With [`SuiteOptions::threads`] > 1 the algorithms run concurrently; the
-/// result order (and every deterministic field) is identical either way.
+/// Builder for running a selection of algorithms over one scenario — the
+/// single-scenario entry point of the runner.
+///
+/// Replaces the positional `run_algorithms(scenario, opts, algos)` call:
+///
+/// ```ignore
+/// let results = ReplayConfig::new(&scenario)
+///     .algos(&[Algo::Gr, Algo::BatchMaxFlow])
+///     .backend(IndexBackend::Grid)
+///     .threads(4)
+///     .run();
+/// ```
+///
+/// Defaults: the canonical five-algorithm suite, [`SuiteOptions::default`].
+/// The offline guide is built lazily (only when POLAR or POLAR-OP is
+/// selected) and shared. With more than one thread the algorithms run
+/// concurrently; the result order (and every deterministic field) is
+/// identical either way.
+#[derive(Debug, Clone)]
+pub struct ReplayConfig<'a> {
+    scenario: &'a Scenario,
+    opts: SuiteOptions,
+    algos: Vec<Algo>,
+}
+
+impl<'a> ReplayConfig<'a> {
+    /// Start from the canonical suite with default options.
+    pub fn new(scenario: &'a Scenario) -> Self {
+        Self { scenario, opts: SuiteOptions::default(), algos: Algo::ALL.to_vec() }
+    }
+
+    /// Select the algorithms to run, in the order given.
+    pub fn algos(mut self, algos: &[Algo]) -> Self {
+        self.algos = algos.to_vec();
+        self
+    }
+
+    /// Select the candidate-index backend.
+    pub fn backend(mut self, backend: IndexBackend) -> Self {
+        self.opts.index_backend = backend;
+        self
+    }
+
+    /// Set the cell-fan-out concurrency (see [`SuiteOptions::threads`]).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.opts.threads = threads;
+        self
+    }
+
+    /// Replace the whole option block (for the knobs without a dedicated
+    /// builder method, e.g. the GR/batch-flow window or the OPT mode).
+    pub fn options(mut self, opts: SuiteOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Run the selection and return one result per algorithm, in order.
+    pub fn run(self) -> Vec<AlgorithmResult> {
+        run_matrix(std::slice::from_ref(self.scenario), &self.opts, &self.algos)
+            .pop()
+            .expect("one scenario in, one result row out")
+    }
+}
+
+/// Run an explicit subset of the suite, in the order given.
+#[deprecated(note = "use `ReplayConfig::new(scenario).options(*opts).algos(algos).run()`")]
 pub fn run_algorithms(
     scenario: &Scenario,
     opts: &SuiteOptions,
     algos: &[Algo],
 ) -> Vec<AlgorithmResult> {
-    run_matrix(std::slice::from_ref(scenario), opts, algos)
-        .pop()
-        .expect("one scenario in, one result row out")
+    ReplayConfig::new(scenario).options(*opts).algos(algos).run()
 }
 
 /// Run every (scenario × algorithm) cell of a sweep matrix, fanned out
@@ -214,6 +294,14 @@ pub fn run_matrix(
                 result
             }
             Algo::Opt => engine.run(&instance, &mut Opt { mode: opts.opt_mode }.policy()),
+            Algo::BatchMaxFlow => engine.run(
+                &instance,
+                &mut BatchMaxFlow { window_minutes: opts.gr_window_minutes }.policy(),
+            ),
+            Algo::BatchHungarian => engine.run(
+                &instance,
+                &mut BatchHungarian { window_minutes: opts.gr_window_minutes }.policy(),
+            ),
         }
     });
 
@@ -344,13 +432,9 @@ mod tests {
     }
 
     #[test]
-    fn run_algorithms_selects_a_subset_in_order() {
+    fn replay_config_selects_a_subset_in_order() {
         let scenario = small_scenario();
-        let subset = run_algorithms(
-            &scenario,
-            &SuiteOptions::default(),
-            &[Algo::PolarOp, Algo::SimpleGreedy],
-        );
+        let subset = ReplayConfig::new(&scenario).algos(&[Algo::PolarOp, Algo::SimpleGreedy]).run();
         let names: Vec<&str> = subset.iter().map(|r| r.algorithm.as_str()).collect();
         assert_eq!(names, vec!["POLAR-OP", "SimpleGreedy"]);
         // The subset results agree with the full suite (runs are independent).
@@ -358,6 +442,52 @@ mod tests {
         let full_polar_op =
             full.iter().find(|r| r.algorithm == "POLAR-OP").unwrap().matching_size();
         assert_eq!(subset[0].matching_size(), full_polar_op);
+    }
+
+    #[test]
+    fn replay_config_defaults_to_the_canonical_suite() {
+        let scenario = small_scenario();
+        let results = ReplayConfig::new(&scenario).run();
+        let names: Vec<&str> = results.iter().map(|r| r.algorithm.as_str()).collect();
+        assert_eq!(names, vec!["SimpleGreedy", "GR", "POLAR", "POLAR-OP", "OPT"]);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_algorithms_matches_the_builder() {
+        let scenario = small_scenario();
+        let algos = [Algo::Gr, Algo::SimpleGreedy];
+        let old = run_algorithms(&scenario, &SuiteOptions::default(), &algos);
+        let new = ReplayConfig::new(&scenario).algos(&algos).run();
+        assert_eq!(old.len(), new.len());
+        for (o, n) in old.iter().zip(&new) {
+            assert_eq!(o.algorithm, n.algorithm);
+            assert_eq!(o.matching_size(), n.matching_size());
+            assert_eq!(o.assignments.pairs(), n.assignments.pairs());
+        }
+    }
+
+    #[test]
+    fn flow_policies_run_through_the_suite_and_respect_opt() {
+        let scenario = small_scenario();
+        let results = ReplayConfig::new(&scenario)
+            .algos(&[Algo::Gr, Algo::BatchMaxFlow, Algo::BatchHungarian, Algo::Opt])
+            .run();
+        let names: Vec<&str> = results.iter().map(|r| r.algorithm.as_str()).collect();
+        assert_eq!(names, vec!["GR", "BATCH-MF", "BATCH-HUN", "OPT"]);
+        let opt = results.last().unwrap().matching_size();
+        let gr = results[0].matching_size();
+        let mf = results[1].matching_size();
+        let hun = results[2].matching_size();
+        // Each batch round is solved optimally, so the flow policies cannot
+        // lose to the greedy round solver, and no online policy beats OPT.
+        assert!(mf >= gr, "BATCH-MF {mf} lost to GR {gr}");
+        assert_eq!(hun, mf, "both flow policies solve max-cardinality rounds");
+        assert!(mf <= opt && hun <= opt);
+        // Unit-payoff stream: weighted utility equals the matching size.
+        for r in &results {
+            assert_eq!(r.total_payoff, r.matching_size() as f64, "{}", r.algorithm);
+        }
     }
 
     #[test]

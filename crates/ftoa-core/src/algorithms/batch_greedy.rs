@@ -13,7 +13,8 @@
 //! `velocity · (deadline_r − t)` of `L_r`.
 
 use crate::algorithms::OnlineAlgorithm;
-use crate::engine::{EngineContext, OnlinePolicy, SimulationEngine};
+use crate::engine::context::{AssignmentDecision, EngineContext};
+use crate::engine::driver::{OnlinePolicy, SimulationEngine};
 use crate::instance::Instance;
 use crate::memory::vec_bytes;
 use crate::result::AlgorithmResult;
@@ -174,7 +175,7 @@ fn flush(ctx: &mut EngineContext<'_>, t: TimeStamp, scratch: &mut FlushScratch) 
         let radius = r.reach_radius_at(t, velocity);
         let location = r.location;
         let deadline = r.deadline();
-        ctx.idle_workers().for_each_within(&location, radius, &mut |w| {
+        ctx.idle_workers().for_each_within(&location, radius, &mut |_, w| {
             match worker_slot.get(w.id.index()) {
                 // The pool can hold workers already past the batch instant
                 // (the batched expiry cutoff keeps them for *earlier*
@@ -199,7 +200,7 @@ fn flush(ctx: &mut EngineContext<'_>, t: TimeStamp, scratch: &mut FlushScratch) 
     for &(wi, ri) in &matching.pairs {
         let worker_id = workers[wi].id;
         let task_id = tasks[ri].id;
-        ctx.assign_at(worker_id, task_id, t);
+        ctx.commit(AssignmentDecision::new(worker_id, task_id).at(t));
     }
     ctx.memory_mut().release(vec_bytes::<(usize, usize)>(edges.len()));
     // Reset the sentinel map for the next flush.
@@ -222,7 +223,7 @@ impl OnlineAlgorithm for BatchGreedy {
 mod tests {
     use super::*;
     use crate::algorithms::example1;
-    use crate::engine::IndexBackend;
+    use crate::engine::index::IndexBackend;
     use crate::instance::Instance;
 
     fn run_example(window: f64) -> AlgorithmResult {

@@ -1,11 +1,13 @@
 //! The online task-assignment algorithms evaluated in the paper.
 
+pub mod batch_flow;
 pub mod batch_greedy;
 pub mod opt;
 pub mod polar;
 pub mod polar_op;
 pub mod simple_greedy;
 
+pub use batch_flow::{BatchHungarian, BatchMaxFlow};
 pub use batch_greedy::BatchGreedy;
 pub use opt::{Opt, OptMode};
 pub use polar::Polar;

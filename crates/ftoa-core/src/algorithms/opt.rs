@@ -7,7 +7,7 @@
 //! (the flexible feasibility of Definition 4). The maximum matching of this
 //! bipartite graph is computed with Hopcroft–Karp.
 //!
-//! OPT runs through the [`crate::engine::SimulationEngine`] like every other
+//! OPT runs through the [`crate::engine::driver::SimulationEngine`] like every other
 //! algorithm: its policy admits each task into the engine's pending pool
 //! (disabling expiry, since the offline optimum sees the whole horizon) and
 //! solves the matching in `on_finish`, using the pool's reachable-disk range
@@ -22,7 +22,8 @@
 //! OPT series of Figure 5(b) at full scale.
 
 use crate::algorithms::OnlineAlgorithm;
-use crate::engine::{EngineContext, OnlinePolicy, SimulationEngine};
+use crate::engine::context::{AssignmentDecision, EngineContext};
+use crate::engine::driver::{OnlinePolicy, SimulationEngine};
 use crate::guide::OfflineGuide;
 use crate::instance::Instance;
 use crate::memory::vec_bytes;
@@ -117,7 +118,7 @@ fn solve_exact(ctx: &mut EngineContext<'_>) {
         let radius = w.reach_radius(max_patience, velocity);
         let (origin, start, deadline) = (w.location, w.start, w.deadline());
         let targets = &mut adj[wi];
-        ctx.pending_tasks().for_each_within(&origin, radius, &mut |r| {
+        ctx.pending_tasks().for_each_within(&origin, radius, &mut |_, r| {
             if r.release >= deadline {
                 return;
             }
@@ -134,7 +135,7 @@ fn solve_exact(ctx: &mut EngineContext<'_>) {
     let (_size, match_left, _match_right) = hopcroft_karp(workers.len(), tasks.len(), &adj);
     for (wi, &ti) in match_left.iter().enumerate() {
         if ti != usize::MAX {
-            ctx.assign_at(workers[wi].id, tasks[ti].id, TimeStamp::ZERO);
+            ctx.commit(AssignmentDecision::new(workers[wi].id, tasks[ti].id).at(TimeStamp::ZERO));
         }
     }
 }
@@ -196,7 +197,7 @@ fn solve_aggregated(ctx: &mut EngineContext<'_>) {
             if *wc < ws.len() && *rc < rs.len() {
                 let worker_id = ctx.stream.workers()[ws[*wc]].id;
                 let task_id = ctx.stream.tasks()[rs[*rc]].id;
-                ctx.assign_at(worker_id, task_id, TimeStamp::ZERO);
+                ctx.commit(AssignmentDecision::new(worker_id, task_id).at(TimeStamp::ZERO));
                 *wc += 1;
                 *rc += 1;
             }
@@ -219,7 +220,7 @@ impl OnlineAlgorithm for Opt {
 mod tests {
     use super::*;
     use crate::algorithms::example1;
-    use crate::engine::IndexBackend;
+    use crate::engine::index::IndexBackend;
     use crate::instance::Instance;
 
     #[test]

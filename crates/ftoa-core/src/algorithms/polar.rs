@@ -20,7 +20,9 @@
 //! accounting of the analysis.
 
 use crate::algorithms::OnlineAlgorithm;
-use crate::engine::{EngineContext, OnlinePolicy, SimulationEngine, Stopwatch};
+use crate::engine::clock::Stopwatch;
+use crate::engine::context::{AssignmentDecision, EngineContext};
+use crate::engine::driver::{OnlinePolicy, SimulationEngine};
 use crate::guide::{GuideEngine, GuideObjective, OfflineGuide};
 use crate::instance::Instance;
 use crate::memory::{map_bytes, vec_bytes};
@@ -105,7 +107,7 @@ impl PolarPolicy<'_> {
                 ctx.velocity(),
             );
         if feasible {
-            ctx.assign(worker.id, task.id);
+            ctx.commit(AssignmentDecision::new(worker.id, task.id));
         }
     }
 }

@@ -14,7 +14,9 @@
 
 use crate::algorithms::polar::object_key;
 use crate::algorithms::OnlineAlgorithm;
-use crate::engine::{EngineContext, OnlinePolicy, SimulationEngine, Stopwatch};
+use crate::engine::clock::Stopwatch;
+use crate::engine::context::{AssignmentDecision, EngineContext};
+use crate::engine::driver::{OnlinePolicy, SimulationEngine};
 use crate::guide::{GuideEngine, GuideObjective, OfflineGuide};
 use crate::instance::Instance;
 use crate::memory::{map_bytes, vec_bytes};
@@ -142,7 +144,7 @@ impl OnlinePolicy for PolarOpPolicy<'_> {
         );
         if let Some(task_idx) = picked {
             self.plans[w.id.index()] = Some(plan_here);
-            ctx.assign(w.id, stream.tasks()[task_idx].id);
+            ctx.commit(AssignmentDecision::new(w.id, stream.tasks()[task_idx].id));
         } else {
             // Dispatch towards the partner's area and wait there.
             let target_key = self.guide.task_nodes()[r_node].key;
@@ -183,7 +185,7 @@ impl OnlinePolicy for PolarOpPolicy<'_> {
             |&worker_idx| stream.workers()[worker_idx].deadline() < now,
         );
         if let Some(worker_idx) = picked {
-            ctx.assign(stream.workers()[worker_idx].id, r.id);
+            ctx.commit(AssignmentDecision::new(stream.workers()[worker_idx].id, r.id));
         } else {
             self.waiting_tasks_at[node].push(r.id.index());
             self.peak_waiting = self.peak_waiting.max(total_len(&self.waiting_tasks_at));

@@ -6,11 +6,12 @@
 //! satisfies the deadline constraint, and assigns it. Unmatched workers wait
 //! at their appearance location; unmatched tasks wait until their deadline.
 //! All pool and expiry bookkeeping lives in the
-//! [`crate::engine::SimulationEngine`]; this module only contains the
+//! [`crate::engine::driver::SimulationEngine`]; this module only contains the
 //! per-event greedy decision ([`GreedyPolicy`]).
 
 use crate::algorithms::OnlineAlgorithm;
-use crate::engine::{EngineContext, OnlinePolicy, SimulationEngine};
+use crate::engine::context::{AssignmentDecision, EngineContext};
+use crate::engine::driver::{OnlinePolicy, SimulationEngine};
 use crate::instance::Instance;
 use crate::result::AlgorithmResult;
 use ftoa_types::{Task, TimeStamp, Worker};
@@ -64,9 +65,9 @@ impl OnlinePolicy for GreedyPolicy {
         } else {
             None
         };
-        if let Some((task_handle, _)) = found {
-            let task = ctx.claim_task(task_handle).expect("candidate came from the pool");
-            ctx.assign(w.id, task.id);
+        if let Some(candidate) = found {
+            let task = ctx.claim_task(candidate.handle).expect("candidate came from the pool");
+            ctx.commit(AssignmentDecision::new(w.id, task.id));
         } else {
             ctx.admit_worker(w);
         }
@@ -81,9 +82,9 @@ impl OnlinePolicy for GreedyPolicy {
         let found = ctx.idle_workers().nearest_within(&r.location, radius, &mut |worker| {
             worker_can_serve_now(worker, r, now, velocity)
         });
-        if let Some((worker_handle, _)) = found {
-            let worker = ctx.claim_worker(worker_handle).expect("candidate came from the pool");
-            ctx.assign(worker.id, r.id);
+        if let Some(candidate) = found {
+            let worker = ctx.claim_worker(candidate.handle).expect("candidate came from the pool");
+            ctx.commit(AssignmentDecision::new(worker.id, r.id));
         } else {
             ctx.admit_task(r);
         }
@@ -125,7 +126,7 @@ fn task_still_feasible(
 mod tests {
     use super::*;
     use crate::algorithms::example1;
-    use crate::engine::IndexBackend;
+    use crate::engine::index::IndexBackend;
     use crate::instance::Instance;
 
     #[test]

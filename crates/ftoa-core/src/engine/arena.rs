@@ -16,7 +16,7 @@
 
 use crate::engine::item::SpatialItem;
 use crate::memory::vec_bytes;
-use ftoa_types::PoolHandle;
+use ftoa_types::{Candidate, PoolHandle};
 
 /// Struct-of-arrays storage for one pool of spatial items.
 #[derive(Debug, Clone)]
@@ -24,6 +24,11 @@ pub struct ItemArena<T> {
     xs: Vec<f64>,
     ys: Vec<f64>,
     deadlines: Vec<f64>,
+    payoffs: Vec<f64>,
+    /// Undebited matching capacity per slot (0 on vacant slots). The engine
+    /// debits this column as assignments are committed, so index queries can
+    /// report `remaining_capacity` without a per-candidate lookup.
+    remaining: Vec<u32>,
     items: Vec<Option<T>>,
     generations: Vec<u32>,
     free: Vec<u32>,
@@ -46,6 +51,8 @@ impl<T: SpatialItem> ItemArena<T> {
             xs: Vec::with_capacity(capacity),
             ys: Vec::with_capacity(capacity),
             deadlines: Vec::with_capacity(capacity),
+            payoffs: Vec::with_capacity(capacity),
+            remaining: Vec::with_capacity(capacity),
             items: Vec::with_capacity(capacity),
             generations: Vec::with_capacity(capacity),
             free: Vec::with_capacity(capacity),
@@ -96,12 +103,16 @@ impl<T: SpatialItem> ItemArena<T> {
         );
         let location = item.item_location();
         let deadline = item.item_deadline().as_minutes();
+        let payoff = item.item_payoff();
+        let capacity = item.item_capacity();
         let slot = match self.free.pop() {
             Some(slot) => {
                 let slot = slot as usize;
                 self.xs[slot] = location.x;
                 self.ys[slot] = location.y;
                 self.deadlines[slot] = deadline;
+                self.payoffs[slot] = payoff;
+                self.remaining[slot] = capacity;
                 self.items[slot] = Some(item);
                 self.generations[slot] += 1; // even (vacant) -> odd (live)
                 slot
@@ -110,6 +121,8 @@ impl<T: SpatialItem> ItemArena<T> {
                 self.xs.push(location.x);
                 self.ys.push(location.y);
                 self.deadlines.push(deadline);
+                self.payoffs.push(payoff);
+                self.remaining.push(capacity);
                 self.items.push(Some(item));
                 self.generations.push(1);
                 self.xs.len() - 1
@@ -133,6 +146,8 @@ impl<T: SpatialItem> ItemArena<T> {
         self.xs[slot] = f64::NAN;
         self.ys[slot] = f64::NAN;
         self.deadlines[slot] = f64::NAN;
+        self.payoffs[slot] = f64::NAN;
+        self.remaining[slot] = 0;
         let item = self.items[slot].take().expect("live slot holds an item");
         self.by_index[item.item_index()] = None;
         self.free.push(slot as u32);
@@ -193,6 +208,39 @@ impl<T: SpatialItem> ItemArena<T> {
         Some(self.deadlines[handle.slot() as usize])
     }
 
+    /// The undebited matching capacity behind a live handle.
+    pub fn remaining_of(&self, handle: PoolHandle) -> Option<u32> {
+        if !self.is_live(handle) {
+            return None;
+        }
+        Some(self.remaining[handle.slot() as usize])
+    }
+
+    /// Debit one unit of matching capacity from a live handle, returning the
+    /// capacity left afterwards. `None` for stale handles; panics if the
+    /// slot's capacity is already exhausted (the engine removes saturated
+    /// items from the pool before that can happen).
+    pub fn debit_capacity(&mut self, handle: PoolHandle) -> Option<u32> {
+        if !self.is_live(handle) {
+            return None;
+        }
+        let slot = handle.slot() as usize;
+        assert!(self.remaining[slot] > 0, "slot {slot} has no capacity left to debit");
+        self.remaining[slot] -= 1;
+        Some(self.remaining[slot])
+    }
+
+    /// Assemble the [`Candidate`] for a currently-live slot hit by an index
+    /// query at squared distance `dist_sq`.
+    pub fn candidate_at_slot(&self, slot: usize, dist_sq: f64) -> Candidate {
+        Candidate {
+            handle: self.handle_at_slot(slot),
+            dist_sq,
+            payoff: self.payoffs[slot],
+            remaining_capacity: self.remaining[slot],
+        }
+    }
+
     /// Visit every live item in ascending dense-index order (the canonical
     /// deterministic iteration order policies rely on).
     pub fn for_each_ordered(&self, visit: &mut (impl FnMut(&T) + ?Sized)) {
@@ -223,6 +271,8 @@ impl<T: SpatialItem> ItemArena<T> {
         vec_bytes::<f64>(self.xs.capacity())
             + vec_bytes::<f64>(self.ys.capacity())
             + vec_bytes::<f64>(self.deadlines.capacity())
+            + vec_bytes::<f64>(self.payoffs.capacity())
+            + vec_bytes::<u32>(self.remaining.capacity())
             + vec_bytes::<Option<T>>(self.items.capacity())
             + vec_bytes::<u32>(self.generations.capacity())
             + vec_bytes::<u32>(self.free.capacity())
@@ -301,6 +351,22 @@ mod tests {
         let mut arena = ItemArena::new();
         arena.insert(worker(0, 1.0, 1.0));
         arena.insert(worker(0, 2.0, 2.0));
+    }
+
+    #[test]
+    fn payoff_and_capacity_columns_track_inserts_and_debits() {
+        let mut arena = ItemArena::new();
+        let h = arena.insert(worker(0, 1.0, 2.0).with_capacity(2));
+        assert_eq!(arena.remaining_of(h), Some(2));
+        let c = arena.candidate_at_slot(h.slot() as usize, 4.0);
+        assert_eq!(c.handle, h);
+        assert_eq!(c.payoff, 1.0, "workers carry unit payoff");
+        assert_eq!(c.remaining_capacity, 2);
+        assert_eq!(arena.debit_capacity(h), Some(1));
+        assert_eq!(arena.remaining_of(h), Some(1));
+        arena.remove(h);
+        assert_eq!(arena.remaining_of(h), None);
+        assert_eq!(arena.debit_capacity(h), None, "stale handles cannot debit");
     }
 
     #[test]

@@ -17,11 +17,62 @@ use crate::engine::item::SpatialItem;
 use crate::memory::MemoryTracker;
 use crate::result::EngineStats;
 use ftoa_types::{
-    Assignment, AssignmentSet, EventStream, Location, PoolHandle, ProblemConfig, Task, TaskId,
-    TimeStamp, Worker, WorkerId,
+    Assignment, AssignmentSet, Candidate, EventStream, Location, PoolHandle, ProblemConfig, Task,
+    TaskId, TimeStamp, Worker, WorkerId,
 };
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// A policy's irrevocable matching decision: which worker serves which task,
+/// and (for offline/batch policies that reconstruct a matching after the
+/// fact) at what instant. Built with [`AssignmentDecision::new`] and
+/// committed through [`EngineContext::commit`], which owns all the weighted
+/// bookkeeping — capacity debiting, payoff accrual, pool release — so no
+/// policy re-implements it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AssignmentDecision {
+    /// The worker being dispatched.
+    pub worker: WorkerId,
+    /// The task being served.
+    pub task: TaskId,
+    /// Explicit assignment instant; `None` means the engine's current time.
+    pub at: Option<TimeStamp>,
+}
+
+impl AssignmentDecision {
+    /// A decision committed at the engine's current time.
+    pub fn new(worker: WorkerId, task: TaskId) -> Self {
+        Self { worker, task, at: None }
+    }
+
+    /// Override the assignment instant (offline and batch policies date
+    /// their assignments at the batch boundary, not the commit call).
+    pub fn at(mut self, at: TimeStamp) -> Self {
+        self.at = Some(at);
+        self
+    }
+}
+
+/// What [`EngineContext::commit`] did: the utility accrued and how the
+/// pools changed. Policies that track their own side structures (e.g. guide
+/// nodes) read this instead of re-deriving pool state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchOutcome {
+    /// The payoff accrued by this assignment (the task's weight; `1.0`
+    /// throughout unweighted streams).
+    pub payoff: f64,
+    /// The worker's remaining capacity after this assignment (`0` when the
+    /// worker left the pool).
+    pub worker_remaining: u32,
+    /// Did the worker leave the idle pool (capacity exhausted, or it was
+    /// already gone)?
+    pub worker_released: bool,
+    /// Was the task removed from the pending pool by this commit? (`false`
+    /// when the policy had already claimed it.)
+    pub task_released: bool,
+    /// The instant the assignment was dated at.
+    pub assigned_at: TimeStamp,
+}
 
 /// A read/query view over one pool: the arena that owns the objects plus
 /// the backend index that accelerates the candidate queries. Queries that
@@ -58,13 +109,19 @@ impl<'p, T: SpatialItem> PoolView<'p, T> {
         self.arena.handle_of(index)
     }
 
+    /// The remaining assignment capacity behind a (live) handle.
+    pub fn remaining_capacity(&self, handle: PoolHandle) -> Option<u32> {
+        self.arena.remaining_of(handle)
+    }
+
     /// The nearest live object (Euclidean distance from `query`) accepted
-    /// by `feasible`, as `(handle, distance)`.
+    /// by `feasible`, as a weighted [`Candidate`] carrying the squared
+    /// distance, the object's payoff and its remaining capacity.
     pub fn nearest_where(
         &mut self,
         query: &Location,
         feasible: &mut dyn FnMut(&T) -> bool,
-    ) -> Option<(PoolHandle, f64)> {
+    ) -> Option<Candidate> {
         self.index.nearest_within(self.arena, query, f64::INFINITY, feasible)
     }
 
@@ -77,12 +134,18 @@ impl<'p, T: SpatialItem> PoolView<'p, T> {
         query: &Location,
         max_radius: f64,
         feasible: &mut dyn FnMut(&T) -> bool,
-    ) -> Option<(PoolHandle, f64)> {
+    ) -> Option<Candidate> {
         self.index.nearest_within(self.arena, query, max_radius, feasible)
     }
 
-    /// Visit every live object within `radius` of `center` (inclusive).
-    pub fn for_each_within(&mut self, center: &Location, radius: f64, visit: &mut dyn FnMut(&T)) {
+    /// Visit every live object within `radius` of `center` (inclusive),
+    /// with its weighted [`Candidate`] record.
+    pub fn for_each_within(
+        &mut self,
+        center: &Location,
+        radius: f64,
+        visit: &mut dyn FnMut(Candidate, &T),
+    ) {
         self.index.for_each_within(self.arena, center, radius, visit);
     }
 
@@ -119,6 +182,7 @@ pub struct EngineContext<'a> {
     worker_expiry: BinaryHeap<Reverse<(TimeStamp, usize)>>,
     task_expiry: BinaryHeap<Reverse<(TimeStamp, usize)>>,
     stats: EngineStats,
+    total_payoff: f64,
 }
 
 impl<'a> EngineContext<'a> {
@@ -145,6 +209,7 @@ impl<'a> EngineContext<'a> {
             worker_expiry: BinaryHeap::with_capacity(stream.num_workers()),
             task_expiry: BinaryHeap::with_capacity(stream.num_tasks()),
             stats: EngineStats { backend: backend.name(), ..EngineStats::default() },
+            total_payoff: 0.0,
         }
     }
 
@@ -228,22 +293,25 @@ impl<'a> EngineContext<'a> {
         self.tasks.handle_of(index).and_then(|h| self.claim_task(h))
     }
 
-    /// Commit an irrevocable assignment at the current time. Both objects are
-    /// removed from the pools if present. Panics if either side is already
-    /// matched — policies guarantee single assignment by construction.
-    pub fn assign(&mut self, worker: WorkerId, task: TaskId) {
-        self.assign_at(worker, task, self.now);
-    }
-
-    /// Commit an assignment with an explicit timestamp (used by offline
-    /// policies that reconstruct a matching after the stream has ended).
+    /// Commit an irrevocable [`AssignmentDecision`]. This is the single
+    /// mutation point of the objective: the engine — not the policy —
+    /// debits the worker's capacity (releasing the worker from the idle
+    /// pool only when the last unit is spent), removes the task from the
+    /// pending pool, and accrues the task's payoff into the run's total.
     ///
     /// Claiming goes through the generational handles, so a side the policy
     /// already claimed is simply absent (idempotent). In debug builds this
     /// additionally asserts that neither claimed object's deadline has
-    /// strictly passed at `at` — a policy assigning an expired object is a
-    /// bug the release build would silently accept.
-    pub fn assign_at(&mut self, worker: WorkerId, task: TaskId, at: TimeStamp) {
+    /// strictly passed at the assignment instant — a policy assigning an
+    /// expired object is a bug the release build would silently accept.
+    /// Panics if the decision re-assigns an already-served task or pushes a
+    /// worker past its capacity — policies guarantee both by construction.
+    pub fn commit(&mut self, decision: AssignmentDecision) -> MatchOutcome {
+        let at = decision.at.unwrap_or(self.now);
+        let (worker, task) = (decision.worker, decision.task);
+
+        let mut worker_released = true;
+        let mut worker_remaining = 0;
         if let Some(h) = self.workers.handle_of(worker.index()) {
             debug_assert!(
                 self.workers.deadline_of(h).expect("handle is live") >= at.as_minutes(),
@@ -252,8 +320,15 @@ impl<'a> EngineContext<'a> {
                 worker.index(),
                 self.workers.deadline_of(h).unwrap_or(f64::NAN),
             );
-            self.claim_worker(h);
+            let remaining = self.workers.remaining_of(h).expect("handle is live");
+            if remaining <= 1 {
+                self.claim_worker(h);
+            } else {
+                worker_remaining = self.workers.debit_capacity(h).expect("handle is live");
+                worker_released = false;
+            }
         }
+        let mut task_released = false;
         if let Some(h) = self.tasks.handle_of(task.index()) {
             debug_assert!(
                 self.tasks.deadline_of(h).expect("handle is live") >= at.as_minutes(),
@@ -263,15 +338,31 @@ impl<'a> EngineContext<'a> {
                 self.tasks.deadline_of(h).unwrap_or(f64::NAN),
             );
             self.claim_task(h);
+            task_released = true;
         }
+
+        // The stream's dense id rewrite makes `id.index()` the authoritative
+        // lookup for the arrival-time weight fields, whether or not the
+        // object still sits in a pool.
+        let payoff = self.stream.tasks().get(task.index()).map_or(1.0, |t| t.payoff);
+        let capacity = self.stream.workers().get(worker.index()).map_or(1, |w| w.capacity);
         self.assignments
-            .push(Assignment::new(worker, task, at))
-            .expect("policy must not double-assign a worker or task");
+            .push_with_capacity(Assignment::new(worker, task, at), capacity)
+            .expect("policy must not re-assign a task or exceed a worker's capacity");
+        self.total_payoff += payoff;
+
+        MatchOutcome { payoff, worker_remaining, worker_released, task_released, assigned_at: at }
     }
 
     /// The assignments committed so far.
     pub fn assignments(&self) -> &AssignmentSet {
         &self.assignments
+    }
+
+    /// The weighted utility accrued so far (`Σ payoff` over committed
+    /// assignments; equals the matching size on unweighted streams).
+    pub fn total_payoff(&self) -> f64 {
+        self.total_payoff
     }
 
     /// The engine's memory tracker, for policy-specific structures.
@@ -315,7 +406,7 @@ impl<'a> EngineContext<'a> {
     /// pairing drifted whenever an object was released twice (claimed and
     /// then expired). The capacity measure is monotone over the run, so the
     /// reported peak is exact for the storage layer by construction.
-    pub(crate) fn finish(mut self) -> (AssignmentSet, usize, EngineStats) {
+    pub(crate) fn finish(mut self) -> (AssignmentSet, usize, EngineStats, f64) {
         self.memory.allocate(
             self.workers.structure_bytes()
                 + self.tasks.structure_bytes()
@@ -324,7 +415,7 @@ impl<'a> EngineContext<'a> {
         );
         self.stats.candidates_examined =
             self.worker_index.candidates_examined() + self.task_index.candidates_examined();
-        (self.assignments, self.memory.peak_with_overhead(), self.stats)
+        (self.assignments, self.memory.peak_with_overhead(), self.stats, self.total_payoff)
     }
 }
 
@@ -413,7 +504,7 @@ mod tests {
         assert!(ctx.idle_workers().contains(0));
         assert!(ctx.pending_tasks().contains(0));
         // …and assigning at that instant passes the expiry debug assertion.
-        ctx.assign_at(WorkerId(0), TaskId(0), TimeStamp::minutes(5.0));
+        ctx.commit(AssignmentDecision::new(WorkerId(0), TaskId(0)).at(TimeStamp::minutes(5.0)));
         assert_eq!(ctx.assignments().len(), 1);
         assert!(!ctx.idle_workers().contains(0));
         assert!(!ctx.pending_tasks().contains(0));
@@ -462,7 +553,39 @@ mod tests {
             assert!(footprint >= last_footprint, "round {i}: {footprint} < {last_footprint}");
             last_footprint = footprint;
         }
-        let (_, peak, _) = ctx.finish();
+        let (_, peak, _, _) = ctx.finish();
         assert!(peak >= last_footprint, "finish folds the structures into the peak");
+    }
+
+    /// Tentpole regression: committing against a multi-capacity worker
+    /// debits capacity in place and only releases the worker on the last
+    /// unit, while payoff accrues from the task weights.
+    #[test]
+    fn commit_debits_capacity_and_accrues_payoff() {
+        let cfg = config();
+        let cap2 = worker(0, 0.0, 30.0).with_capacity(2);
+        let tasks = vec![task(0, 1.0, 20.0).with_payoff(2.5), task(1, 1.0, 20.0).with_payoff(0.25)];
+        let stream = EventStream::new(vec![cap2], tasks);
+        let mut ctx = EngineContext::new(&cfg, &stream, IndexBackend::Grid, 4);
+        let h = ctx.admit_worker(&stream.workers()[0]);
+        ctx.admit_task(&stream.tasks()[0]);
+        ctx.admit_task(&stream.tasks()[1]);
+        ctx.set_now(TimeStamp::minutes(2.0));
+
+        let first = ctx.commit(AssignmentDecision::new(WorkerId(0), TaskId(0)));
+        assert_eq!(first.worker_remaining, 1);
+        assert!(!first.worker_released, "one unit of capacity left");
+        assert!(first.task_released);
+        assert_eq!(first.payoff, 2.5);
+        assert_eq!(first.assigned_at, TimeStamp::minutes(2.0));
+        assert!(ctx.idle_workers().contains(0), "worker stays poolable");
+        assert_eq!(ctx.idle_workers().remaining_capacity(h), Some(1));
+
+        let second = ctx.commit(AssignmentDecision::new(WorkerId(0), TaskId(1)));
+        assert!(second.worker_released, "capacity exhausted");
+        assert_eq!(second.worker_remaining, 0);
+        assert!(!ctx.idle_workers().contains(0));
+        assert_eq!(ctx.assignments().len(), 2);
+        assert_eq!(ctx.total_payoff(), 2.75);
     }
 }

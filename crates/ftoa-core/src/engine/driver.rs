@@ -81,10 +81,11 @@ impl SimulationEngine {
         }
         policy.on_finish(&mut ctx);
 
-        let (assignments, memory_bytes, stats) = ctx.finish();
+        let (assignments, memory_bytes, stats, total_payoff) = ctx.finish();
         AlgorithmResult {
             algorithm: policy.name().to_string(),
             assignments,
+            total_payoff,
             preprocessing: std::time::Duration::ZERO,
             runtime: clock.elapsed(),
             memory_bytes,
@@ -194,14 +195,15 @@ mod tests {
                 let mut pool = ctx.idle_workers();
                 let found = pool
                     .nearest_where(&r.location, &mut |_| true)
-                    .map(|(h, _)| pool.get(h).expect("fresh handle").id);
+                    .map(|c| pool.get(c.handle).expect("fresh handle").id);
                 if let Some(worker_id) = found {
-                    ctx.assign(worker_id, r.id);
+                    ctx.commit(crate::engine::context::AssignmentDecision::new(worker_id, r.id));
                 }
             }
         }
         let result = SimulationEngine::default().run(&instance, &mut AssignOnce);
         assert_eq!(result.matching_size(), 1);
+        assert_eq!(result.total_payoff, 1.0, "unit weights: payoff == matching size");
         assert_eq!(result.assignments.pairs()[0].assigned_at, TimeStamp::minutes(1.0));
     }
 

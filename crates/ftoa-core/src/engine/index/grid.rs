@@ -23,7 +23,7 @@ use crate::engine::arena::ItemArena;
 use crate::engine::index::CandidateIndex;
 use crate::engine::item::SpatialItem;
 use crate::memory::vec_bytes;
-use ftoa_types::{BoundingBox, Location, PoolHandle, ProblemConfig};
+use ftoa_types::{BoundingBox, Candidate, Location, PoolHandle, ProblemConfig};
 use std::marker::PhantomData;
 
 /// `slot_pos` sentinel: the arena slot is not a member of any bucket.
@@ -246,7 +246,7 @@ impl<T: SpatialItem> CandidateIndex<T> for GridCandidateIndex<T> {
         query: &Location,
         max_radius: f64,
         feasible: &mut dyn FnMut(&T) -> bool,
-    ) -> Option<(PoolHandle, f64)> {
+    ) -> Option<Candidate> {
         if self.len == 0 || max_radius < 0.0 {
             return None;
         }
@@ -319,7 +319,7 @@ impl<T: SpatialItem> CandidateIndex<T> for GridCandidateIndex<T> {
             }
         }
         self.examined += scanned;
-        best.map(|(slot, d2)| (arena.handle_at_slot(slot), d2.sqrt()))
+        best.map(|(slot, d2)| arena.candidate_at_slot(slot, d2))
     }
 
     fn for_each_within(
@@ -327,7 +327,7 @@ impl<T: SpatialItem> CandidateIndex<T> for GridCandidateIndex<T> {
         arena: &ItemArena<T>,
         center: &Location,
         radius: f64,
-        visit: &mut dyn FnMut(&T),
+        visit: &mut dyn FnMut(Candidate, &T),
     ) {
         if self.len == 0 || radius < 0.0 {
             return;
@@ -353,8 +353,13 @@ impl<T: SpatialItem> CandidateIndex<T> for GridCandidateIndex<T> {
                 for m in b.iter() {
                     let dx = m.x - center.x;
                     let dy = m.y - center.y;
-                    if dx * dx + dy * dy <= r2 {
-                        visit(arena.slot_item(m.slot as usize).expect("bucket members are live"));
+                    let d2 = dx * dx + dy * dy;
+                    if d2 <= r2 {
+                        let slot = m.slot as usize;
+                        visit(
+                            arena.candidate_at_slot(slot, d2),
+                            arena.slot_item(slot).expect("bucket members are live"),
+                        );
                     }
                 }
             }

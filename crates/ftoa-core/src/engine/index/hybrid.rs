@@ -23,7 +23,7 @@ use crate::engine::index::grid::GridCandidateIndex;
 use crate::engine::index::kd::KdCandidateIndex;
 use crate::engine::index::CandidateIndex;
 use crate::engine::item::SpatialItem;
-use ftoa_types::{BoundingBox, Location, PoolHandle, ProblemConfig};
+use ftoa_types::{BoundingBox, Candidate, Location, PoolHandle, ProblemConfig};
 
 /// Occupancy-counter resolution per axis (coarser than the bucket grid: the
 /// counters estimate neighbourhood density, not bucket membership).
@@ -97,7 +97,7 @@ impl<T: SpatialItem> CandidateIndex<T> for HybridCandidateIndex<T> {
         query: &Location,
         max_radius: f64,
         feasible: &mut dyn FnMut(&T) -> bool,
-    ) -> Option<(PoolHandle, f64)> {
+    ) -> Option<Candidate> {
         if self.dense_at(query) {
             self.grid.nearest_within(arena, query, max_radius, feasible)
         } else {
@@ -110,7 +110,7 @@ impl<T: SpatialItem> CandidateIndex<T> for HybridCandidateIndex<T> {
         arena: &ItemArena<T>,
         center: &Location,
         radius: f64,
-        visit: &mut dyn FnMut(&T),
+        visit: &mut dyn FnMut(Candidate, &T),
     ) {
         if self.dense_at(center) {
             self.grid.for_each_within(arena, center, radius, visit);

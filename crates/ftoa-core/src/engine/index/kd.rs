@@ -26,7 +26,7 @@ use crate::engine::index::CandidateIndex;
 use crate::engine::item::SpatialItem;
 use crate::engine::kernels;
 use crate::memory::vec_bytes;
-use ftoa_types::{Location, PoolHandle};
+use ftoa_types::{Candidate, Location, PoolHandle};
 use spatial::KdTree;
 use std::marker::PhantomData;
 
@@ -120,7 +120,7 @@ impl<T: SpatialItem> CandidateIndex<T> for KdCandidateIndex<T> {
         query: &Location,
         max_radius: f64,
         feasible: &mut dyn FnMut(&T) -> bool,
-    ) -> Option<(PoolHandle, f64)> {
+    ) -> Option<Candidate> {
         let mut scanned = 0u64;
         // The radius bound prunes the tree search itself (subtrees beyond
         // the reachable disk are never entered), so `scanned` counts only
@@ -162,7 +162,9 @@ impl<T: SpatialItem> CandidateIndex<T> for KdCandidateIndex<T> {
             },
         );
         self.examined += scanned;
-        best.map(|(slot, d)| (arena.handle_at_slot(slot), d))
+        // The merge above tracks true distances (the tree returns them
+        // directly); square back for the candidate's `dist_sq` field.
+        best.map(|(slot, d)| arena.candidate_at_slot(slot, d * d))
     }
 
     fn for_each_within(
@@ -170,13 +172,13 @@ impl<T: SpatialItem> CandidateIndex<T> for KdCandidateIndex<T> {
         arena: &ItemArena<T>,
         center: &Location,
         radius: f64,
-        visit: &mut dyn FnMut(&T),
+        visit: &mut dyn FnMut(Candidate, &T),
     ) {
         let mut scanned = 0u64;
-        for (_, &(slot, generation), _) in self.tree.within_radius(center, radius) {
+        for (_, &(slot, generation), d) in self.tree.within_radius(center, radius) {
             scanned += 1;
             if let Some(item) = arena.stamped_item(slot as usize, generation) {
-                visit(item);
+                visit(arena.candidate_at_slot(slot as usize, d * d), item);
             }
         }
         scanned += self.fresh_stamps.len() as u64;
@@ -188,10 +190,10 @@ impl<T: SpatialItem> CandidateIndex<T> for KdCandidateIndex<T> {
             center.x,
             center.y,
             r2,
-            &mut |pos, _| {
+            &mut |pos, d2| {
                 let (slot, generation) = stamps[pos];
                 if let Some(item) = arena.stamped_item(slot as usize, generation) {
-                    visit(item);
+                    visit(arena.candidate_at_slot(slot as usize, d2), item);
                 }
             },
         );
@@ -257,16 +259,17 @@ mod tests {
                 let got = kd.nearest_within(&arena, &query, radius, &mut |_| true);
                 let want = oracle.nearest_within(&arena, &query, radius, &mut |_| true);
                 assert_eq!(
-                    got.map(|(h, _)| h),
-                    want.map(|(h, _)| h),
+                    got.map(|c| c.handle),
+                    want.map(|c| c.handle),
                     "round {round}, radius {radius}"
                 );
 
                 let mut got_ids: Vec<usize> = Vec::new();
-                kd.for_each_within(&arena, &query, radius, &mut |w| got_ids.push(w.id.index()));
+                kd.for_each_within(&arena, &query, radius, &mut |_, w| got_ids.push(w.id.index()));
                 let mut want_ids: Vec<usize> = Vec::new();
-                oracle
-                    .for_each_within(&arena, &query, radius, &mut |w| want_ids.push(w.id.index()));
+                oracle.for_each_within(&arena, &query, radius, &mut |_, w| {
+                    want_ids.push(w.id.index())
+                });
                 got_ids.sort_unstable();
                 want_ids.sort_unstable();
                 assert_eq!(got_ids, want_ids, "round {round}, radius {radius}");
@@ -297,10 +300,10 @@ mod tests {
         let h1 = arena.insert(worker(1, 2.0, 2.0));
         kd.insert(&arena, h1);
         assert_eq!(h1.slot(), h0.slot(), "slot is recycled");
-        let (hit, _) = kd.nearest_within(&arena, &query, 10.0, &mut |_| true).expect("fresh hit");
-        assert_eq!(hit, h1);
+        let hit = kd.nearest_within(&arena, &query, 10.0, &mut |_| true).expect("fresh hit");
+        assert_eq!(hit.handle, h1);
         let mut seen = Vec::new();
-        kd.for_each_within(&arena, &query, 10.0, &mut |w| seen.push(w.id.index()));
+        kd.for_each_within(&arena, &query, 10.0, &mut |_, w| seen.push(w.id.index()));
         assert_eq!(seen, vec![1]);
     }
 

@@ -4,7 +4,7 @@ use crate::engine::arena::ItemArena;
 use crate::engine::index::CandidateIndex;
 use crate::engine::item::SpatialItem;
 use crate::engine::kernels;
-use ftoa_types::{Location, PoolHandle};
+use ftoa_types::{Candidate, Location, PoolHandle};
 use std::marker::PhantomData;
 
 /// Reference backend: every query runs the distance kernels over the
@@ -42,7 +42,7 @@ impl<T: SpatialItem> CandidateIndex<T> for LinearScanIndex<T> {
         query: &Location,
         max_radius: f64,
         feasible: &mut dyn FnMut(&T) -> bool,
-    ) -> Option<(PoolHandle, f64)> {
+    ) -> Option<Candidate> {
         // The scan touches every live entry, exactly like the pre-arena
         // dense-slot loop did.
         self.examined += arena.len() as u64;
@@ -56,7 +56,7 @@ impl<T: SpatialItem> CandidateIndex<T> for LinearScanIndex<T> {
             max_r2,
             &mut |slot| feasible(arena.slot_item(slot).expect("kernel hits are live slots")),
         );
-        best.map(|(slot, d2)| (arena.handle_at_slot(slot), d2.sqrt()))
+        best.map(|(slot, d2)| arena.candidate_at_slot(slot, d2))
     }
 
     fn for_each_within(
@@ -64,7 +64,7 @@ impl<T: SpatialItem> CandidateIndex<T> for LinearScanIndex<T> {
         arena: &ItemArena<T>,
         center: &Location,
         radius: f64,
-        visit: &mut dyn FnMut(&T),
+        visit: &mut dyn FnMut(Candidate, &T),
     ) {
         self.examined += arena.len() as u64;
         let r2 = if radius < 0.0 { f64::NEG_INFINITY } else { radius * radius };
@@ -74,8 +74,11 @@ impl<T: SpatialItem> CandidateIndex<T> for LinearScanIndex<T> {
             center.x,
             center.y,
             r2,
-            &mut |slot, _| {
-                visit(arena.slot_item(slot).expect("kernel hits are live slots"));
+            &mut |slot, d2| {
+                visit(
+                    arena.candidate_at_slot(slot, d2),
+                    arena.slot_item(slot).expect("kernel hits are live slots"),
+                );
             },
         );
     }

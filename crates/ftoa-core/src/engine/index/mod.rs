@@ -4,7 +4,7 @@
 //! *nearest feasible object* and *all objects within a reachable disk* —
 //! and every backend must answer them deterministically so runs are
 //! reproducible. Since the arena refactor, object *storage* lives in the
-//! [`crate::engine::ItemArena`] (struct-of-arrays coordinates the distance
+//! [`crate::engine::arena::ItemArena`] (struct-of-arrays coordinates the distance
 //! kernels consume directly); a backend only maintains whatever acceleration
 //! structure it needs over arena slots, and every query threads the arena
 //! through by reference. Four interchangeable backends implement the trait:
@@ -38,7 +38,7 @@ pub use linear::LinearScanIndex;
 
 use crate::engine::arena::ItemArena;
 use crate::engine::item::SpatialItem;
-use ftoa_types::{Location, PoolHandle, ProblemConfig};
+use ftoa_types::{Candidate, Location, PoolHandle, ProblemConfig};
 
 /// An acceleration structure over one [`ItemArena`] answering the two
 /// candidate queries the online algorithms need: *nearest feasible* and
@@ -58,25 +58,27 @@ pub trait CandidateIndex<T: SpatialItem> {
     fn remove(&mut self, arena: &ItemArena<T>, handle: PoolHandle);
 
     /// The nearest live object (Euclidean distance from `query`) within
-    /// `max_radius` (inclusive) accepted by `feasible`, as
-    /// `(handle, distance)`. Policies pass the reachable-disk radius implied
-    /// by the deadline constraint so that hopeless queries terminate without
-    /// examining distant candidates.
+    /// `max_radius` (inclusive) accepted by `feasible`, as a [`Candidate`]
+    /// carrying the handle, squared distance, payoff and remaining capacity.
+    /// Policies pass the reachable-disk radius implied by the deadline
+    /// constraint so that hopeless queries terminate without examining
+    /// distant candidates.
     fn nearest_within(
         &mut self,
         arena: &ItemArena<T>,
         query: &Location,
         max_radius: f64,
         feasible: &mut dyn FnMut(&T) -> bool,
-    ) -> Option<(PoolHandle, f64)>;
+    ) -> Option<Candidate>;
 
-    /// Visit every live object within `radius` of `center` (inclusive).
+    /// Visit every live object within `radius` of `center` (inclusive),
+    /// handing the visitor both the [`Candidate`] fields and the item.
     fn for_each_within(
         &mut self,
         arena: &ItemArena<T>,
         center: &Location,
         radius: f64,
-        visit: &mut dyn FnMut(&T),
+        visit: &mut dyn FnMut(Candidate, &T),
     );
 
     /// Stored entries *scanned* by queries so far (distance computed or
@@ -185,7 +187,7 @@ impl<T: SpatialItem> CandidateIndex<T> for EngineIndex<T> {
         query: &Location,
         max_radius: f64,
         feasible: &mut dyn FnMut(&T) -> bool,
-    ) -> Option<(PoolHandle, f64)> {
+    ) -> Option<Candidate> {
         dispatch!(self, idx => idx.nearest_within(arena, query, max_radius, feasible))
     }
 
@@ -194,7 +196,7 @@ impl<T: SpatialItem> CandidateIndex<T> for EngineIndex<T> {
         arena: &ItemArena<T>,
         center: &Location,
         radius: f64,
-        visit: &mut dyn FnMut(&T),
+        visit: &mut dyn FnMut(Candidate, &T),
     ) {
         dispatch!(self, idx => idx.for_each_within(arena, center, radius, visit))
     }
@@ -291,13 +293,15 @@ mod tests {
                 admit(&mut arena, &mut idx, worker(i, *x, *y, 0.0));
             }
             let q = Location::new(4.5, 4.5);
-            let (best, d) = idx.nearest_within(&arena, &q, f64::INFINITY, &mut |_| true).unwrap();
-            assert_eq!(arena.get(best).unwrap().id, WorkerId(1));
-            assert!((d - Location::new(5.0, 5.0).distance(&q)).abs() < 1e-12);
+            let best = idx.nearest_within(&arena, &q, f64::INFINITY, &mut |_| true).unwrap();
+            assert_eq!(arena.get(best.handle).unwrap().id, WorkerId(1));
+            assert!((best.distance() - Location::new(5.0, 5.0).distance(&q)).abs() < 1e-12);
+            assert_eq!(best.payoff, 1.0, "workers carry unit payoff");
+            assert_eq!(best.remaining_capacity, 1, "default workers are single-assignment");
             // Filtered query skips the nearest.
-            let (second, _) =
+            let second =
                 idx.nearest_within(&arena, &q, f64::INFINITY, &mut |w| w.id.index() != 1).unwrap();
-            assert_eq!(arena.get(second).unwrap().id, WorkerId(0));
+            assert_eq!(arena.get(second.handle).unwrap().id, WorkerId(0));
             assert!(idx.candidates_examined() > 0);
         }
     }
@@ -313,7 +317,9 @@ mod tests {
                 );
             }
             let mut found = Vec::new();
-            idx.for_each_within(&arena, &Location::new(0.0, 0.0), 2.5, &mut |w| {
+            idx.for_each_within(&arena, &Location::new(0.0, 0.0), 2.5, &mut |c, w| {
+                assert!(c.dist_sq <= 2.5 * 2.5 + 1e-12);
+                assert_eq!(arena.get(c.handle).unwrap().id, w.id);
                 found.push(w.id.index())
             });
             found.sort_unstable();
@@ -329,7 +335,7 @@ mod tests {
             admit(&mut arena, &mut idx, worker(1, 8.0, 8.0, 0.0));
             let q = Location::new(2.0, 1.0);
             let hit = idx.nearest_within(&arena, &q, 1.5, &mut |_| true);
-            assert_eq!(hit.map(|(h, _)| arena.get(h).unwrap().id), Some(WorkerId(0)));
+            assert_eq!(hit.map(|c| arena.get(c.handle).unwrap().id), Some(WorkerId(0)));
             let miss = idx.nearest_within(&arena, &Location::new(4.5, 4.5), 2.0, &mut |_| true);
             assert!(miss.is_none());
             let negative = idx.nearest_within(&arena, &q, -1.0, &mut |_| true);
@@ -346,10 +352,10 @@ mod tests {
             // Slot 0 is recycled for a different worker at a new location.
             admit(&mut arena, &mut idx, worker(2, 4.0, 4.0, 0.0));
             let q = Location::new(4.1, 4.1);
-            let (best, _) = idx.nearest_within(&arena, &q, f64::INFINITY, &mut |_| true).unwrap();
-            assert_eq!(arena.get(best).unwrap().id, WorkerId(2));
+            let best = idx.nearest_within(&arena, &q, f64::INFINITY, &mut |_| true).unwrap();
+            assert_eq!(arena.get(best.handle).unwrap().id, WorkerId(2));
             let mut found = Vec::new();
-            idx.for_each_within(&arena, &Location::new(1.0, 1.0), 0.5, &mut |w| {
+            idx.for_each_within(&arena, &Location::new(1.0, 1.0), 0.5, &mut |_, w| {
                 found.push(w.id.index())
             });
             assert!(found.is_empty(), "the removed worker at (1,1) must be gone: {found:?}");

@@ -5,13 +5,13 @@
 //! and objects silently leave the platform when their deadlines pass. The
 //! seed implementation repeated that event loop — stream iteration, pool
 //! bookkeeping, expiry handling, runtime/memory accounting — inside every
-//! algorithm. [`SimulationEngine`] extracts the loop into one place, and the
+//! algorithm. [`driver::SimulationEngine`] extracts the loop into one place, and the
 //! engine itself is decomposed into one module per responsibility:
 //!
-//! * [`item`] — the [`SpatialItem`] trait: anything (worker or task) that
+//! * [`item`] — the [`item::SpatialItem`] trait: anything (worker or task) that
 //!   can live in a candidate pool, keyed by dense index, located in space
 //!   and bounded by a deadline;
-//! * [`arena`] — the [`ItemArena`]: generational struct-of-arrays storage
+//! * [`arena`] — the [`arena::ItemArena`]: generational struct-of-arrays storage
 //!   for one pool. Coordinates and deadlines live in parallel `Vec<f64>`s,
 //!   freed slots recycle through a free-list, and [`ftoa_types::PoolHandle`]
 //!   stamps (slot + generation) make stale references structurally
@@ -20,20 +20,20 @@
 //!   coordinate slices, written as straight-line chunked iteration the
 //!   compiler auto-vectorises; every backend funnels its candidate scans
 //!   through these two functions;
-//! * [`index`] — the [`CandidateIndex`] trait plus its four backends: the
-//!   exhaustive [`LinearScanIndex`] (reference/oracle), the struct-of-arrays
-//!   [`GridCandidateIndex`] with ring and reachable-disk range queries, the
-//!   [`KdCandidateIndex`] epoch-rebuild wrapper around the static
-//!   [`spatial::KdTree`], and the adaptive [`HybridCandidateIndex`] routing
+//! * [`index`] — the [`index::CandidateIndex`] trait plus its four backends: the
+//!   exhaustive [`index::LinearScanIndex`] (reference/oracle), the struct-of-arrays
+//!   [`index::GridCandidateIndex`] with ring and reachable-disk range queries, the
+//!   [`index::KdCandidateIndex`] epoch-rebuild wrapper around the static
+//!   [`spatial::KdTree`], and the adaptive [`index::HybridCandidateIndex`] routing
 //!   each query to grid or tree by coarse-region density. The engine holds
-//!   the selection in the monomorphised [`EngineIndex`] enum — a four-way
+//!   the selection in the monomorphised [`index::EngineIndex`] enum — a four-way
 //!   match on the hot path instead of a virtual call;
-//! * [`context`] — the [`EngineContext`] a policy sees while handling one
+//! * [`context`] — the [`context::EngineContext`] a policy sees while handling one
 //!   event: the idle-worker/pending-task pools (each an arena + index pair
-//!   surfaced as a [`PoolView`]), deadline-expiry queues, committed
+//!   surfaced as a [`context::PoolView`]), deadline-expiry queues, committed
 //!   assignments and memory accounting;
-//! * [`driver`] — the [`OnlinePolicy`] trait (an algorithm shrunk to a
-//!   handful of incremental callbacks) and the [`SimulationEngine`] that
+//! * [`driver`] — the [`driver::OnlinePolicy`] trait (an algorithm shrunk to a
+//!   handful of incremental callbacks) and the [`driver::SimulationEngine`] that
 //!   drives a policy over a stream and assembles the
 //!   [`crate::result::AlgorithmResult`].
 //!
@@ -51,13 +51,3 @@ pub mod driver;
 pub mod index;
 pub mod item;
 pub mod kernels;
-
-pub use arena::ItemArena;
-pub use clock::Stopwatch;
-pub use context::{EngineContext, PoolView};
-pub use driver::{OnlinePolicy, SimulationEngine};
-pub use index::{
-    CandidateIndex, EngineIndex, GridCandidateIndex, HybridCandidateIndex, IndexBackend,
-    KdCandidateIndex, LinearScanIndex,
-};
-pub use item::SpatialItem;

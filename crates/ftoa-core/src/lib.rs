@@ -15,10 +15,10 @@
 //! * [`engine`] — the unified streaming simulation engine, decomposed into
 //!   one module per responsibility (`item` / `arena` / `kernels` / `index` /
 //!   `context` / `driver`): every algorithm is an incremental
-//!   [`engine::OnlinePolicy`] driven by [`engine::SimulationEngine`]. Live
-//!   objects sit in generational struct-of-arrays [`engine::ItemArena`]s,
+//!   [`engine::driver::OnlinePolicy`] driven by [`engine::driver::SimulationEngine`]. Live
+//!   objects sit in generational struct-of-arrays [`engine::arena::ItemArena`]s,
 //!   candidate scans run through the batched distance kernels, and candidate
-//!   generation sits behind the [`engine::CandidateIndex`] trait (linear-scan
+//!   generation sits behind the [`engine::index::CandidateIndex`] trait (linear-scan
 //!   reference, grid-index, epoch-rebuild KD-tree, and an adaptive hybrid
 //!   that routes queries by local density).
 //! * [`replay`] — the trace-replay entry point: derives realised
@@ -38,13 +38,19 @@ pub mod movement;
 pub mod replay;
 pub mod result;
 
-pub use algorithms::{BatchGreedy, OnlineAlgorithm, Opt, Polar, PolarOp, SimpleGreedy};
-pub use engine::{
-    CandidateIndex, EngineContext, EngineIndex, GridCandidateIndex, HybridCandidateIndex,
-    IndexBackend, ItemArena, KdCandidateIndex, LinearScanIndex, OnlinePolicy, PoolView,
-    SimulationEngine, Stopwatch,
+pub use algorithms::{
+    BatchGreedy, BatchHungarian, BatchMaxFlow, OnlineAlgorithm, Opt, Polar, PolarOp, SimpleGreedy,
 };
+pub use engine::arena::ItemArena;
+pub use engine::clock::Stopwatch;
+pub use engine::context::{AssignmentDecision, EngineContext, MatchOutcome, PoolView};
+pub use engine::driver::{OnlinePolicy, SimulationEngine};
+pub use engine::index::{
+    CandidateIndex, EngineIndex, GridCandidateIndex, HybridCandidateIndex, IndexBackend,
+    KdCandidateIndex, LinearScanIndex,
+};
+pub use engine::item::SpatialItem;
 pub use guide::{GuideEngine, GuideNode, GuideObjective, OfflineGuide};
 pub use instance::Instance;
-pub use replay::{stream_counts, ReplayDriver};
+pub use replay::{stream_counts, ReplayDriver, ReplayDriverBuilder};
 pub use result::{AlgorithmResult, EngineStats};

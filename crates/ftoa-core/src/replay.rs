@@ -8,7 +8,8 @@
 //! stack. This is the entry point the `replay` CLI in the `experiments`
 //! crate — and, later, real-dataset ingestion — builds on.
 
-use crate::engine::{IndexBackend, OnlinePolicy, SimulationEngine};
+use crate::engine::driver::{OnlinePolicy, SimulationEngine};
+use crate::engine::index::IndexBackend;
 use crate::instance::Instance;
 use crate::result::AlgorithmResult;
 use ftoa_types::{EventStream, ProblemConfig};
@@ -50,11 +51,42 @@ pub struct ReplayDriver {
     predicted_tasks: SpatioTemporalMatrix,
 }
 
+/// Builder for [`ReplayDriver`]: names the knobs instead of threading them
+/// positionally. `ReplayDriver::builder(&config, &stream).backend(..).build()`.
+pub struct ReplayDriverBuilder<'a> {
+    config: &'a ProblemConfig,
+    stream: &'a EventStream,
+    backend: IndexBackend,
+}
+
+impl ReplayDriverBuilder<'_> {
+    /// Candidate-index backend handed to the engine (default:
+    /// [`IndexBackend::default`]).
+    pub fn backend(mut self, backend: IndexBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Derive the realised counts and assemble the driver.
+    pub fn build(self) -> ReplayDriver {
+        let (predicted_workers, predicted_tasks) = stream_counts(self.config, self.stream);
+        ReplayDriver { backend: self.backend, predicted_workers, predicted_tasks }
+    }
+}
+
 impl ReplayDriver {
+    /// Start building a replay of the stream.
+    pub fn builder<'a>(
+        config: &'a ProblemConfig,
+        stream: &'a EventStream,
+    ) -> ReplayDriverBuilder<'a> {
+        ReplayDriverBuilder { config, stream, backend: IndexBackend::default() }
+    }
+
     /// Prepare a replay of the stream with the given backend.
+    #[deprecated(note = "use `ReplayDriver::builder(config, stream).backend(..).build()`")]
     pub fn new(backend: IndexBackend, config: &ProblemConfig, stream: &EventStream) -> Self {
-        let (predicted_workers, predicted_tasks) = stream_counts(config, stream);
-        Self { backend, predicted_workers, predicted_tasks }
+        Self::builder(config, stream).backend(backend).build()
     }
 
     /// The instance a policy will be run against (stream + realised counts).
@@ -139,10 +171,24 @@ mod tests {
         let cfg = config();
         let s = stream();
         for backend in [IndexBackend::LinearScan, IndexBackend::Grid] {
-            let driver = ReplayDriver::new(backend, &cfg, &s);
+            let driver = ReplayDriver::builder(&cfg, &s).backend(backend).build();
             let result = driver.run(&cfg, &s, &mut SimpleGreedy.policy());
             assert_eq!(result.matching_size(), 1, "{backend:?}");
             assert_eq!(result.stats.events, 3);
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_positional_constructor_still_builds_the_same_driver() {
+        let cfg = config();
+        let s = stream();
+        let old = ReplayDriver::new(IndexBackend::Grid, &cfg, &s);
+        let new = ReplayDriver::builder(&cfg, &s).backend(IndexBackend::Grid).build();
+        assert_eq!(old.backend, new.backend);
+        assert_eq!(
+            old.run(&cfg, &s, &mut SimpleGreedy.policy()).matching_size(),
+            new.run(&cfg, &s, &mut SimpleGreedy.policy()).matching_size(),
+        );
     }
 }

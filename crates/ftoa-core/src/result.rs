@@ -4,7 +4,7 @@ use ftoa_types::AssignmentSet;
 use std::time::Duration;
 
 /// Per-event counters collected by the simulation engine
-/// ([`crate::engine::SimulationEngine`]). The candidate counter is the
+/// ([`crate::engine::driver::SimulationEngine`]). The candidate counter is the
 /// backend-independent measure of how much work candidate generation did,
 /// which is what the linear-scan vs. grid-index comparisons report.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +40,9 @@ pub struct AlgorithmResult {
     pub algorithm: String,
     /// The produced matching.
     pub assignments: AssignmentSet,
+    /// Weighted utility `Σ payoff` over the matching. Equals
+    /// [`Self::matching_size`] on unit-payoff streams.
+    pub total_payoff: f64,
     /// Time spent in offline preprocessing (guide construction). The paper
     /// omits this from the reported running times; it is reported separately.
     pub preprocessing: Duration,
@@ -94,6 +97,7 @@ mod tests {
         AlgorithmResult {
             algorithm: "test".into(),
             assignments,
+            total_payoff: n as f64,
             preprocessing: Duration::from_millis(5),
             runtime: Duration::from_millis(20),
             memory_bytes: 2 * 1024 * 1024,

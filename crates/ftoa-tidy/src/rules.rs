@@ -90,8 +90,8 @@ fn check_wall_clock(
                     RULE_WALL_CLOCK,
                     format!(
                         "`{pattern}` in library code: route timing through \
-                         `ftoa_core::engine::Stopwatch` (the sanctioned clock module) \
-                         so deterministic outputs cannot observe wall time"
+                         `ftoa_core::engine::clock::Stopwatch` (the sanctioned clock \
+                         module) so deterministic outputs cannot observe wall time"
                     ),
                 );
             }
@@ -422,19 +422,25 @@ fn manifest_opts_into_workspace_lints(manifest: &str) -> bool {
     false
 }
 
-/// R6 `trace-version`: the `ftoa-trace` format version must agree across the
-/// three places that state it — the `TRACE_MAGIC` constant in
-/// `crates/workload/src/trace.rs`, the first line of
-/// `traces/fixture_small.trace`, and every `ftoa-trace v<N>` mention in the
-/// README's grammar section. A silent skew here would make the golden gate
-/// replay a trace the documented grammar no longer describes.
+/// R6 `trace-version`: every stated `ftoa-trace` format version must be one
+/// the reader actually supports. The supported set is read off the magic
+/// constants in `crates/workload/src/trace.rs` — `TRACE_MAGIC` (the current
+/// writer version) plus any legacy `TRACE_MAGIC_V<N>` constants the reader
+/// still accepts. Every committed `traces/*.trace` header must be in that
+/// set, every `ftoa-trace v<N>` mention in the README must be in it, and
+/// the README must document the current writer version at least once. A
+/// silent skew here would make a golden gate replay a trace the documented
+/// grammar no longer describes.
 pub fn check_trace_version(root: &Path, violations: &mut Vec<Violation>) -> std::io::Result<()> {
     const TRACE_RS: &str = "crates/workload/src/trace.rs";
-    const FIXTURE: &str = "traces/fixture_small.trace";
     const README: &str = "README.md";
 
     let trace_src = std::fs::read_to_string(root.join(TRACE_RS))?;
-    let Some((magic_line, magic)) = find_trace_magic(&trace_src) else {
+    let magics = find_trace_magics(&trace_src);
+    let Some((current_line, current)) = magics
+        .iter()
+        .find_map(|(line, magic, is_current)| is_current.then_some((*line, magic.as_str())))
+    else {
         violations.push(Violation {
             file: TRACE_RS.to_string(),
             line: 1,
@@ -443,24 +449,42 @@ pub fn check_trace_version(root: &Path, violations: &mut Vec<Violation>) -> std:
         });
         return Ok(());
     };
+    let supported: Vec<&str> = magics.iter().map(|(_, magic, _)| magic.as_str()).collect();
+    let supported_list = supported.join("`, `");
 
-    let fixture = std::fs::read_to_string(root.join(FIXTURE))?;
-    let fixture_first = fixture.lines().next().unwrap_or("").trim_end();
-    if fixture_first != magic {
-        violations.push(Violation {
-            file: FIXTURE.to_string(),
-            line: 1,
-            rule: RULE_TRACE_VERSION,
-            message: format!(
-                "fixture header `{fixture_first}` disagrees with TRACE_MAGIC `{magic}` \
-                 ({TRACE_RS}:{magic_line})"
-            ),
-        });
+    // Every committed trace fixture must carry a supported magic (legacy v1
+    // fixtures are deliberately kept to pin backward compatibility; what R6
+    // forbids is a header no reader version understands).
+    let traces_dir = root.join("traces");
+    if traces_dir.is_dir() {
+        let mut fixtures: Vec<std::path::PathBuf> = std::fs::read_dir(&traces_dir)?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "trace"))
+            .collect();
+        fixtures.sort();
+        for path in fixtures {
+            let first_line =
+                std::fs::read_to_string(&path)?.lines().next().unwrap_or("").trim_end().to_string();
+            if !supported.contains(&first_line.as_str()) {
+                violations.push(Violation {
+                    file: format!("traces/{}", path.file_name().unwrap().to_string_lossy()),
+                    line: 1,
+                    rule: RULE_TRACE_VERSION,
+                    message: format!(
+                        "fixture header `{first_line}` is not a supported trace magic \
+                         (`{supported_list}`, {TRACE_RS})"
+                    ),
+                });
+            }
+        }
     }
 
-    let expected = magic.trim_start_matches('#');
+    let expected: Vec<String> =
+        supported.iter().map(|m| m.trim_start_matches('#').to_string()).collect();
+    let current_mention = current.trim_start_matches('#');
     let readme = std::fs::read_to_string(root.join(README))?;
-    let mut mentions = 0usize;
+    let mut current_mentions = 0usize;
     for (idx, line) in readme.lines().enumerate() {
         let mut rest = line;
         while let Some(pos) = rest.find("ftoa-trace v") {
@@ -468,16 +492,17 @@ pub fn check_trace_version(root: &Path, violations: &mut Vec<Violation>) -> std:
             let version: String =
                 tail["ftoa-trace v".len()..].chars().take_while(char::is_ascii_digit).collect();
             if !version.is_empty() {
-                mentions += 1;
                 let mention = format!("ftoa-trace v{version}");
-                if mention != expected {
+                if mention == current_mention {
+                    current_mentions += 1;
+                } else if !expected.iter().any(|e| e == &mention) {
                     violations.push(Violation {
                         file: README.to_string(),
                         line: idx + 1,
                         rule: RULE_TRACE_VERSION,
                         message: format!(
-                            "README says `{mention}` but TRACE_MAGIC is `{magic}` \
-                             ({TRACE_RS}:{magic_line})"
+                            "README says `{mention}` but the supported magics are \
+                             `{supported_list}` ({TRACE_RS})"
                         ),
                     });
                 }
@@ -485,34 +510,43 @@ pub fn check_trace_version(root: &Path, violations: &mut Vec<Violation>) -> std:
             rest = &tail["ftoa-trace v".len()..];
         }
     }
-    if mentions == 0 {
+    if current_mentions == 0 {
         violations.push(Violation {
             file: README.to_string(),
             line: 1,
             rule: RULE_TRACE_VERSION,
             message: format!(
-                "README never states the trace format version (`{expected}`); document \
-                 the grammar readers are expected to follow"
+                "README never states the current trace format version \
+                 (`{current_mention}`, TRACE_MAGIC at {TRACE_RS}:{current_line}); document \
+                 the grammar writers emit"
             ),
         });
     }
     Ok(())
 }
 
-/// `(line, "#ftoa-trace v<N>")` of the TRACE_MAGIC constant.
-fn find_trace_magic(trace_src: &str) -> Option<(usize, String)> {
+/// Every `(line, "#ftoa-trace v<N>", is_current)` magic constant, where
+/// `is_current` marks the plain `TRACE_MAGIC` binding (the writer's version)
+/// as opposed to legacy `TRACE_MAGIC_V<N>` constants.
+fn find_trace_magics(trace_src: &str) -> Vec<(usize, String, bool)> {
+    let mut magics = Vec::new();
     for (idx, line) in trace_src.lines().enumerate() {
         if !line.contains("TRACE_MAGIC") || !line.contains('"') {
             continue;
         }
-        let start = line.find('"')? + 1;
-        let end = line[start..].find('"')? + start;
+        let Some(start) = line.find('"') else { continue };
+        let start = start + 1;
+        let Some(end) = line[start..].find('"').map(|e| e + start) else { continue };
         let lit = &line[start..end];
         if lit.starts_with("#ftoa-trace v") {
-            return Some((idx + 1, lit.to_string()));
+            let is_current = line
+                .split(':')
+                .next()
+                .is_some_and(|binding| binding.trim_end().ends_with("TRACE_MAGIC"));
+            magics.push((idx + 1, lit.to_string(), is_current));
         }
     }
-    None
+    magics
 }
 
 #[cfg(test)]
@@ -663,10 +697,14 @@ mod tests {
     }
 
     #[test]
-    fn r6_finds_magic_and_flags_skew() {
-        let src = "pub const TRACE_MAGIC: &str = \"#ftoa-trace v1\";\n";
-        assert_eq!(find_trace_magic(src), Some((1, "#ftoa-trace v1".to_string())));
-        assert_eq!(find_trace_magic("const OTHER: &str = \"nope\";\n"), None);
+    fn r6_finds_every_magic_and_marks_the_current_one() {
+        let src = "pub const TRACE_MAGIC: &str = \"#ftoa-trace v2\";\n\
+                   pub const TRACE_MAGIC_V1: &str = \"#ftoa-trace v1\";\n";
+        assert_eq!(
+            find_trace_magics(src),
+            vec![(1, "#ftoa-trace v2".to_string(), true), (2, "#ftoa-trace v1".to_string(), false),]
+        );
+        assert!(find_trace_magics("const OTHER: &str = \"nope\";\n").is_empty());
     }
 
     #[test]

@@ -34,8 +34,10 @@ pub struct AssignmentSet {
     pairs: Vec<Assignment>,
     // Lookup-only indexes (never iterated, so hash order cannot leak into
     // output — tidy rule R2 stays satisfied); all ordered traversal goes
-    // through `pairs`, which preserves assignment order.
-    by_worker: HashMap<WorkerId, usize>,
+    // through `pairs`, which preserves assignment order. Workers map to their
+    // first assignment plus their load, since a capacity-`c` worker may carry
+    // up to `c` pairs.
+    by_worker: HashMap<WorkerId, (usize, u32)>,
     by_task: HashMap<TaskId, usize>,
 }
 
@@ -54,20 +56,41 @@ impl AssignmentSet {
         }
     }
 
-    /// Add an assignment. Returns an error if either side is already matched
-    /// (a matching assigns each worker and each task at most once).
+    /// Add an assignment under the paper's single-assignment model. Returns
+    /// an error if either side is already matched (a matching assigns each
+    /// worker and each task at most once).
     pub fn push(&mut self, a: Assignment) -> Result<(), TypeError> {
-        if self.by_worker.contains_key(&a.worker) {
-            return Err(TypeError::DuplicateWorker(a.worker));
+        self.push_with_capacity(a, 1)
+    }
+
+    /// Add an assignment for a worker that may serve up to
+    /// `worker_capacity` tasks. Returns [`TypeError::DuplicateWorker`] when
+    /// the worker's load has already reached that capacity, and
+    /// [`TypeError::DuplicateTask`] when the task is already served (tasks
+    /// are always single-assignment).
+    pub fn push_with_capacity(
+        &mut self,
+        a: Assignment,
+        worker_capacity: u32,
+    ) -> Result<(), TypeError> {
+        if let Some(&(_, load)) = self.by_worker.get(&a.worker) {
+            if load >= worker_capacity {
+                return Err(TypeError::DuplicateWorker(a.worker));
+            }
         }
         if self.by_task.contains_key(&a.task) {
             return Err(TypeError::DuplicateTask(a.task));
         }
         let idx = self.pairs.len();
-        self.by_worker.insert(a.worker, idx);
+        self.by_worker.entry(a.worker).and_modify(|e| e.1 += 1).or_insert((idx, 1));
         self.by_task.insert(a.task, idx);
         self.pairs.push(a);
         Ok(())
+    }
+
+    /// How many tasks the worker currently serves in this matching.
+    pub fn worker_load(&self, w: WorkerId) -> u32 {
+        self.by_worker.get(&w).map_or(0, |&(_, load)| load)
     }
 
     /// The number of assigned pairs — the paper's `MaxSum(M)` objective.
@@ -85,9 +108,9 @@ impl AssignmentSet {
         &self.pairs
     }
 
-    /// The assignment of a given worker, if any.
+    /// The (first) assignment of a given worker, if any.
     pub fn assignment_of_worker(&self, w: WorkerId) -> Option<&Assignment> {
-        self.by_worker.get(&w).map(|&i| &self.pairs[i])
+        self.by_worker.get(&w).map(|&(i, _)| &self.pairs[i])
     }
 
     /// The assignment of a given task, if any.
@@ -95,7 +118,8 @@ impl AssignmentSet {
         self.by_task.get(&r).map(|&i| &self.pairs[i])
     }
 
-    /// Is the worker matched?
+    /// Is the worker matched (serving at least one task)? Under the
+    /// single-assignment model this also means the worker is saturated.
     pub fn worker_matched(&self, w: WorkerId) -> bool {
         self.by_worker.contains_key(&w)
     }
@@ -238,6 +262,28 @@ mod tests {
         assert!(m.worker_matched(WorkerId(0)));
         assert!(m.task_matched(TaskId(0)));
         assert!(!m.worker_matched(WorkerId(1)));
+    }
+
+    #[test]
+    fn push_with_capacity_allows_load_up_to_capacity() {
+        let mut m = AssignmentSet::new();
+        m.push_with_capacity(Assignment::new(WorkerId(0), TaskId(0), TimeStamp::ZERO), 2).unwrap();
+        assert_eq!(m.worker_load(WorkerId(0)), 1);
+        m.push_with_capacity(Assignment::new(WorkerId(0), TaskId(1), TimeStamp::ZERO), 2).unwrap();
+        assert_eq!(m.worker_load(WorkerId(0)), 2);
+        assert_eq!(
+            m.push_with_capacity(Assignment::new(WorkerId(0), TaskId(2), TimeStamp::ZERO), 2),
+            Err(TypeError::DuplicateWorker(WorkerId(0)))
+        );
+        // Tasks stay single-assignment regardless of worker capacity.
+        assert_eq!(
+            m.push_with_capacity(Assignment::new(WorkerId(1), TaskId(1), TimeStamp::ZERO), 2),
+            Err(TypeError::DuplicateTask(TaskId(1)))
+        );
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.worker_load(WorkerId(1)), 0);
+        // The worker's first assignment is the lookup result.
+        assert_eq!(m.assignment_of_worker(WorkerId(0)).unwrap().task, TaskId(0));
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! can depend on them without cycles.
 
 pub mod assignment;
+pub mod candidate;
 pub mod config;
 pub mod error;
 pub mod event;
@@ -25,6 +26,7 @@ pub mod time;
 pub mod worker;
 
 pub use assignment::{Assignment, AssignmentSet};
+pub use candidate::Candidate;
 pub use config::ProblemConfig;
 pub use error::TypeError;
 pub use event::{Event, EventKind, EventStream};

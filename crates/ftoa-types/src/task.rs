@@ -17,12 +17,22 @@ pub struct Task {
     pub release: TimeStamp,
     /// Patience `D_r`: the task must be reached before `S_r + D_r`.
     pub patience: TimeDelta,
+    /// Utility accrued when the task is served. The paper's MaxSum objective
+    /// is stated for general utility; the unit payoff of the original
+    /// experiments is the default, so `Task::new` reproduces the v1 model
+    /// unchanged.
+    pub payoff: f64,
 }
 
 impl Task {
-    /// Create a new task.
+    /// Create a new (unit-payoff) task.
     pub fn new(id: TaskId, location: Location, release: TimeStamp, patience: TimeDelta) -> Self {
-        Self { id, location, release, patience }
+        Self { id, location, release, patience, payoff: 1.0 }
+    }
+
+    /// The same task with a different payoff.
+    pub fn with_payoff(self, payoff: f64) -> Self {
+        Self { payoff, ..self }
     }
 
     /// The absolute deadline `S_r + D_r` by which a worker must arrive.

@@ -18,12 +18,22 @@ pub struct Worker {
     pub start: TimeStamp,
     /// Waiting time `D_w` after which the worker leaves.
     pub wait: TimeDelta,
+    /// How many tasks the worker may serve before leaving the pool. The
+    /// paper's single-assignment model is capacity 1, which `Worker::new`
+    /// defaults to, so existing call sites keep the v1 semantics unchanged.
+    pub capacity: u32,
 }
 
 impl Worker {
-    /// Create a new worker.
+    /// Create a new (single-assignment) worker.
     pub fn new(id: WorkerId, location: Location, start: TimeStamp, wait: TimeDelta) -> Self {
-        Self { id, location, start, wait }
+        Self { id, location, start, wait, capacity: 1 }
+    }
+
+    /// The same worker with a different capacity (must be at least 1).
+    pub fn with_capacity(self, capacity: u32) -> Self {
+        assert!(capacity >= 1, "worker capacity must be at least 1");
+        Self { capacity, ..self }
     }
 
     /// The time `S_w + D_w` after which the worker no longer serves tasks.

@@ -37,4 +37,4 @@ pub mod trace;
 pub use city::{CityConfig, CityWorkload};
 pub use scenario::Scenario;
 pub use synthetic::SyntheticConfig;
-pub use trace::{Trace, TraceError, TraceReader, TraceWriter};
+pub use trace::{Trace, TraceError, TraceReader, TraceVersion, TraceWriter};

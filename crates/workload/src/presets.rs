@@ -11,6 +11,7 @@
 
 use crate::scenario::Scenario;
 use crate::synthetic::{DistributionParams, SyntheticConfig};
+use ftoa_types::{EventStream, Task, Worker};
 
 /// Scale a base object count, keeping at least one object.
 fn scaled(base: usize, scale: f64) -> usize {
@@ -160,6 +161,30 @@ pub fn ci_fixture() -> Scenario {
     }
 }
 
+/// The weighted CI fixture: exactly [`ci_fixture`]'s arrivals, with
+/// deterministic non-unit payoffs and capacities derived from the dense ids —
+/// `payoff = 1 + (id mod 5) / 2` and `capacity = 1 + (id mod 3)` — so no RNG
+/// draw is involved and the stream stays bit-stable across versions. This is
+/// the source of `traces/fixture_weighted.trace` and the v2 golden-metrics
+/// gate: small enough for CI, yet every payoff class and capacity class is
+/// well represented.
+pub fn ci_fixture_weighted() -> Scenario {
+    let base = ci_fixture();
+    let workers: Vec<Worker> = base
+        .stream
+        .workers()
+        .iter()
+        .map(|w| w.with_capacity(1 + (w.id.index() % 3) as u32))
+        .collect();
+    let tasks: Vec<Task> = base
+        .stream
+        .tasks()
+        .iter()
+        .map(|t| t.with_payoff(1.0 + (t.id.index() % 5) as f64 * 0.5))
+        .collect();
+    Scenario { stream: EventStream::new(workers, tasks), ..base }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,6 +245,25 @@ mod tests {
         assert_eq!(rush_hour(0.01, 4).stream, rush_hour(0.01, 4).stream);
         assert_ne!(rush_hour(0.01, 4).stream, rush_hour(0.01, 5).stream);
         assert_eq!(ci_fixture().stream, ci_fixture().stream);
+    }
+
+    #[test]
+    fn weighted_fixture_shares_the_unit_fixtures_arrivals() {
+        let unit = ci_fixture();
+        let weighted = ci_fixture_weighted();
+        assert_eq!(unit.stream.len(), weighted.stream.len());
+        for (a, b) in unit.stream.workers().iter().zip(weighted.stream.workers()) {
+            assert_eq!(a.location, b.location);
+            assert_eq!(a.start, b.start);
+            assert_eq!(b.capacity, 1 + (b.id.index() % 3) as u32);
+        }
+        for (a, b) in unit.stream.tasks().iter().zip(weighted.stream.tasks()) {
+            assert_eq!(a.location, b.location);
+            assert_eq!(a.release, b.release);
+            assert_eq!(b.payoff, 1.0 + (b.id.index() % 5) as f64 * 0.5);
+        }
+        // Deterministic: no RNG is drawn deriving the weighted fields.
+        assert_eq!(ci_fixture_weighted().stream, ci_fixture_weighted().stream);
     }
 
     #[test]

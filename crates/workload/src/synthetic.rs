@@ -89,6 +89,16 @@ pub struct SyntheticConfig {
     pub tasks: DistributionParams,
     /// Worker spatiotemporal distribution.
     pub workers: DistributionParams,
+    /// Optional uniform range for task payoffs (weighted MaxSum). `None`
+    /// (the default) keeps the paper's unit payoffs *and* leaves the RNG
+    /// draw sequence untouched, so default streams are byte-identical to
+    /// earlier versions; when set, payoffs are drawn uniformly from
+    /// `[lo, hi]` in a separate pass after all arrival draws.
+    pub task_payoff: Option<(f64, f64)>,
+    /// Optional inclusive uniform range for worker capacities
+    /// (multi-assignment). Same gating discipline as [`Self::task_payoff`]:
+    /// `None` keeps unit capacities and the historical RNG stream.
+    pub worker_capacity: Option<(u32, u32)>,
 }
 
 impl Default for SyntheticConfig {
@@ -105,6 +115,8 @@ impl Default for SyntheticConfig {
             dw_slots: 2.0,
             tasks: DistributionParams::tasks_default(),
             workers: DistributionParams::workers_default(),
+            task_payoff: None,
+            worker_capacity: None,
         }
     }
 }
@@ -179,6 +191,25 @@ impl SyntheticConfig {
         for (i, bin) in task_draws.into_iter().enumerate() {
             let (loc, t) = sample_within_bin(&mut rng, &config, bin);
             tasks.push(Task::new(TaskId(i), loc, t, config.default_task_patience));
+        }
+        // Weighted-model knobs are drawn strictly after every arrival draw,
+        // and only when enabled, so the default (`None`) configuration
+        // consumes exactly the historical RNG sequence and reproduces
+        // earlier streams byte-for-byte.
+        if let Some((lo, hi)) = self.worker_capacity {
+            assert!(1 <= lo && lo <= hi, "worker_capacity range must satisfy 1 <= lo <= hi");
+            for w in &mut workers {
+                w.capacity = rng.gen_range(lo..hi + 1);
+            }
+        }
+        if let Some((lo, hi)) = self.task_payoff {
+            assert!(
+                lo.is_finite() && hi.is_finite() && 0.0 < lo && lo <= hi,
+                "task_payoff range must satisfy 0 < lo <= hi"
+            );
+            for t in &mut tasks {
+                t.payoff = lo + rng.gen::<f64>() * (hi - lo);
+            }
         }
         let stream = EventStream::new(workers, tasks);
 
@@ -395,6 +426,35 @@ mod tests {
                 "slot {slot}: expected {expected} vs actual {actual}"
             );
         }
+    }
+
+    #[test]
+    fn weighted_knobs_do_not_perturb_arrival_draws() {
+        let unit = SyntheticConfig { num_workers: 80, num_tasks: 90, ..Default::default() };
+        let weighted = SyntheticConfig {
+            task_payoff: Some((0.5, 4.0)),
+            worker_capacity: Some((1, 3)),
+            ..unit.clone()
+        };
+        let a = unit.generate(13);
+        let b = weighted.generate(13);
+        // Same seed → identical arrival sequence (times and locations): the
+        // weighted draws happen after, and only because they are enabled.
+        for (wa, wb) in a.stream.workers().iter().zip(b.stream.workers()) {
+            assert_eq!(wa.location, wb.location);
+            assert_eq!(wa.start, wb.start);
+            assert_eq!(wa.capacity, 1);
+            assert!((1..=3).contains(&wb.capacity));
+        }
+        for (ta, tb) in a.stream.tasks().iter().zip(b.stream.tasks()) {
+            assert_eq!(ta.location, tb.location);
+            assert_eq!(ta.release, tb.release);
+            assert_eq!(ta.payoff, 1.0);
+            assert!((0.5..=4.0).contains(&tb.payoff));
+        }
+        // And a non-degenerate range actually produces non-unit values.
+        assert!(b.stream.workers().iter().any(|w| w.capacity > 1));
+        assert!(b.stream.tasks().iter().any(|t| t.payoff != 1.0));
     }
 
     #[test]

@@ -10,14 +10,14 @@
 //! `SimulationEngine` with any `OnlinePolicy` / `CandidateIndex` backend
 //! unchanged.
 //!
-//! # Format (`ftoa-trace v1`)
+//! # Format (`ftoa-trace v2`)
 //!
 //! Line-oriented UTF-8 text. Grammar (one record per line; `#`-lines and
 //! blank lines are ignored everywhere except the mandatory first line):
 //!
 //! ```text
 //! trace      := magic config-line* event-line*
-//! magic      := "#ftoa-trace v1"
+//! magic      := "#ftoa-trace v2"
 //! config-line:= "config region <min_x> <min_y> <max_x> <max_y>"
 //!             | "config grid <nx> <ny>"
 //!             | "config slots <start_min> <slot_min> <num_slots>"
@@ -33,21 +33,28 @@
 //! once, so the reader reconstructs the exact worker/task numbering — and
 //! therefore the exact engine behaviour — of the captured stream. Floats are
 //! printed with Rust's shortest round-trip formatting, so `write → read` is
-//! lossless. The `capacity` and `payoff` fields are reserved for future
-//! multi-assignment / weighted models; v1 requires both to be `1` (the
-//! paper's single-assignment, unit-payoff MaxSum model).
+//! lossless.
+//!
+//! In v2 the trailing fields are *live*: `capacity` is the worker's
+//! multi-assignment capacity (an integer, at least 1) and `payoff` is the
+//! task's utility under the weighted MaxSum objective (a positive finite
+//! float). The [`TraceWriter`] always emits v2; the [`TraceReader`] also
+//! accepts the legacy `#ftoa-trace v1` header, under which both fields are
+//! reserved and must be exactly `1` (the paper's single-assignment,
+//! unit-payoff model). A unit-value stream therefore serialises to the same
+//! event lines under either version — only the magic differs.
 //!
 //! Example:
 //!
 //! ```text
-//! #ftoa-trace v1
+//! #ftoa-trace v2
 //! config region 0 0 50 50
 //! config grid 50 50
 //! config slots 0 15 48
 //! config velocity 0.3333333333333333
 //! config defaults 30 30
-//! w 0 12.25 4.5 9.125 30 1
-//! t 0 12.5 5 8 30 1
+//! w 0 12.25 4.5 9.125 30 2
+//! t 0 12.5 5 8 30 1.5
 //! ```
 
 use crate::scenario::Scenario;
@@ -60,8 +67,31 @@ use std::fmt;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::path::Path;
 
-/// The mandatory first line of every trace file.
-pub const TRACE_MAGIC: &str = "#ftoa-trace v1";
+/// The magic line the writer emits (the current format version).
+pub const TRACE_MAGIC: &str = "#ftoa-trace v2";
+
+/// The legacy v1 magic line, still accepted by the reader. Under v1 the
+/// trailing `capacity` / `payoff` event fields are reserved and must be `1`.
+pub const TRACE_MAGIC_V1: &str = "#ftoa-trace v1";
+
+/// The format version a trace was read from (or will be written as).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceVersion {
+    /// Legacy unit-value format: `capacity` / `payoff` reserved, must be `1`.
+    V1,
+    /// Current weighted format: live worker capacity and task payoff.
+    V2,
+}
+
+impl TraceVersion {
+    /// The magic line of this version.
+    pub fn magic(self) -> &'static str {
+        match self {
+            TraceVersion::V1 => TRACE_MAGIC_V1,
+            TraceVersion::V2 => TRACE_MAGIC,
+        }
+    }
+}
 
 /// A parsed trace: the configuration and the reconstructed arrival stream.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,6 +100,10 @@ pub struct Trace {
     pub config: ProblemConfig,
     /// The recorded arrivals, identical to the captured stream.
     pub stream: EventStream,
+    /// The format version the trace was read from. Purely informational for
+    /// replay (a v1 trace is exactly a v2 trace with all-unit values), but
+    /// lets tooling report whether weighted fields were live in the source.
+    pub version: TraceVersion,
 }
 
 impl Trace {
@@ -132,9 +166,11 @@ impl From<io::Error> for TraceError {
     }
 }
 
-/// Serialises a [`ProblemConfig`] and an [`EventStream`] into the v1 text
+/// Serialises a [`ProblemConfig`] and an [`EventStream`] into the v2 text
 /// format, so any generated scenario (synthetic, city, preset) can be
-/// captured to disk and replayed later.
+/// captured to disk and replayed later. Worker capacities and task payoffs
+/// are written as live fields; unit-value streams produce event lines
+/// identical to the legacy v1 rendering.
 pub struct TraceWriter;
 
 impl TraceWriter {
@@ -180,21 +216,23 @@ impl TraceWriter {
             match event {
                 ftoa_types::Event::WorkerArrival(w) => writeln!(
                     out,
-                    "w {} {} {} {} {} 1",
+                    "w {} {} {} {} {} {}",
                     w.id.index(),
                     w.start.as_minutes(),
                     w.location.x,
                     w.location.y,
-                    w.wait.as_minutes()
+                    w.wait.as_minutes(),
+                    w.capacity
                 )?,
                 ftoa_types::Event::TaskArrival(r) => writeln!(
                     out,
-                    "t {} {} {} {} {} 1",
+                    "t {} {} {} {} {} {}",
                     r.id.index(),
                     r.release.as_minutes(),
                     r.location.x,
                     r.location.y,
-                    r.patience.as_minutes()
+                    r.patience.as_minutes(),
+                    r.payoff
                 )?,
             }
         }
@@ -260,7 +298,7 @@ impl HeaderBuilder {
     }
 }
 
-/// Streaming reader for the v1 text format.
+/// Streaming reader for the trace text format (v2, plus legacy v1).
 ///
 /// Lines are consumed one at a time from any [`BufRead`] source — the whole
 /// file is never materialised as a string — and the arrivals are accumulated
@@ -285,19 +323,23 @@ impl TraceReader {
             .next()
             .ok_or_else(|| TraceError::parse(1, "empty input: expected magic line"))??;
         let found = first.trim_end();
-        if found != TRACE_MAGIC {
+        let version = if found == TRACE_MAGIC {
+            TraceVersion::V2
+        } else if found == TRACE_MAGIC_V1 {
+            TraceVersion::V1
+        } else {
             // Distinguish "a trace from the future" from "not a trace at
             // all": the former deserves a pointer at the version, not a
             // generic magic mismatch.
             let message = match found.strip_prefix("#ftoa-trace v") {
                 Some(v) if !v.is_empty() && v.bytes().all(|b| b.is_ascii_digit()) => format!(
                     "unsupported trace format version v{v}: this reader understands \
-                     `{TRACE_MAGIC}` only"
+                     `{TRACE_MAGIC}` and the legacy `{TRACE_MAGIC_V1}` only"
                 ),
                 _ => format!("expected magic `{TRACE_MAGIC}`, found `{found}`"),
             };
             return Err(TraceError::parse(1, message));
-        }
+        };
 
         let mut header = Some(HeaderBuilder::default());
         let mut config: Option<ProblemConfig> = None;
@@ -324,7 +366,7 @@ impl TraceReader {
                         config =
                             Some(header.take().expect("header taken only once").build(line_no)?);
                     }
-                    parse_event_line(&fields, line_no, &mut workers, &mut tasks)?;
+                    parse_event_line(version, &fields, line_no, &mut workers, &mut tasks)?;
                 }
                 other => {
                     return Err(TraceError::parse(
@@ -341,7 +383,7 @@ impl TraceReader {
         };
         let workers = collect_dense(workers, "worker")?;
         let tasks = collect_dense(tasks, "task")?;
-        Ok(Trace { config, stream: EventStream::new(workers, tasks) })
+        Ok(Trace { config, stream: EventStream::new(workers, tasks), version })
     }
 }
 
@@ -401,6 +443,7 @@ fn parse_config_line(
 }
 
 fn parse_event_line(
+    version: TraceVersion,
     fields: &[&str],
     line: usize,
     workers: &mut Vec<(usize, usize, Worker)>,
@@ -417,12 +460,16 @@ fn parse_event_line(
     let x = parse_f64(fields[3], line)?;
     let y = parse_f64(fields[4], line)?;
     let window = parse_f64(fields[5], line)?;
-    let unit = parse_usize(fields[6], line)?;
-    if unit != 1 {
-        return Err(TraceError::parse(
-            line,
-            "capacity/payoff must be 1 (reserved for future versions)",
-        ));
+    if version == TraceVersion::V1 {
+        // v1 reserves the trailing field; anything but a literal `1` is a
+        // format error, distinct from the v2 range checks below.
+        let unit = parse_usize(fields[6], line)?;
+        if unit != 1 {
+            return Err(TraceError::parse(
+                line,
+                "capacity/payoff must be 1 (reserved for future versions)",
+            ));
+        }
     }
     if !(time.is_finite() && x.is_finite() && y.is_finite() && window.is_finite() && window >= 0.0)
     {
@@ -430,21 +477,55 @@ fn parse_event_line(
     }
     let location = ftoa_types::Location::new(x, y);
     match fields[0] {
-        "w" => workers.push((
-            id,
-            line,
-            Worker::new(
-                WorkerId(id),
-                location,
-                TimeStamp::minutes(time),
-                TimeDelta::minutes(window),
-            ),
-        )),
-        "t" => tasks.push((
-            id,
-            line,
-            Task::new(TaskId(id), location, TimeStamp::minutes(time), TimeDelta::minutes(window)),
-        )),
+        "w" => {
+            let capacity = match version {
+                TraceVersion::V1 => 1,
+                TraceVersion::V2 => {
+                    let capacity = parse_u32(fields[6], line)?;
+                    if capacity == 0 {
+                        return Err(TraceError::parse(line, "worker capacity must be at least 1"));
+                    }
+                    capacity
+                }
+            };
+            workers.push((
+                id,
+                line,
+                Worker::new(
+                    WorkerId(id),
+                    location,
+                    TimeStamp::minutes(time),
+                    TimeDelta::minutes(window),
+                )
+                .with_capacity(capacity),
+            ));
+        }
+        "t" => {
+            let payoff = match version {
+                TraceVersion::V1 => 1.0,
+                TraceVersion::V2 => {
+                    let payoff = parse_f64(fields[6], line)?;
+                    if !(payoff.is_finite() && payoff > 0.0) {
+                        return Err(TraceError::parse(
+                            line,
+                            "task payoff must be a positive finite number",
+                        ));
+                    }
+                    payoff
+                }
+            };
+            tasks.push((
+                id,
+                line,
+                Task::new(
+                    TaskId(id),
+                    location,
+                    TimeStamp::minutes(time),
+                    TimeDelta::minutes(window),
+                )
+                .with_payoff(payoff),
+            ));
+        }
         _ => unreachable!("caller dispatches only w/t lines"),
     }
     Ok(())
@@ -481,6 +562,10 @@ fn parse_f64(s: &str, line: usize) -> Result<f64, TraceError> {
 }
 
 fn parse_usize(s: &str, line: usize) -> Result<usize, TraceError> {
+    s.parse().map_err(|_| TraceError::parse(line, format!("invalid integer `{s}`")))
+}
+
+fn parse_u32(s: &str, line: usize) -> Result<u32, TraceError> {
     s.parse().map_err(|_| TraceError::parse(line, format!("invalid integer `{s}`")))
 }
 
@@ -625,13 +710,86 @@ mod tests {
 
     #[test]
     fn unsupported_version_points_at_the_version() {
-        let err = TraceReader::read_str("#ftoa-trace v2\n").expect_err("must fail");
+        let err = TraceReader::read_str("#ftoa-trace v3\n").expect_err("must fail");
         let msg = err.to_string();
-        assert!(msg.contains("unsupported trace format version v2"), "got: {msg}");
-        assert!(msg.contains("v1"), "must name the supported version: {msg}");
+        assert!(msg.contains("unsupported trace format version v3"), "got: {msg}");
+        assert!(msg.contains("v2"), "must name the current version: {msg}");
+        assert!(msg.contains("v1"), "must name the legacy version: {msg}");
         // `v` followed by junk is not a version claim — plain magic mismatch.
         let err = TraceReader::read_str("#ftoa-trace vNext\n").expect_err("must fail");
         assert!(err.to_string().contains("expected magic"), "got: {err}");
+    }
+
+    const V2_HEADER: &str = "#ftoa-trace v2\nconfig region 0 0 10 10\nconfig grid 2 2\n\
+                             config slots 0 15 4\nconfig velocity 1\nconfig defaults 10 5\n";
+
+    #[test]
+    fn v2_reads_live_capacity_and_payoff() {
+        let text = format!("{V2_HEADER}w 0 1 2 3 10 3\nt 0 1.5 2.5 3.5 5 2.75\n");
+        let trace = TraceReader::read_str(&text).expect("parses");
+        assert_eq!(trace.version, TraceVersion::V2);
+        assert_eq!(trace.stream.workers()[0].capacity, 3);
+        assert_eq!(trace.stream.tasks()[0].payoff, 2.75);
+    }
+
+    #[test]
+    fn v1_reads_as_unit_values() {
+        let text = "#ftoa-trace v1\nconfig region 0 0 10 10\nconfig grid 2 2\n\
+                    config slots 0 15 4\nconfig velocity 1\nconfig defaults 10 5\n\
+                    w 0 1 2 3 10 1\nt 0 1.5 2.5 3.5 5 1\n";
+        let trace = TraceReader::read_str(text).expect("parses");
+        assert_eq!(trace.version, TraceVersion::V1);
+        assert_eq!(trace.stream.workers()[0].capacity, 1);
+        assert_eq!(trace.stream.tasks()[0].payoff, 1.0);
+    }
+
+    #[test]
+    fn weighted_round_trip_is_lossless() {
+        let scenario = small_scenario();
+        let workers: Vec<Worker> = scenario
+            .stream
+            .workers()
+            .iter()
+            .map(|w| w.with_capacity(1 + (w.id.index() % 4) as u32))
+            .collect();
+        let tasks: Vec<Task> = scenario
+            .stream
+            .tasks()
+            .iter()
+            .map(|t| t.with_payoff(0.5 + t.id.index() as f64 / 3.0))
+            .collect();
+        let stream = EventStream::new(workers, tasks);
+        let text = TraceWriter::to_string(&scenario.config, &stream);
+        let trace = TraceReader::read_str(&text).expect("parses");
+        assert_eq!(trace.version, TraceVersion::V2);
+        assert_eq!(trace.stream, stream);
+        assert_eq!(TraceWriter::to_string(&trace.config, &trace.stream), text);
+    }
+
+    #[test]
+    fn v2_rejects_invalid_capacity_and_payoff_with_line_numbers() {
+        let cases: &[(&str, &str)] = &[
+            ("w 0 1 2 3 10 0\n", "worker capacity must be at least 1"),
+            ("w 0 1 2 3 10 1.5\n", "invalid integer `1.5`"),
+            ("w 0 1 2 3 10 -1\n", "invalid integer `-1`"),
+            ("t 0 1 2 3 5 0\n", "task payoff must be a positive finite number"),
+            ("t 0 1 2 3 5 -2.5\n", "task payoff must be a positive finite number"),
+            ("t 0 1 2 3 5 NaN\n", "task payoff must be a positive finite number"),
+            ("t 0 1 2 3 5 inf\n", "task payoff must be a positive finite number"),
+        ];
+        for (event, needle) in cases {
+            let text = format!("{V2_HEADER}{event}");
+            match TraceReader::read_str(&text).expect_err("must fail") {
+                TraceError::Parse { line, message } => {
+                    assert_eq!(line, 7, "event is on line 7 for `{event}`");
+                    assert!(
+                        message.contains(needle),
+                        "error `{message}` should mention `{needle}`"
+                    );
+                }
+                other => panic!("expected parse error, got {other}"),
+            }
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! unchanged golden file.
 
 use ftoa::core_algorithms::IndexBackend;
-use ftoa::experiments::{figures, metrics::ReplayMetrics, run_algorithms, Algo, SuiteOptions};
+use ftoa::experiments::{figures, metrics::ReplayMetrics, Algo, ReplayConfig, SuiteOptions};
 use ftoa::workload::{SyntheticConfig, TraceReader};
 
 #[test]
@@ -37,7 +37,7 @@ fn replay_metrics_json_is_byte_identical_at_any_thread_count() {
         .into_scenario();
     let render = |threads: usize| {
         let opts = SuiteOptions::default().with_threads(threads);
-        let results = run_algorithms(&scenario, &opts, &Algo::ALL);
+        let results = ReplayConfig::new(&scenario).options(opts).algos(&Algo::ALL).run();
         ReplayMetrics::new(
             "traces/fixture_small.trace",
             opts.index_backend.name(),
@@ -69,8 +69,8 @@ fn every_index_backend_is_deterministic_under_parallel_fan_out() {
     .generate(7);
     for backend in IndexBackend::ALL {
         let opts = SuiteOptions::default().with_backend(backend);
-        let serial = run_algorithms(&scenario, &opts, &Algo::ALL);
-        let parallel = run_algorithms(&scenario, &opts.with_threads(4), &Algo::ALL);
+        let serial = ReplayConfig::new(&scenario).options(opts).run();
+        let parallel = ReplayConfig::new(&scenario).options(opts.with_threads(4)).run();
         for (s, p) in serial.iter().zip(&parallel) {
             assert_eq!(s.algorithm, p.algorithm, "{}", backend.name());
             assert_eq!(

@@ -1,0 +1,157 @@
+//! Flow-backed batch policies vs the offline optimum.
+//!
+//! On an instance whose arrivals all fall inside one batching window, the
+//! flow-backed policies solve exactly one round — over every object alive at
+//! the window boundary — so their matching must equal the *offline* maximum
+//! matching of that round's feasibility graph (computed independently here
+//! with `flow::hopcroft_karp` over capacity-replicated worker vertices).
+//! These properties pin that on random weighted instances: random positions,
+//! arrival times, capacities and payoffs.
+
+use ftoa::core_algorithms::{BatchHungarian, BatchMaxFlow, Instance, OnlineAlgorithm};
+use ftoa::prediction::SpatioTemporalMatrix;
+use ftoa::types::{
+    EventStream, GridPartition, Location, ProblemConfig, SlotPartition, Task, TaskId, TimeDelta,
+    TimeStamp, Worker, WorkerId,
+};
+use proptest::prelude::*;
+
+const WINDOW_MINUTES: f64 = 2.0;
+const VELOCITY: f64 = 1.0;
+
+/// `(x, y, arrival_min, window_min, capacity_or_payoff_knob)` per object.
+type RawObject = (f64, f64, f64, f64, u32);
+
+fn config() -> ProblemConfig {
+    ProblemConfig::new(
+        GridPartition::square(10.0, 4).expect("valid grid"),
+        SlotPartition::over_horizon(TimeDelta::minutes(60.0), 4).expect("valid slots"),
+        VELOCITY,
+        TimeDelta::minutes(30.0),
+        TimeDelta::minutes(30.0),
+    )
+}
+
+/// Build a stream whose arrivals all fall in `[0, 1]` minutes — strictly
+/// inside the first `WINDOW_MINUTES` batching window, so both flow policies
+/// solve exactly one round at `t* = first_arrival + window`.
+fn build_stream(raw_workers: &[RawObject], raw_tasks: &[RawObject]) -> EventStream {
+    let workers = raw_workers
+        .iter()
+        .map(|&(x, y, t, wait, knob)| {
+            Worker::new(
+                WorkerId(0),
+                Location::new(x, y),
+                TimeStamp::minutes(t),
+                TimeDelta::minutes(10.0 + wait),
+            )
+            .with_capacity(1 + knob % 3)
+        })
+        .collect();
+    let tasks = raw_tasks
+        .iter()
+        .map(|&(x, y, t, patience, knob)| {
+            Task::new(
+                TaskId(0),
+                Location::new(x, y),
+                TimeStamp::minutes(t),
+                TimeDelta::minutes(5.0 + patience),
+            )
+            .with_payoff(0.5 + f64::from(knob % 7) * 0.4)
+        })
+        .collect();
+    EventStream::new(workers, tasks)
+}
+
+fn raw_objects(max: usize) -> impl Strategy<Value = Vec<RawObject>> {
+    proptest::collection::vec(
+        (0.0..10.0f64, 0.0..10.0f64, 0.0..1.0f64, 0.0..20.0f64, 0u32..64),
+        1..max,
+    )
+}
+
+/// The single round instant both policies solve at: the first arrival plus
+/// one batching window.
+fn round_instant(stream: &EventStream) -> TimeStamp {
+    let first_worker = stream.workers().iter().map(|w| w.start).min();
+    let first_task = stream.tasks().iter().map(|r| r.release).min();
+    let first = match (first_worker, first_task) {
+        (Some(w), Some(t)) => w.min(t),
+        (Some(w), None) => w,
+        (None, Some(t)) => t,
+        (None, None) => TimeStamp::ZERO,
+    };
+    first + TimeDelta::minutes(WINDOW_MINUTES)
+}
+
+/// The offline maximum matching of the round at `t_star`, computed from
+/// scratch: workers alive at the boundary enter as one left vertex per
+/// capacity unit, and an edge exists exactly when departing at `t_star`
+/// reaches the task before its deadline (the policies' own feasibility
+/// predicate, evaluated with the same float expressions).
+fn offline_optimum(stream: &EventStream, t_star: TimeStamp) -> usize {
+    let tasks: Vec<&Task> = stream.tasks().iter().filter(|r| r.deadline() >= t_star).collect();
+    let mut adj: Vec<Vec<usize>> = Vec::new();
+    for w in stream.workers().iter().filter(|w| w.deadline() >= t_star) {
+        let row: Vec<usize> = tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| t_star + w.location.travel_time(&r.location, VELOCITY) <= r.deadline())
+            .map(|(ri, _)| ri)
+            .collect();
+        for _ in 0..w.capacity {
+            adj.push(row.clone());
+        }
+    }
+    let (size, _, _) = ftoa::flow::hopcroft_karp(adj.len(), tasks.len(), &adj);
+    size
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn single_round_batch_flow_equals_the_offline_maximum_matching(
+        raw_workers in raw_objects(8),
+        raw_tasks in raw_objects(8),
+    ) {
+        let config = config();
+        let stream = build_stream(&raw_workers, &raw_tasks);
+        let expected = offline_optimum(&stream, round_instant(&stream));
+
+        let zeros = SpatioTemporalMatrix::zeros(
+            config.slots.num_slots(),
+            config.grid.num_cells(),
+        );
+        let instance = Instance::new(&config, &stream, &zeros, &zeros);
+        let mf = BatchMaxFlow { window_minutes: WINDOW_MINUTES }.run(&instance);
+        let hun = BatchHungarian { window_minutes: WINDOW_MINUTES }.run(&instance);
+
+        prop_assert_eq!(
+            mf.matching_size(), expected,
+            "BATCH-MF diverged from the offline Hopcroft–Karp optimum"
+        );
+        prop_assert_eq!(
+            hun.matching_size(), expected,
+            "BATCH-HUN sacrificed cardinality for payoff"
+        );
+        // Among max-cardinality matchings BATCH-HUN maximises payoff, so it
+        // can never collect less than the cardinality-only solver.
+        prop_assert!(
+            hun.total_payoff >= mf.total_payoff - 1e-9,
+            "BATCH-HUN payoff {} below BATCH-MF payoff {}",
+            hun.total_payoff,
+            mf.total_payoff
+        );
+        // The engine's weighted accounting sums exactly the served payoffs.
+        for result in [&mf, &hun] {
+            let served: f64 = result
+                .assignments
+                .pairs()
+                .iter()
+                .map(|p| stream.tasks()[p.task.index()].payoff)
+                .sum();
+            prop_assert!((result.total_payoff - served).abs() < 1e-9);
+        }
+    }
+}

@@ -13,10 +13,13 @@ use ftoa::workload::{presets, Scenario, SyntheticConfig, TraceReader, TraceWrite
 use proptest::prelude::*;
 
 /// A small random synthetic scenario, biased to odd sizes and regions so the
-/// float fields take "ugly" values that stress the text round trip.
-fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+/// float fields take "ugly" values that stress the text round trip. When
+/// `weighted` is set, payoffs and capacities are drawn from deliberately
+/// awkward ranges (a third-based payoff span has no short decimal form), so
+/// the v2 fields exercise the shortest-round-trip float path too.
+fn scenario_strategy(weighted: bool) -> impl Strategy<Value = Scenario> {
     (1usize..80, 1usize..80, 2usize..9, 2usize..7, 0u64..1_000).prop_map(
-        |(num_workers, num_tasks, grid_n, num_slots, seed)| {
+        move |(num_workers, num_tasks, grid_n, num_slots, seed)| {
             SyntheticConfig {
                 num_workers,
                 num_tasks,
@@ -24,6 +27,8 @@ fn scenario_strategy() -> impl Strategy<Value = Scenario> {
                 num_slots,
                 region_side: 17.0 / 3.0 * grid_n as f64,
                 slot_minutes: 11.0 / 7.0 * 6.0,
+                task_payoff: weighted.then_some((1.0 / 3.0, 19.0 / 7.0)),
+                worker_capacity: weighted.then_some((1, 5)),
                 ..SyntheticConfig::default()
             }
             .generate(seed)
@@ -40,28 +45,45 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(40))]
 
     #[test]
-    fn write_read_reproduces_the_stream_exactly(scenario in scenario_strategy()) {
+    fn write_read_reproduces_the_stream_exactly(scenario in scenario_strategy(false)) {
         let trace = round_trip(&scenario);
         prop_assert_eq!(&trace.config, &scenario.config);
         prop_assert_eq!(&trace.stream, &scenario.stream);
     }
 
     #[test]
-    fn rewriting_a_reread_trace_is_byte_identical(scenario in scenario_strategy()) {
+    fn rewriting_a_reread_trace_is_byte_identical(scenario in scenario_strategy(false)) {
         let text = TraceWriter::to_string(&scenario.config, &scenario.stream);
         let trace = TraceReader::read_str(&text).expect("parses");
         prop_assert_eq!(TraceWriter::to_string(&trace.config, &trace.stream), text);
     }
 
     #[test]
+    fn weighted_write_read_reproduces_payoffs_and_capacities_exactly(
+        scenario in scenario_strategy(true)
+    ) {
+        let text = TraceWriter::to_string(&scenario.config, &scenario.stream);
+        let trace = TraceReader::read_str(&text).expect("a written v2 trace must parse");
+        prop_assert_eq!(trace.version, ftoa::workload::TraceVersion::V2);
+        // Stream equality covers payoff and capacity bit-for-bit: `Task` and
+        // `Worker` derive `PartialEq` over every field.
+        prop_assert_eq!(&trace.stream, &scenario.stream);
+        prop_assert_eq!(TraceWriter::to_string(&trace.config, &trace.stream), text);
+    }
+
+    #[test]
     fn replaying_a_reread_trace_gives_identical_engine_metrics(
-        scenario in scenario_strategy()
+        scenario in scenario_strategy(false)
     ) {
         let trace = round_trip(&scenario);
         for backend in [IndexBackend::LinearScan, IndexBackend::Grid] {
-            let original = ReplayDriver::new(backend, &scenario.config, &scenario.stream)
+            let original = ReplayDriver::builder(&scenario.config, &scenario.stream)
+                .backend(backend)
+                .build()
                 .run(&scenario.config, &scenario.stream, &mut SimpleGreedy.policy());
-            let replayed = ReplayDriver::new(backend, &trace.config, &trace.stream)
+            let replayed = ReplayDriver::builder(&trace.config, &trace.stream)
+                .backend(backend)
+                .build()
                 .run(&trace.config, &trace.stream, &mut SimpleGreedy.policy());
             prop_assert_eq!(original.matching_size(), replayed.matching_size());
             prop_assert_eq!(original.assignments.pairs(), replayed.assignments.pairs());

@@ -1,0 +1,71 @@
+//! Unit-value equivalence: the weighted model is a strict generalisation.
+//!
+//! With every `payoff == 1.0` and every `capacity == 1` (exactly what a v1
+//! trace deserialises to) the weighted engine must behave *identically* to
+//! the historical unit model: each legacy policy produces its pinned
+//! matching size and a `total_payoff` equal to that size. The weighted
+//! fixture then pins the other direction — non-unit payoffs and capacities
+//! flow through the same policies and change the accounting (and, for
+//! capacity-aware policies, the matchings themselves).
+
+use ftoa::experiments::{Algo, ReplayConfig};
+use ftoa::workload::{TraceReader, TraceVersion};
+
+/// The five legacy policies on the committed v1 fixture: sizes are pinned to
+/// the same values as `traces/golden_metrics.json`, and on unit values the
+/// weighted accounting must collapse to the cardinality.
+#[test]
+fn legacy_policies_on_unit_values_reduce_to_the_historical_model() {
+    let trace =
+        TraceReader::read_file("traces/fixture_small.trace").expect("committed fixture parses");
+    assert_eq!(trace.version, TraceVersion::V1);
+    let scenario = trace.into_scenario();
+    assert!(scenario.stream.workers().iter().all(|w| w.capacity == 1));
+    assert!(scenario.stream.tasks().iter().all(|t| t.payoff == 1.0));
+
+    let results = ReplayConfig::new(&scenario).algos(&Algo::ALL).threads(1).run();
+    let expected =
+        [("SimpleGreedy", 458), ("GR", 473), ("POLAR", 412), ("POLAR-OP", 416), ("OPT", 480)];
+    assert_eq!(results.len(), expected.len());
+    for (result, (name, size)) in results.iter().zip(expected) {
+        assert_eq!(result.algorithm, name);
+        assert_eq!(result.matching_size(), size, "{name} matching size drifted");
+        assert_eq!(
+            result.total_payoff, size as f64,
+            "{name}: on unit payoffs total_payoff must equal the matching size"
+        );
+    }
+}
+
+/// The weighted fixture shares the unit fixture's arrivals, so any size
+/// difference against the test above is attributable purely to capacities.
+/// The single-assignment policies keep their unit matchings (same greedy
+/// choices, weighted accounting); capacity-aware rounds serve every task.
+#[test]
+fn weighted_fixture_pins_the_capacity_aware_suite() {
+    let trace =
+        TraceReader::read_file("traces/fixture_weighted.trace").expect("committed fixture parses");
+    assert_eq!(trace.version, TraceVersion::V2);
+    let scenario = trace.into_scenario();
+    assert!(scenario.stream.workers().iter().any(|w| w.capacity > 1));
+    assert!(scenario.stream.tasks().iter().any(|t| t.payoff != 1.0));
+
+    let mut algos = Algo::ALL.to_vec();
+    algos.extend(Algo::FLOW);
+    let results = ReplayConfig::new(&scenario).algos(&algos).threads(1).run();
+    let expected = [
+        ("SimpleGreedy", 458, 917.5),
+        ("GR", 560, 1120.0),
+        ("POLAR", 412, 824.5),
+        ("POLAR-OP", 416, 831.0),
+        ("OPT", 480, 958.0),
+        ("BATCH-MF", 560, 1120.0),
+        ("BATCH-HUN", 560, 1120.0),
+    ];
+    assert_eq!(results.len(), expected.len());
+    for (result, (name, size, payoff)) in results.iter().zip(expected) {
+        assert_eq!(result.algorithm, name);
+        assert_eq!(result.matching_size(), size, "{name} matching size drifted");
+        assert_eq!(result.total_payoff, payoff, "{name} total payoff drifted");
+    }
+}
