@@ -11,6 +11,12 @@
 //! the pruning and the kernel throughput independently of machine noise, and
 //! writes everything to `BENCH_engine.json` at the repository root.
 //!
+//! Two further sections land in the JSON: per-kernel linear-scan rows (each
+//! supported `FTOA_KERNEL` choice forced in turn via `force_kernel`, so the
+//! scalar-vs-SIMD throughput difference is visible as `ns_per_candidate`)
+//! and the hybrid dense-routing threshold sweep (`FTOA_HYBRID_THRESHOLD`
+//! set per run), whose winner is what `DENSE_REGION_THRESHOLD` defaults to.
+//!
 //! Setting `FTOA_BENCH_QUICK=1` (or passing `--quick`) shrinks the workload
 //! to a few thousand events so CI can *execute* the four-backend
 //! comparison — including the backend-agreement assertions, the pruning
@@ -18,6 +24,8 @@
 //! runs do not overwrite `BENCH_engine.json`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use ftoa_core::engine::index::hybrid::{DENSE_REGION_THRESHOLD, HYBRID_THRESHOLD_ENV};
+use ftoa_core::engine::kernels::{force_kernel, KernelKind};
 use ftoa_core::{
     AlgorithmResult, BatchGreedy, IndexBackend, Instance, SimpleGreedy, SimulationEngine,
 };
@@ -199,6 +207,75 @@ fn bench_candidate_index(c: &mut Criterion) {
         );
     }
 
+    // Per-kernel linear-scan rows: the exhaustive scan funnels every
+    // candidate through one dispatched kernel sweep, so forcing each
+    // supported kernel on the linear backend isolates raw kernel throughput
+    // (the ns_per_candidate column) from index pruning. Matchings and the
+    // deterministic candidate counters must be kernel-invariant — that part
+    // is asserted even in quick (CI) runs.
+    let kernel_rows: Vec<(KernelKind, Measured, Measured)> = KernelKind::ALL
+        .into_iter()
+        .filter(|kind| kind.is_supported())
+        .map(|kind| {
+            force_kernel(Some(kind));
+            let sg = run_greedy(IndexBackend::LinearScan);
+            let g = run_gr(IndexBackend::LinearScan);
+            (kind, sg, g)
+        })
+        .collect();
+    force_kernel(None);
+    let (_, scalar_sg, scalar_gr) = &kernel_rows[0];
+    for (kind, sg, g) in &kernel_rows {
+        println!(
+            "kernel {:>6}: SimpleGreedy/linear {:.3}s ({:.2} ns/candidate), GR/linear {:.3}s \
+             ({:.2} ns/candidate)",
+            kind.name(),
+            sg.seconds,
+            sg.seconds * 1e9 / sg.candidates.max(1) as f64,
+            g.seconds,
+            g.seconds * 1e9 / g.candidates.max(1) as f64,
+        );
+        assert_eq!(scalar_sg.matching, sg.matching, "{}: SimpleGreedy matching", kind.name());
+        assert_eq!(scalar_gr.matching, g.matching, "{}: GR matching", kind.name());
+        assert_eq!(scalar_sg.candidates, sg.candidates, "{}: SimpleGreedy counter", kind.name());
+        assert_eq!(scalar_gr.candidates, g.candidates, "{}: GR counter", kind.name());
+    }
+
+    // Threshold sweep for the hybrid backend: `FTOA_HYBRID_THRESHOLD` is
+    // captured at index construction (each measured run constructs a fresh
+    // engine), so setting it between runs sweeps the dense-routing knob. Low
+    // values route almost everything to the grid; high values degenerate to
+    // the KD-tree. The winner is what `DENSE_REGION_THRESHOLD` should be.
+    let thresholds: [u32; 6] = [1, 2, 4, 16, 64, 256];
+    let sweep: Vec<(u32, Measured, Measured)> = thresholds
+        .iter()
+        .map(|&t| {
+            std::env::set_var(HYBRID_THRESHOLD_ENV, t.to_string());
+            let sg = run_greedy(IndexBackend::Hybrid);
+            let g = run_gr(IndexBackend::Hybrid);
+            (t, sg, g)
+        })
+        .collect();
+    std::env::remove_var(HYBRID_THRESHOLD_ENV);
+    for (t, sg, g) in &sweep {
+        assert_eq!(greedy[0].matching, sg.matching, "threshold {t}: SimpleGreedy matching");
+        assert_eq!(gr[0].matching, g.matching, "threshold {t}: GR matching");
+        println!(
+            "hybrid threshold {t:>2}: SimpleGreedy {:.3}s ({} candidates), GR {:.3}s \
+             ({} candidates)",
+            sg.seconds, sg.candidates, g.seconds, g.candidates,
+        );
+    }
+    let winner = sweep
+        .iter()
+        .min_by(|a, b| (a.1.seconds + a.2.seconds).total_cmp(&(b.1.seconds + b.2.seconds)))
+        .expect("non-empty sweep")
+        .0;
+    println!(
+        "hybrid threshold sweep winner: {winner} (compiled default DENSE_REGION_THRESHOLD = \
+         {DENSE_REGION_THRESHOLD})"
+    );
+
     if quick {
         // Quick (CI) runs exercise the comparison but keep the committed
         // full-scale numbers in BENCH_engine.json untouched.
@@ -221,14 +298,55 @@ fn bench_candidate_index(c: &mut Criterion) {
             linear.seconds / hybrid.seconds.max(1e-9),
         )
     };
+    let kernel_section = {
+        let rows: Vec<String> = kernel_rows
+            .iter()
+            .map(|(kind, sg, g)| {
+                format!(
+                    "    \"{}\": {{\"simple_greedy\": {}, \"gr\": {}}}",
+                    kind.name(),
+                    entry(sg),
+                    entry(g)
+                )
+            })
+            .collect();
+        let (_, _, best_gr) = kernel_rows.last().expect("at least the scalar kernel");
+        format!(
+            "{{\n    \"backend\": \"linear_scan\",\n    \"active\": \"{}\",\n{},\n    \
+             \"gr_speedup_vs_scalar\": {:.2}\n  }}",
+            KernelKind::best_supported().name(),
+            rows.join(",\n"),
+            scalar_gr.seconds / best_gr.seconds.max(1e-9),
+        )
+    };
+    let sweep_section = {
+        let rows: Vec<String> = sweep
+            .iter()
+            .map(|(t, sg, g)| {
+                format!(
+                    "      {{\"threshold\": {t}, \"simple_greedy\": {}, \"gr\": {}}}",
+                    entry(sg),
+                    entry(g)
+                )
+            })
+            .collect();
+        format!(
+            "{{\n    \"default\": {DENSE_REGION_THRESHOLD},\n    \"winner\": {winner},\n    \
+             \"rows\": [\n{}\n    ]\n  }}",
+            rows.join(",\n"),
+        )
+    };
     let json = format!(
         "{{\n  \"scenario\": {{\"workers\": {}, \"tasks\": {}, \"events\": {}, \"seed\": 2017}},\n  \
-         \"simple_greedy\": {},\n  \"gr\": {}\n}}\n",
+         \"simple_greedy\": {},\n  \"gr\": {},\n  \"kernels\": {},\n  \
+         \"hybrid_threshold_sweep\": {}\n}}\n",
         scenario.stream.num_workers(),
         scenario.stream.num_tasks(),
         scenario.stream.len(),
         section(&greedy),
         section(&gr),
+        kernel_section,
+        sweep_section,
     );
     let out =
         std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_engine.json");

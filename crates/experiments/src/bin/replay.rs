@@ -27,7 +27,11 @@
 //! timing/memory/thread fields are omitted so the output is byte-stable;
 //! the CI `replay-regression` job diffs exactly that output against
 //! `traces/golden_metrics.json` — and runs it at `--threads 4`, which pins
-//! parallel correctness against the same golden file.
+//! parallel correctness against the same golden file. The `FTOA_KERNEL`
+//! environment variable (validated up front, reported in the header line)
+//! pins the distance-kernel implementation; the CI `kernel-dispatch` matrix
+//! replays the goldens under `scalar` and `auto` and requires identical
+//! bytes from both.
 //!
 //! Capture mode:
 //!
@@ -43,6 +47,7 @@
 
 use experiments::metrics::ReplayMetrics;
 use experiments::runner::{Algo, ReplayConfig, SuiteOptions};
+use ftoa_core::engine::kernels::KernelKind;
 use ftoa_core::IndexBackend;
 use ftoa_runtime::JobPool;
 use workload::{presets, Scenario, TraceReader, TraceVersion, TraceWriter};
@@ -70,6 +75,10 @@ fn run(args: &[String]) -> Result<(), String> {
     let algos = parse_algos(&arg_value(args, "--algo").unwrap_or_else(|| "all".into()))?;
     let backend = parse_backend(&arg_value(args, "--backend").unwrap_or_else(|| "grid".into()))?;
     let deterministic_only = args.iter().any(|a| a == "--deterministic-only");
+    // Resolve (and validate) the distance-kernel selection up front: a bad
+    // `FTOA_KERNEL` must fail loudly here, not be silently ignored because
+    // the chosen backend's hot path happens not to reach the kernels.
+    let kernel = KernelKind::from_env()?;
     // 0 resolves to FTOA_JOBS / available parallelism inside the pool.
     let threads = JobPool::new(parse_or(args, "--threads", 0)?).threads();
 
@@ -80,12 +89,13 @@ fn run(args: &[String]) -> Result<(), String> {
         .then(|| trace.stream.workers().iter().map(|w| u64::from(w.capacity)).sum());
     let scenario = trace.into_scenario();
     eprintln!(
-        "replaying {}: {} workers, {} tasks, {} events ({} backend, {} thread{})",
+        "replaying {}: {} workers, {} tasks, {} events ({} backend, {} kernel, {} thread{})",
         trace_path,
         scenario.stream.num_workers(),
         scenario.stream.num_tasks(),
         scenario.stream.len(),
         backend.name(),
+        kernel.name(),
         threads,
         if threads == 1 { "" } else { "s" }
     );

@@ -88,6 +88,13 @@ impl<T: SpatialItem> ItemArena<T> {
         &self.ys
     }
 
+    /// The dense payoff column (NaN on vacant slots), parallel to
+    /// [`Self::xs`] / [`Self::ys`] — the third slice the payoff-argmax
+    /// kernel consumes.
+    pub fn payoffs(&self) -> &[f64] {
+        &self.payoffs
+    }
+
     /// Insert an item, returning the handle of this insertion.
     ///
     /// Panics if an item with the same dense index is already live — the

@@ -138,6 +138,22 @@ impl<'p, T: SpatialItem> PoolView<'p, T> {
         self.index.nearest_within(self.arena, query, max_radius, feasible)
     }
 
+    /// The **highest-payoff** live object within `max_radius` of `query`
+    /// (inclusive) accepted by `feasible` — argmax payoff, ties broken
+    /// towards the smaller distance, residual exact ties by the backend's
+    /// scan order. Weighted greedy policies use this instead of maximising
+    /// inside a [`Self::for_each_within`] visitor: the argmax runs inside
+    /// the index's kernel sweep, and `feasible` is only consulted for
+    /// candidates that would improve on the current best.
+    pub fn best_payoff_within(
+        &mut self,
+        query: &Location,
+        max_radius: f64,
+        feasible: &mut dyn FnMut(&T) -> bool,
+    ) -> Option<Candidate> {
+        self.index.best_payoff_within(self.arena, query, max_radius, feasible)
+    }
+
     /// Visit every live object within `radius` of `center` (inclusive),
     /// with its weighted [`Candidate`] record.
     pub fn for_each_within(

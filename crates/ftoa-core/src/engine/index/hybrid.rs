@@ -2,21 +2,27 @@
 //! sparse.
 //!
 //! The two indexed backends have complementary failure modes. The uniform
-//! grid shines in dense regions (the first ring already holds a close
-//! candidate; bucket scans are contiguous kernel sweeps) but degrades in
-//! sparse ones, where the ring expansion walks many empty buckets before it
-//! finds anyone. The KD-tree prunes sparse space geometrically but pays
-//! pointer-chasing overhead per node that dense bucket sweeps do not.
+//! grid shines on dense queries (the searched buckets are contiguous kernel
+//! sweeps full of real candidates) but degrades on sparse ones, where the
+//! ring/range expansion walks many empty buckets before it finds anyone.
+//! The KD-tree prunes sparse space geometrically but pays pointer-chasing
+//! overhead per node that dense bucket sweeps do not.
 //!
 //! The hybrid keeps **both** sub-indexes fully maintained (every insert and
 //! remove goes to both — both are exact, so correctness is choice-
-//! independent) and routes each *query* by observed local density: the
-//! bounded world is covered by a coarse `REGIONS`×`REGIONS` occupancy grid
-//! of plain counters bumped on insert/remove, and a query whose region
-//! currently holds at least [`DENSE_REGION_THRESHOLD`] live objects goes to
-//! the grid, anything sparser to the KD-tree. The threshold is a fixed
-//! constant compared against deterministic counters — no clocks, no
-//! sampling — so replays stay byte-identical.
+//! independent) and routes each *query* by the observed density of the disk
+//! it is about to search: the bounded world is covered by a coarse
+//! `REGIONS`×`REGIONS` occupancy grid of plain counters bumped on
+//! insert/remove, and a query whose radius-`r` disk overlaps regions holding
+//! at least [`DENSE_REGION_THRESHOLD`] live objects in total goes to the
+//! grid, anything sparser to the KD-tree. Summing over the disk rather than
+//! reading the query point's own region matters: under skewed workloads
+//! (e.g. the hotspot scenarios) workers and tasks cluster in *different*
+//! places, so the point a query originates from says nothing about how many
+//! candidates the search will actually wade through. The threshold is
+//! captured once at construction ([`HYBRID_THRESHOLD_ENV`] overrides the
+//! default for bench sweeps) and compared against deterministic counters —
+//! no clocks, no sampling — so replays stay byte-identical.
 
 use crate::engine::arena::ItemArena;
 use crate::engine::index::grid::GridCandidateIndex;
@@ -29,29 +35,58 @@ use ftoa_types::{BoundingBox, Candidate, Location, PoolHandle, ProblemConfig};
 /// counters estimate neighbourhood density, not bucket membership).
 const REGIONS: usize = 8;
 
-/// A query whose coarse region holds at least this many live objects is
-/// routed to the grid; sparser regions go to the KD-tree. At 32 objects in
-/// a 64th of the world, the first grid ring around a query is essentially
-/// always populated, which is where bucket sweeps beat tree descent.
-pub const DENSE_REGION_THRESHOLD: u32 = 32;
+/// A query whose search disk overlaps coarse regions holding at least this
+/// many live objects in total is routed to the grid; occupied-but-sparser
+/// disks go to the KD-tree, and provably empty disks short-circuit without
+/// searching at all. The default was picked by the threshold sweep recorded
+/// in `BENCH_engine.json` (regenerate with
+/// `cargo bench -p experiments --bench bench_candidate_index`): at `1`,
+/// every disk that provably holds a candidate goes to the grid's bucket
+/// sweeps and the win over the pure grid backend comes entirely from the
+/// emptiness short-circuit. Widening the KD-tree band costs more than it
+/// saves on the recorded scenario — each tree query pays the fresh-buffer
+/// scan and its share of epoch rebuilds to recover at most a handful of
+/// candidates — so the tree serves as the escape hatch for workloads with
+/// genuinely sparse occupied extents, reachable by raising the threshold
+/// through [`HYBRID_THRESHOLD_ENV`].
+pub const DENSE_REGION_THRESHOLD: u32 = 1;
+
+/// Environment variable overriding [`DENSE_REGION_THRESHOLD`] per *created*
+/// index (read in [`HybridCandidateIndex::for_config`]): the bench harness
+/// sweeps it to record the routing curve. Deterministic per instance — the
+/// value is captured at construction, never re-read mid-run.
+pub const HYBRID_THRESHOLD_ENV: &str = "FTOA_HYBRID_THRESHOLD";
 
 /// Adaptive backend: a fully-maintained grid and KD-tree pair with per-query
-/// routing by coarse-region occupancy.
+/// routing by coarse-region occupancy summed over the query disk.
 pub struct HybridCandidateIndex<T> {
     grid: GridCandidateIndex<T>,
     kd: KdCandidateIndex<T>,
     bounds: BoundingBox,
+    /// The dense-routing threshold this instance compares against
+    /// ([`DENSE_REGION_THRESHOLD`] unless overridden at construction).
+    dense_threshold: u32,
     /// Live-object counts per coarse region, row-major `REGIONS`×`REGIONS`.
     region_counts: [u32; REGIONS * REGIONS],
 }
 
 impl<T: SpatialItem> HybridCandidateIndex<T> {
-    /// Create a pool over the problem's grid bounds.
+    /// Create a pool over the problem's grid bounds. The routing threshold
+    /// is [`DENSE_REGION_THRESHOLD`], overridable through the
+    /// [`HYBRID_THRESHOLD_ENV`] environment variable (captured here, once;
+    /// an unparsable value panics rather than silently mis-routing a sweep).
     pub fn for_config(config: &ProblemConfig) -> Self {
+        let dense_threshold = match std::env::var(HYBRID_THRESHOLD_ENV) {
+            Err(_) => DENSE_REGION_THRESHOLD,
+            Ok(raw) => raw
+                .parse()
+                .unwrap_or_else(|_| panic!("{HYBRID_THRESHOLD_ENV} must be a u32, got {raw:?}")),
+        };
         Self {
             grid: GridCandidateIndex::for_config(config),
             kd: KdCandidateIndex::new(),
             bounds: *config.grid.bounds(),
+            dense_threshold,
             region_counts: [0; REGIONS * REGIONS],
         }
     }
@@ -59,17 +94,63 @@ impl<T: SpatialItem> HybridCandidateIndex<T> {
     /// The coarse region containing `(x, y)`, clamped into bounds exactly
     /// like bucket coordinates are.
     fn region_of(&self, x: f64, y: f64) -> usize {
+        let (rx, ry) = self.region_coords(x, y);
+        ry * REGIONS + rx
+    }
+
+    /// Clamped per-axis region coordinates of `(x, y)`.
+    fn region_coords(&self, x: f64, y: f64) -> (usize, usize) {
         let rw = self.bounds.width() / REGIONS as f64;
         let rh = self.bounds.height() / REGIONS as f64;
         let rx = (((x - self.bounds.min_x) / rw).floor() as isize).clamp(0, REGIONS as isize - 1);
         let ry = (((y - self.bounds.min_y) / rh).floor() as isize).clamp(0, REGIONS as isize - 1);
-        ry as usize * REGIONS + rx as usize
+        (rx as usize, ry as usize)
     }
 
-    /// Should a query at this point use the grid sub-index?
-    fn dense_at(&self, point: &Location) -> bool {
-        self.region_counts[self.region_of(point.x, point.y)] >= DENSE_REGION_THRESHOLD
+    /// Route a query searching the radius-`radius` disk around `point`.
+    /// Sums the live counts of every coarse region the disk's bounding
+    /// square overlaps — the candidates the search will actually encounter —
+    /// and routes dense disks to the grid, sparse-but-occupied ones to the
+    /// KD-tree. The query point's own region is deliberately *not*
+    /// special-cased: under skewed workloads queries originate far from the
+    /// objects they search for. An infinite radius clamps to the full
+    /// counter table, i.e. compares the total live count.
+    ///
+    /// A zero sum is a *proof of emptiness*, not merely a routing hint: the
+    /// clamp in [`Self::region_coords`] is monotone and applied identically
+    /// to item coordinates and disk corners, so every live item inside the
+    /// disk is counted in one of the summed regions. Such queries return
+    /// empty without touching either sub-index — in particular without
+    /// forcing the KD-tree to absorb its buffered mutations for a search
+    /// that cannot find anything.
+    fn route(&self, point: &Location, radius: f64) -> Route {
+        let (rx0, ry0) = self.region_coords(point.x - radius, point.y - radius);
+        let (rx1, ry1) = self.region_coords(point.x + radius, point.y + radius);
+        let mut live = 0u32;
+        for ry in ry0..=ry1 {
+            for rx in rx0..=rx1 {
+                live += self.region_counts[ry * REGIONS + rx];
+                if live >= self.dense_threshold {
+                    return Route::Grid;
+                }
+            }
+        }
+        if live == 0 {
+            Route::Empty
+        } else {
+            Route::Kd
+        }
     }
+}
+
+/// Where [`HybridCandidateIndex::route`] sends a query.
+enum Route {
+    /// The disk provably holds no live object: answer empty immediately.
+    Empty,
+    /// Dense disk: bucket sweeps beat tree traversal.
+    Grid,
+    /// Sparse but occupied disk: geometric pruning beats empty-bucket walks.
+    Kd,
 }
 
 impl<T: SpatialItem> CandidateIndex<T> for HybridCandidateIndex<T> {
@@ -98,10 +179,10 @@ impl<T: SpatialItem> CandidateIndex<T> for HybridCandidateIndex<T> {
         max_radius: f64,
         feasible: &mut dyn FnMut(&T) -> bool,
     ) -> Option<Candidate> {
-        if self.dense_at(query) {
-            self.grid.nearest_within(arena, query, max_radius, feasible)
-        } else {
-            self.kd.nearest_within(arena, query, max_radius, feasible)
+        match self.route(query, max_radius) {
+            Route::Empty => None,
+            Route::Grid => self.grid.nearest_within(arena, query, max_radius, feasible),
+            Route::Kd => self.kd.nearest_within(arena, query, max_radius, feasible),
         }
     }
 
@@ -112,10 +193,24 @@ impl<T: SpatialItem> CandidateIndex<T> for HybridCandidateIndex<T> {
         radius: f64,
         visit: &mut dyn FnMut(Candidate, &T),
     ) {
-        if self.dense_at(center) {
-            self.grid.for_each_within(arena, center, radius, visit);
-        } else {
-            self.kd.for_each_within(arena, center, radius, visit);
+        match self.route(center, radius) {
+            Route::Empty => {}
+            Route::Grid => self.grid.for_each_within(arena, center, radius, visit),
+            Route::Kd => self.kd.for_each_within(arena, center, radius, visit),
+        }
+    }
+
+    fn best_payoff_within(
+        &mut self,
+        arena: &ItemArena<T>,
+        query: &Location,
+        max_radius: f64,
+        feasible: &mut dyn FnMut(&T) -> bool,
+    ) -> Option<Candidate> {
+        match self.route(query, max_radius) {
+            Route::Empty => None,
+            Route::Grid => self.grid.best_payoff_within(arena, query, max_radius, feasible),
+            Route::Kd => self.kd.best_payoff_within(arena, query, max_radius, feasible),
         }
     }
 

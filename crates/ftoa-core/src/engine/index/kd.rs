@@ -15,6 +15,11 @@
 //! * when the dirty work (`stale + fresh`) crosses a threshold proportional
 //!   to the live size, the tree is **rebuilt** over the arena's live set and
 //!   both lists reset — amortising the O(n log n) build over Ω(n) mutations.
+//!   The threshold is checked **lazily, at query time**, not on every
+//!   mutation: queries are what pay for dirty state (fresh entries scanned,
+//!   tombstones filtered), so a pool that mutates heavily but is queried
+//!   rarely — the KD-tree half of the hybrid backend under dense routing —
+//!   never rebuilds a tree nobody asks, and the mutation path stays O(1).
 //!
 //! Queries are exact at every instant (tree hits and fresh hits are merged,
 //! dead stamps are filtered), so the backend agrees with the linear-scan
@@ -44,9 +49,11 @@ pub struct KdCandidateIndex<T> {
     /// stamps and entries whose generation no longer matches are dead.
     tree: KdTree<(u32, u32)>,
     /// Insertions since the last rebuild (never in `tree`), struct-of-arrays
-    /// so queries can kernel-scan the coordinates.
+    /// so queries can kernel-scan the coordinates (and, for the
+    /// payoff-argmax query, the payoff column alongside).
     fresh_xs: Vec<f64>,
     fresh_ys: Vec<f64>,
+    fresh_payoffs: Vec<f64>,
     fresh_stamps: Vec<(u32, u32)>,
     /// Tree entries invalidated by a removal since the last rebuild.
     stale: usize,
@@ -61,6 +68,7 @@ impl<T: SpatialItem> KdCandidateIndex<T> {
             tree: KdTree::build(Vec::new()),
             fresh_xs: Vec::new(),
             fresh_ys: Vec::new(),
+            fresh_payoffs: Vec::new(),
             fresh_stamps: Vec::new(),
             stale: 0,
             examined: 0,
@@ -86,6 +94,7 @@ impl<T: SpatialItem> KdCandidateIndex<T> {
             self.tree = KdTree::build(points);
             self.fresh_xs.clear();
             self.fresh_ys.clear();
+            self.fresh_payoffs.clear();
             self.fresh_stamps.clear();
             self.stale = 0;
         }
@@ -103,15 +112,15 @@ impl<T: SpatialItem> CandidateIndex<T> for KdCandidateIndex<T> {
         let slot = handle.slot() as usize;
         self.fresh_xs.push(arena.xs()[slot]);
         self.fresh_ys.push(arena.ys()[slot]);
+        self.fresh_payoffs.push(arena.payoffs()[slot]);
         self.fresh_stamps.push((handle.slot(), handle.generation()));
-        self.maybe_rebuild(arena);
     }
 
-    fn remove(&mut self, arena: &ItemArena<T>, _handle: PoolHandle) {
+    fn remove(&mut self, _arena: &ItemArena<T>, _handle: PoolHandle) {
         // The copy (in the tree or in `fresh`) dies via the arena's
-        // generation bump; only the dirty counter needs to know.
+        // generation bump; only the dirty counter needs to know. Rebuilds
+        // happen lazily at the next query.
         self.stale += 1;
-        self.maybe_rebuild(arena);
     }
 
     fn nearest_within(
@@ -121,6 +130,7 @@ impl<T: SpatialItem> CandidateIndex<T> for KdCandidateIndex<T> {
         max_radius: f64,
         feasible: &mut dyn FnMut(&T) -> bool,
     ) -> Option<Candidate> {
+        self.maybe_rebuild(arena);
         let mut scanned = 0u64;
         // The radius bound prunes the tree search itself (subtrees beyond
         // the reachable disk are never entered), so `scanned` counts only
@@ -174,6 +184,7 @@ impl<T: SpatialItem> CandidateIndex<T> for KdCandidateIndex<T> {
         radius: f64,
         visit: &mut dyn FnMut(Candidate, &T),
     ) {
+        self.maybe_rebuild(arena);
         let mut scanned = 0u64;
         for (_, &(slot, generation), d) in self.tree.within_radius(center, radius) {
             scanned += 1;
@@ -200,6 +211,70 @@ impl<T: SpatialItem> CandidateIndex<T> for KdCandidateIndex<T> {
         self.examined += scanned;
     }
 
+    fn best_payoff_within(
+        &mut self,
+        arena: &ItemArena<T>,
+        query: &Location,
+        max_radius: f64,
+        feasible: &mut dyn FnMut(&T) -> bool,
+    ) -> Option<Candidate> {
+        self.maybe_rebuild(arena);
+        let mut scanned = 0u64;
+        // Payoff carries no spatial structure, so the whole in-disk tree
+        // set is enumerated (the radius still prunes the descent) and the
+        // argmax folded over it with the kernel op's improvement predicate.
+        let mut best: Option<(usize, f64, f64)> = None;
+        for (_, &(slot, generation), d) in self.tree.within_radius(query, max_radius) {
+            scanned += 1;
+            let slot = slot as usize;
+            let Some(item) = arena.stamped_item(slot, generation) else { continue };
+            let d2 = d * d;
+            let payoff = arena.payoffs()[slot];
+            let improves = match best {
+                None => true,
+                Some((_, best_d2, best_payoff)) => {
+                    payoff > best_payoff || (payoff == best_payoff && d2 < best_d2)
+                }
+            };
+            if improves && feasible(item) {
+                best = Some((slot, d2, payoff));
+            }
+        }
+        // Merge with the not-yet-indexed fresh buffer; on exact (payoff,
+        // distance) ties the tree hit wins, mirroring `nearest_within`.
+        scanned += self.fresh_stamps.len() as u64;
+        let max_r2 = if max_radius < 0.0 { f64::NEG_INFINITY } else { max_radius * max_radius };
+        let stamps = &self.fresh_stamps;
+        let fresh_best = kernels::best_payoff_within_sq(
+            &self.fresh_xs,
+            &self.fresh_ys,
+            &self.fresh_payoffs,
+            query.x,
+            query.y,
+            max_r2,
+            &mut |pos| {
+                let (slot, generation) = stamps[pos];
+                match arena.stamped_item(slot as usize, generation) {
+                    Some(item) => feasible(item),
+                    None => false,
+                }
+            },
+        );
+        if let Some((pos, d2, payoff)) = fresh_best {
+            let improves = match best {
+                None => true,
+                Some((_, best_d2, best_payoff)) => {
+                    payoff > best_payoff || (payoff == best_payoff && d2 < best_d2)
+                }
+            };
+            if improves {
+                best = Some((stamps[pos].0 as usize, d2, payoff));
+            }
+        }
+        self.examined += scanned;
+        best.map(|(slot, d2, _)| arena.candidate_at_slot(slot, d2))
+    }
+
     fn candidates_examined(&self) -> u64 {
         self.examined
     }
@@ -210,6 +285,7 @@ impl<T: SpatialItem> CandidateIndex<T> for KdCandidateIndex<T> {
         // stored point).
         vec_bytes::<f64>(self.fresh_xs.capacity())
             + vec_bytes::<f64>(self.fresh_ys.capacity())
+            + vec_bytes::<f64>(self.fresh_payoffs.capacity())
             + vec_bytes::<(u32, u32)>(self.fresh_stamps.capacity())
             + vec_bytes::<(Location, (u32, u32))>(self.tree.len())
             + vec_bytes::<(usize, usize, usize, u8)>(self.tree.len())
@@ -307,10 +383,10 @@ mod tests {
         assert_eq!(seen, vec![1]);
     }
 
-    /// The examined counter grows monotonically and rebuilds reset the dirty
-    /// bookkeeping (fresh buffer drained into the tree).
+    /// Rebuilds are lazy: mutations only accumulate dirty state, and the
+    /// first query past the threshold drains the fresh buffer into the tree.
     #[test]
-    fn rebuilds_drain_the_fresh_buffer() {
+    fn rebuilds_are_lazy_and_drain_the_fresh_buffer_at_query_time() {
         let mut arena: ItemArena<Worker> = ItemArena::new();
         let mut kd: KdCandidateIndex<Worker> = KdCandidateIndex::new();
         for i in 0..64 {
@@ -318,10 +394,14 @@ mod tests {
             let handle = arena.insert(worker(i, x, y));
             kd.insert(&arena, handle);
         }
-        // 64 inserts crossed the rebuild threshold (8 + len/8) several times;
-        // after the most recent crossing the fresh buffer was reset and holds
-        // fewer entries than the threshold.
+        // 64 inserts are far past the rebuild threshold (8 + len/8), but no
+        // query has run yet: the mutation path never rebuilds.
+        assert_eq!(kd.dirty(), 64, "inserts alone must not trigger a rebuild");
+        assert!(kd.tree.is_empty(), "the tree is untouched until a query needs it");
+        // The first query pays the rebuild and resets the dirty bookkeeping.
+        let hit = kd.nearest_within(&arena, &Location::new(0.0, 0.0), f64::INFINITY, &mut |_| true);
+        assert!(hit.is_some());
         assert!(kd.dirty() <= REBUILD_BASE + arena.len() / 8);
-        assert!(!kd.tree.is_empty(), "rebuild moved fresh entries into the tree");
+        assert!(!kd.tree.is_empty(), "the query-time rebuild moved fresh entries into the tree");
     }
 }

@@ -1,0 +1,53 @@
+//! Portable chunked scalar kernels: the fallback on targets without an
+//! explicit SIMD path, and the bit-exactness *oracle* every SIMD kernel is
+//! proptested against.
+//!
+//! The chunk loop carries no bounds checks and no data-dependent branches,
+//! so the compiler can auto-vectorise the distance arithmetic even here;
+//! the explicit kernels in `avx2.rs` / `neon.rs` additionally collapse the
+//! per-lane radius branches into one register-wide compare-and-movemask.
+//! Arithmetic is plain `dx * dx + dy * dy` (two roundings, no FMA) — the
+//! SIMD paths must use the same operation sequence to stay bit-identical.
+
+use super::LANES;
+
+/// Scalar implementation of [`super::for_each_within_sq`]. The dispatcher
+/// in `mod.rs` has already equalised the slice lengths.
+#[inline]
+pub(super) fn for_each_within_sq(
+    xs: &[f64],
+    ys: &[f64],
+    qx: f64,
+    qy: f64,
+    r2: f64,
+    visit: &mut impl FnMut(usize, f64),
+) {
+    debug_assert_eq!(xs.len(), ys.len(), "dispatcher equalises the slice lengths");
+    let mut x_chunks = xs.chunks_exact(LANES);
+    let mut y_chunks = ys.chunks_exact(LANES);
+    let mut base = 0usize;
+    let mut d2 = [0.0f64; LANES];
+    for (xc, yc) in (&mut x_chunks).zip(&mut y_chunks) {
+        // Straight-line distance arithmetic over the whole chunk first
+        // (vectorisable), then a scalar pass over the radius test.
+        for lane in 0..LANES {
+            let dx = xc[lane] - qx;
+            let dy = yc[lane] - qy;
+            d2[lane] = dx * dx + dy * dy;
+        }
+        for (lane, &d2) in d2.iter().enumerate() {
+            if d2 <= r2 {
+                visit(base + lane, d2);
+            }
+        }
+        base += LANES;
+    }
+    for (offset, (x, y)) in x_chunks.remainder().iter().zip(y_chunks.remainder()).enumerate() {
+        let dx = x - qx;
+        let dy = y - qy;
+        let d2 = dx * dx + dy * dy;
+        if d2 <= r2 {
+            visit(base + offset, d2);
+        }
+    }
+}

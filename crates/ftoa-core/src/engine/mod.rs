@@ -16,10 +16,13 @@
 //!   freed slots recycle through a free-list, and [`ftoa_types::PoolHandle`]
 //!   stamps (slot + generation) make stale references structurally
 //!   unobservable;
-//! * [`kernels`] — batched squared-distance loops over the arena's
-//!   coordinate slices, written as straight-line chunked iteration the
-//!   compiler auto-vectorises; every backend funnels its candidate scans
-//!   through these two functions;
+//! * [`kernels`] — batched squared-distance kernels over the arena's
+//!   coordinate slices, with explicit AVX2/NEON implementations selected at
+//!   runtime (`FTOA_KERNEL`, see [`kernels::KernelKind`]) and a portable
+//!   chunked scalar fallback that doubles as the bit-exactness oracle; the
+//!   linear, kd and hybrid backends funnel their candidate scans through
+//!   these three ops (`for_each_within_sq`, `nearest_within_sq`,
+//!   `best_payoff_within_sq`);
 //! * [`index`] — the [`index::CandidateIndex`] trait plus its four backends: the
 //!   exhaustive [`index::LinearScanIndex`] (reference/oracle), the struct-of-arrays
 //!   [`index::GridCandidateIndex`] with ring and reachable-disk range queries, the

@@ -8,7 +8,7 @@
 //! invariants used to live in reviewers' heads; this crate machine-checks
 //! them on every push, in the style of rustc's `tidy`: a zero-dependency
 //! (std only) binary that walks every `.rs` file in the workspace with a
-//! small line/token scanner and enforces six named rules:
+//! small line/token scanner and enforces seven named rules:
 //!
 //! | rule | id                | what it forbids |
 //! |------|-------------------|-----------------|
@@ -18,6 +18,7 @@
 //! | R4   | `stray-print`     | `println!`/`eprintln!`/`dbg!` in library crates (bins only) |
 //! | R5   | `crate-hygiene`   | missing `[lints] workspace = true` opt-in or crate-doc header |
 //! | R6   | `trace-version`   | `ftoa-trace` version literals disagreeing across trace.rs / fixture / README |
+//! | R7   | `unsafe-safety`   | an `unsafe { ... }` block without a `// SAFETY:` comment directly above it |
 //!
 //! A finding can be waived inline with
 //! `// tidy:allow(<rule-id>) -- <justification>` on (or directly above) the

@@ -1,8 +1,8 @@
-//! The six determinism rules.
+//! The seven determinism rules.
 //!
-//! Line rules (R1–R4) run on masked source (see [`crate::scan::mask`]), so a
-//! forbidden name inside a string literal or comment never fires. Workspace
-//! rules (R5, R6) read manifests and non-Rust files directly.
+//! Line rules (R1–R4, R7) run on masked source (see [`crate::scan::mask`]),
+//! so a forbidden name inside a string literal or comment never fires.
+//! Workspace rules (R5, R6) read manifests and non-Rust files directly.
 
 use crate::report::Violation;
 use crate::scan::{self, FileClass, MaskedFile, Waiver};
@@ -20,15 +20,18 @@ pub const RULE_STRAY_PRINT: &str = "stray-print";
 pub const RULE_CRATE_HYGIENE: &str = "crate-hygiene";
 /// Rule id for R6.
 pub const RULE_TRACE_VERSION: &str = "trace-version";
+/// Rule id for R7.
+pub const RULE_UNSAFE_SAFETY: &str = "unsafe-safety";
 
-/// All rule ids a waiver may name, in R1..R6 order.
-pub const ALL_RULES: [&str; 6] = [
+/// All rule ids a waiver may name, in R1..R7 order.
+pub const ALL_RULES: [&str; 7] = [
     RULE_WALL_CLOCK,
     RULE_UNORDERED_ITER,
     RULE_AD_HOC_THREAD,
     RULE_STRAY_PRINT,
     RULE_CRATE_HYGIENE,
     RULE_TRACE_VERSION,
+    RULE_UNSAFE_SAFETY,
 ];
 
 fn emit(
@@ -65,6 +68,7 @@ pub fn check_file(
         if !rel.starts_with("crates/ftoa-runtime/") {
             check_ad_hoc_thread(rel, masked, waivers, violations);
         }
+        check_unsafe_safety(rel, masked, waivers, violations);
     }
 }
 
@@ -260,9 +264,70 @@ fn check_stray_print(
     }
 }
 
+/// R7 `unsafe-safety`: every `unsafe { ... }` block must be preceded by a
+/// `// SAFETY:` comment stating the invariant that makes it sound. The
+/// workspace denies `unsafe_code`, so the only files that opt back in are
+/// the SIMD kernel modules — and there the safety argument (alignment,
+/// in-bounds lanes, target-feature availability) is exactly what a reviewer
+/// needs pinned next to the block. The comment may span several contiguous
+/// comment-only lines directly above the block (rustfmt wraps long SAFETY
+/// arguments), or sit as a trailing comment on the `unsafe` line itself.
+/// `unsafe fn` declarations are out of scope: their contract belongs in the
+/// `# Safety` doc section, which rustdoc already conventionalises.
+fn check_unsafe_safety(
+    rel: &str,
+    masked: &MaskedFile,
+    waivers: &[Waiver],
+    violations: &mut Vec<Violation>,
+) {
+    for (idx, line) in masked.lines.iter().enumerate() {
+        let code = &line.code;
+        let Some(pos) = scan::find_word(code, "unsafe") else { continue };
+        // A block starts with `{` right after the keyword; anything else
+        // (`unsafe fn`, `unsafe impl`, `unsafe extern`) is a declaration.
+        if !code[pos + "unsafe".len()..].trim_start().starts_with('{') {
+            continue;
+        }
+        let documented = line.comment.as_deref().is_some_and(|c| c.starts_with("SAFETY:"))
+            || preceding_comment_run_has_safety(masked, idx);
+        if !documented {
+            emit(
+                violations,
+                waivers,
+                rel,
+                idx + 1,
+                RULE_UNSAFE_SAFETY,
+                "`unsafe` block without a `// SAFETY:` comment directly above it: \
+                 state the invariant that makes the block sound"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// Does the contiguous run of comment-only lines directly above `idx`
+/// contain a comment starting with `SAFETY:`?
+fn preceding_comment_run_has_safety(masked: &MaskedFile, idx: usize) -> bool {
+    for prior in masked.lines[..idx].iter().rev() {
+        let comment_only = prior.code.trim().is_empty();
+        match (&prior.comment, comment_only) {
+            (Some(comment), true) => {
+                if comment.starts_with("SAFETY:") {
+                    return true;
+                }
+            }
+            // A code line (or doc comment, or blank line) breaks the run.
+            _ => return false,
+        }
+    }
+    false
+}
+
 /// R5 `crate-hygiene`: every non-shim crate opts into the workspace lint
-/// policy (`[lints] workspace = true`, which carries `unsafe_code = forbid`
-/// and `missing_docs = warn`) and opens with a `//!` crate-doc header, and
+/// policy (`[lints] workspace = true`, which carries `unsafe_code = deny` —
+/// the SIMD kernel modules opt back in file-by-file, under R7's
+/// SAFETY-comment obligation — and `missing_docs = warn`) and opens with a
+/// `//!` crate-doc header, and
 /// every module file under its `src/` tree opens with its own `//!` header
 /// (inner attributes such as `#![allow(...)]` may precede it). Shim crates
 /// are exempt from the opt-in and the module walk but must keep their own
@@ -660,6 +725,51 @@ mod tests {
         assert!(!run_line_rules(dbg, FileClass::Lib).is_empty());
         let waived = "// tidy:allow(stray-print) -- feature-gated debug aid\n\
                       fn f() { eprintln!(\"x\"); }\n";
+        assert!(run_line_rules(waived, FileClass::Lib).is_empty());
+    }
+
+    #[test]
+    fn r7_catches_undocumented_unsafe_blocks() {
+        let bad = "fn f() { let v = unsafe { load(p) }; }\n";
+        let v = run_line_rules(bad, FileClass::Lib);
+        assert!(v.iter().any(|v| v.rule == RULE_UNSAFE_SAFETY && v.line == 1), "{v:?}");
+        // A comment that exists but is not a SAFETY argument does not count.
+        let wrong_comment = "// loads the first lane\nlet v = unsafe { load(p) };\n";
+        assert!(!run_line_rules(wrong_comment, FileClass::Lib).is_empty());
+        // Neither does a SAFETY comment separated by a blank line.
+        let detached = "// SAFETY: p is in bounds\n\nlet v = unsafe { load(p) };\n";
+        assert!(!run_line_rules(detached, FileClass::Lib).is_empty());
+        // Bins are covered too.
+        assert!(!run_line_rules(bad, FileClass::Bin).is_empty());
+    }
+
+    #[test]
+    fn r7_accepts_safety_comments_and_ignores_declarations() {
+        let single = "// SAFETY: p points into the arena, in bounds by construction\n\
+                      let v = unsafe { load(p) };\n";
+        assert!(run_line_rules(single, FileClass::Lib).is_empty());
+        // rustfmt-wrapped SAFETY arguments: the marker may open a run of
+        // contiguous comment lines above the block.
+        let wrapped = "// SAFETY: `xs` and `ys` are equal-length slices and\n\
+                       // `base + WIDTH <= n`, so both loads are in bounds.\n\
+                       let v = unsafe { load(p) };\n";
+        assert!(run_line_rules(wrapped, FileClass::Lib).is_empty());
+        let trailing = "let v = unsafe { load(p) }; // SAFETY: in bounds\n";
+        assert!(run_line_rules(trailing, FileClass::Lib).is_empty());
+        // Declarations carry their contract in `# Safety` docs instead.
+        let decl = "pub(super) unsafe fn load_lane(p: *const f64) -> f64 { p.read() }\n";
+        assert!(run_line_rules(decl, FileClass::Lib).is_empty());
+        let unsafe_impl = "unsafe impl Send for Pool {}\n";
+        assert!(run_line_rules(unsafe_impl, FileClass::Lib).is_empty());
+        // `unsafe` inside a string or identifier never fires.
+        let masked_out = "let s = \"unsafe { }\"; let unsafe_code_flag = 1;\n";
+        assert!(run_line_rules(masked_out, FileClass::Lib).is_empty());
+        // Tests and benches are exempt, like every other line rule.
+        let bad = "fn f() { let v = unsafe { load(p) }; }\n";
+        assert!(run_line_rules(bad, FileClass::Test).is_empty());
+        // And an explicit waiver silences the rule.
+        let waived = "// tidy:allow(unsafe-safety) -- documented at the fn level\n\
+                      let v = unsafe { load(p) };\n";
         assert!(run_line_rules(waived, FileClass::Lib).is_empty());
     }
 

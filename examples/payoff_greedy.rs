@@ -1,0 +1,122 @@
+//! Weighted greedy on the engine's payoff-argmax kernel.
+//!
+//! On a weighted stream the nearest pending task is not necessarily the most
+//! valuable one. This example defines a small custom [`OnlinePolicy`] that,
+//! on every worker arrival, asks the candidate index for the
+//! **highest-payoff** reachable pending task via
+//! `PoolView::best_payoff_within` — the argmax runs inside the index's SIMD
+//! kernel sweep (see `FTOA_KERNEL`) instead of a filter-then-max visitor —
+//! and compares the utility it accrues against the payoff-oblivious
+//! SimpleGreedy baseline, across all four index backends.
+//!
+//! Run with: `cargo run --release --example payoff_greedy`
+
+use ftoa::core_algorithms::{
+    AssignmentDecision, EngineContext, IndexBackend, OnlinePolicy, SimpleGreedy, SimulationEngine,
+};
+use ftoa::types::{Task, TimeDelta, Worker};
+use ftoa::workload::SyntheticConfig;
+
+/// Greedy over task *payoffs*: each arriving worker grabs the most valuable
+/// pending task it can still reach (ties toward the nearest); each arriving
+/// task falls back to the most valuable idle worker that can serve it.
+#[derive(Default)]
+struct PayoffGreedyPolicy {
+    /// Largest task patience in the stream, bounding the reachable disk of
+    /// worker-arrival queries exactly as SimpleGreedy does.
+    max_patience: Option<TimeDelta>,
+}
+
+impl PayoffGreedyPolicy {
+    fn max_patience(&mut self, ctx: &EngineContext<'_>) -> TimeDelta {
+        *self.max_patience.get_or_insert_with(|| ctx.stream.max_task_patience())
+    }
+}
+
+impl OnlinePolicy for PayoffGreedyPolicy {
+    fn name(&self) -> &'static str {
+        "PayoffGreedy"
+    }
+
+    fn on_worker_arrival(&mut self, ctx: &mut EngineContext<'_>, w: &Worker) {
+        let now = ctx.now();
+        let velocity = ctx.velocity();
+        let radius = velocity * self.max_patience(ctx).as_minutes();
+        let found = if now < w.deadline() {
+            let origin = w.location;
+            // The weighted twist: argmax payoff within the reachable disk,
+            // not argmin distance. `feasible` is only consulted for
+            // candidates that would improve on the current best.
+            ctx.pending_tasks().best_payoff_within(&origin, radius, &mut |task| {
+                now + origin.travel_time(&task.location, velocity) <= task.deadline()
+            })
+        } else {
+            None
+        };
+        if let Some(candidate) = found {
+            let task = ctx.claim_task(candidate.handle).expect("candidate came from the pool");
+            ctx.commit(AssignmentDecision::new(w.id, task.id));
+        } else {
+            ctx.admit_worker(w);
+        }
+    }
+
+    fn on_task_arrival(&mut self, ctx: &mut EngineContext<'_>, r: &Task) {
+        let now = ctx.now();
+        let velocity = ctx.velocity();
+        let radius = r.reach_radius_at(now, velocity);
+        let found = ctx.idle_workers().nearest_within(&r.location, radius, &mut |worker| {
+            now <= worker.deadline()
+                && now + worker.location.travel_time(&r.location, velocity) <= r.deadline()
+        });
+        if let Some(candidate) = found {
+            let worker = ctx.claim_worker(candidate.handle).expect("candidate came from the pool");
+            ctx.commit(AssignmentDecision::new(worker.id, r.id));
+        } else {
+            ctx.admit_task(r);
+        }
+    }
+}
+
+fn main() {
+    // A worker-scarce weighted day: few patient workers, many pending tasks
+    // with payoffs drawn from [1, 10] — so each arriving worker genuinely
+    // chooses among alternatives, and value and proximity disagree often.
+    let scenario = SyntheticConfig {
+        num_workers: 500,
+        num_tasks: 4_000,
+        dr_slots: 4.0,
+        task_payoff: Some((1.0, 10.0)),
+        ..SyntheticConfig::default()
+    }
+    .generate(2017);
+    let instance = ftoa::core_algorithms::Instance::new(
+        &scenario.config,
+        &scenario.stream,
+        &scenario.predicted_workers,
+        &scenario.predicted_tasks,
+    );
+
+    println!(
+        "{:<14}{:<14}{:>10}{:>14}{:>12}",
+        "policy", "backend", "matching", "total payoff", "time (ms)"
+    );
+    for backend in IndexBackend::ALL {
+        let engine = SimulationEngine::new(backend);
+        let mut weighted = PayoffGreedyPolicy::default();
+        let mut nearest = SimpleGreedy.policy();
+        for result in [engine.run(&instance, &mut weighted), engine.run(&instance, &mut nearest)] {
+            println!(
+                "{:<14}{:<14}{:>10}{:>14.1}{:>12.2}",
+                result.algorithm,
+                result.stats.backend,
+                result.matching_size(),
+                result.total_payoff,
+                result.runtime.as_secs_f64() * 1000.0
+            );
+        }
+    }
+    println!("\nSame matching size, substantially higher utility — and identical totals on");
+    println!("every backend: the argmax runs inside the shared index kernels (set");
+    println!("FTOA_KERNEL=scalar|avx2|neon to pin one implementation).");
+}
