@@ -5,9 +5,16 @@
 //!
 //! ```text
 //! replay --trace traces/fixture_small.trace [--algo all|name[,name...]]
-//!        [--backend grid|linear|kd|hybrid] [--threads N]
+//!        [--backend grid|linear|kd|hybrid] [--threads N] [--shards N]
 //!        [--deterministic-only] [--out metrics.json]
 //! ```
+//!
+//! Arguments are parsed strictly: an unrecognised flag, a positional token,
+//! a flag missing its value or a flag given twice prints a diagnostic plus
+//! the usage line and exits with code 2 (`--algos` is not `--algo`; it is
+//! rejected, not silently ignored). Environment knobs are validated eagerly
+//! — an unparsable `FTOA_JOBS` or `FTOA_SHARDS` aborts the run with a
+//! diagnostic before any work happens.
 //!
 //! Runs the selected algorithms (default: all five; the flow-backed batch
 //! policies `batch-mf` / `batch-hun` must be named explicitly) over the
@@ -31,7 +38,10 @@
 //! environment variable (validated up front, reported in the header line)
 //! pins the distance-kernel implementation; the CI `kernel-dispatch` matrix
 //! replays the goldens under `scalar` and `auto` and requires identical
-//! bytes from both.
+//! bytes from both. `--shards N` (default: `FTOA_SHARDS` or 1) region-shards
+//! every engine run N ways — the deterministic cross-shard handoff keeps the
+//! output byte-identical to serial, and the CI golden gates replay both
+//! fixtures at `--shards 4` against the unchanged golden files to pin it.
 //!
 //! Capture mode:
 //!
@@ -52,44 +62,128 @@ use ftoa_core::IndexBackend;
 use ftoa_runtime::JobPool;
 use workload::{presets, Scenario, TraceReader, TraceVersion, TraceWriter};
 
+const USAGE: &str = "usage: replay --trace <file> [--algo all|name,..] \
+                     [--backend grid|linear|kd|hybrid] [--threads N] [--shards N] \
+                     [--deterministic-only] [--out <file>]\n       \
+                     replay --capture <fixture|fixture-weighted|hotspot|rush-hour|imbalance|synthetic> \
+                     [--seed N] [--scale F] [--ratio R] --out <file>";
+
+/// Flags that consume the following token as their value.
+const VALUE_FLAGS: &[&str] = &[
+    "--trace",
+    "--algo",
+    "--backend",
+    "--threads",
+    "--shards",
+    "--out",
+    "--capture",
+    "--seed",
+    "--scale",
+    "--ratio",
+];
+
+/// Strictly parsed command line: every token is either a known value flag
+/// (with its value), a known boolean flag, or an error. No pair-scanning —
+/// a typo like `--algos` is a hard usage error, never silently ignored.
+struct Cli {
+    values: Vec<(&'static str, String)>,
+    deterministic_only: bool,
+}
+
+impl Cli {
+    /// Parse the argument list. `Ok(None)` means `--help` was requested.
+    fn parse(args: &[String]) -> Result<Option<Cli>, String> {
+        let mut cli = Cli { values: Vec::new(), deterministic_only: false };
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--help" | "-h" => return Ok(None),
+                "--deterministic-only" => {
+                    if cli.deterministic_only {
+                        return Err("flag --deterministic-only given twice".into());
+                    }
+                    cli.deterministic_only = true;
+                }
+                other => match VALUE_FLAGS.iter().find(|&&f| f == other) {
+                    Some(&flag) => {
+                        let value =
+                            iter.next().ok_or_else(|| format!("{flag} is missing its value"))?;
+                        if cli.values.iter().any(|(f, _)| *f == flag) {
+                            return Err(format!("flag {flag} given twice"));
+                        }
+                        cli.values.push((flag, value.clone()));
+                    }
+                    None => return Err(format!("unrecognised argument `{other}`")),
+                },
+            }
+        }
+        Ok(Some(cli))
+    }
+
+    fn value(&self, flag: &str) -> Option<&str> {
+        self.values.iter().find(|(f, _)| *f == flag).map(|(_, v)| v.as_str())
+    }
+
+    fn parse_or<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, String> {
+        match self.value(flag) {
+            Some(v) => v.parse().map_err(|_| format!("invalid value for {flag}: `{v}`")),
+            None => Ok(default),
+        }
+    }
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    if let Err(message) = run(&args) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match Cli::parse(&args) {
+        Ok(Some(cli)) => cli,
+        Ok(None) => {
+            println!("{USAGE}");
+            return;
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(message) = run(&cli) {
         eprintln!("error: {message}");
-        eprintln!(
-            "usage: replay --trace <file> [--algo all|name,..] [--backend grid|linear|kd|hybrid] \
-             [--threads N] [--deterministic-only] [--out <file>]\n       \
-             replay --capture <fixture|fixture-weighted|hotspot|rush-hour|imbalance|synthetic> \
-             [--seed N] [--scale F] [--ratio R] --out <file>"
-        );
+        eprintln!("{USAGE}");
         std::process::exit(1);
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
-    if let Some(preset) = arg_value(args, "--capture") {
-        return capture(args, &preset);
+fn run(cli: &Cli) -> Result<(), String> {
+    // Validate every environment knob eagerly, whatever mode runs: a bad
+    // `FTOA_KERNEL`, `FTOA_JOBS` or `FTOA_SHARDS` must fail loudly here, not
+    // be silently ignored because the chosen path happens not to read it.
+    let kernel = KernelKind::from_env()?;
+    let jobs_override = ftoa_runtime::jobs_env_override()?;
+    let shards_override = ftoa_core::shards_from_env()?;
+    if let Some(preset) = cli.value("--capture") {
+        return capture(cli, preset);
     }
     let trace_path =
-        arg_value(args, "--trace").ok_or("missing --trace <file> (or --capture <preset>)")?;
-    let algos = parse_algos(&arg_value(args, "--algo").unwrap_or_else(|| "all".into()))?;
-    let backend = parse_backend(&arg_value(args, "--backend").unwrap_or_else(|| "grid".into()))?;
-    let deterministic_only = args.iter().any(|a| a == "--deterministic-only");
-    // Resolve (and validate) the distance-kernel selection up front: a bad
-    // `FTOA_KERNEL` must fail loudly here, not be silently ignored because
-    // the chosen backend's hot path happens not to reach the kernels.
-    let kernel = KernelKind::from_env()?;
+        cli.value("--trace").ok_or("missing --trace <file> (or --capture <preset>)")?;
+    let algos = parse_algos(cli.value("--algo").unwrap_or("all"))?;
+    let backend = parse_backend(cli.value("--backend").unwrap_or("grid"))?;
+    let deterministic_only = cli.deterministic_only;
     // 0 resolves to FTOA_JOBS / available parallelism inside the pool.
-    let threads = JobPool::new(parse_or(args, "--threads", 0)?).threads();
+    let threads = JobPool::new(cli.parse_or("--threads", jobs_override.unwrap_or(0))?).threads();
+    let shards: usize = cli.parse_or("--shards", shards_override.unwrap_or(1))?;
+    if shards == 0 {
+        return Err("invalid value for --shards: `0` (must be a positive integer)".into());
+    }
 
-    let trace = TraceReader::read_file(&trace_path).map_err(|e| e.to_string())?;
+    let trace = TraceReader::read_file(trace_path).map_err(|e| e.to_string())?;
     // On a weighted (v2) trace, report how much of the total worker capacity
     // each matching uses; v1 traces keep the exact historical rendering.
     let total_capacity: Option<u64> = (trace.version == TraceVersion::V2)
         .then(|| trace.stream.workers().iter().map(|w| u64::from(w.capacity)).sum());
     let scenario = trace.into_scenario();
     eprintln!(
-        "replaying {}: {} workers, {} tasks, {} events ({} backend, {} kernel, {} thread{})",
+        "replaying {}: {} workers, {} tasks, {} events ({} backend, {} kernel, {} thread{}, \
+         {} shard{})",
         trace_path,
         scenario.stream.num_workers(),
         scenario.stream.num_tasks(),
@@ -97,10 +191,13 @@ fn run(args: &[String]) -> Result<(), String> {
         backend.name(),
         kernel.name(),
         threads,
-        if threads == 1 { "" } else { "s" }
+        if threads == 1 { "" } else { "s" },
+        shards,
+        if shards == 1 { "" } else { "s" }
     );
 
-    let opts = SuiteOptions::default().with_backend(backend).with_threads(threads);
+    let opts =
+        SuiteOptions::default().with_backend(backend).with_threads(threads).with_shards(shards);
     let results = ReplayConfig::new(&scenario).options(opts).algos(&algos).run();
     for r in &results {
         eprintln!(
@@ -113,24 +210,25 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 
     let mut metrics = ReplayMetrics::new(
-        &trace_path,
+        trace_path,
         backend.name(),
         scenario.stream.num_workers(),
         scenario.stream.num_tasks(),
         scenario.stream.len(),
         threads,
         &results,
-    );
+    )
+    .with_shards(shards);
     if let Some(total) = total_capacity {
         metrics = metrics.with_total_capacity(total);
     }
-    emit(args, &metrics.to_json(deterministic_only))
+    emit(cli, &metrics.to_json(deterministic_only))
 }
 
-fn capture(args: &[String], preset: &str) -> Result<(), String> {
-    let seed: u64 = parse_or(args, "--seed", 2017)?;
-    let scale: f64 = parse_or(args, "--scale", 0.01)?;
-    let ratio: f64 = parse_or(args, "--ratio", 1.0)?;
+fn capture(cli: &Cli, preset: &str) -> Result<(), String> {
+    let seed: u64 = cli.parse_or("--seed", 2017)?;
+    let scale: f64 = cli.parse_or("--scale", 0.01)?;
+    let ratio: f64 = cli.parse_or("--ratio", 1.0)?;
     let scenario: Scenario = match preset {
         "fixture" => presets::ci_fixture(),
         "fixture-weighted" => presets::ci_fixture_weighted(),
@@ -151,18 +249,18 @@ fn capture(args: &[String], preset: &str) -> Result<(), String> {
         scenario.stream.num_tasks(),
         scenario.stream.len()
     );
-    emit(args, &TraceWriter::to_string(&scenario.config, &scenario.stream))
+    emit(cli, &TraceWriter::to_string(&scenario.config, &scenario.stream))
 }
 
-fn emit(args: &[String], content: &str) -> Result<(), String> {
-    match arg_value(args, "--out") {
+fn emit(cli: &Cli, content: &str) -> Result<(), String> {
+    match cli.value("--out") {
         Some(path) => {
-            if let Some(parent) = std::path::Path::new(&path).parent() {
+            if let Some(parent) = std::path::Path::new(path).parent() {
                 if !parent.as_os_str().is_empty() {
                     std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
                 }
             }
-            std::fs::write(&path, content).map_err(|e| e.to_string())?;
+            std::fs::write(path, content).map_err(|e| e.to_string())?;
             eprintln!("wrote {path}");
         }
         None => print!("{content}"),
@@ -184,15 +282,4 @@ fn parse_algos(spec: &str) -> Result<Vec<Algo>, String> {
 fn parse_backend(spec: &str) -> Result<IndexBackend, String> {
     IndexBackend::parse(spec)
         .ok_or_else(|| format!("unknown backend `{spec}` (expected grid|linear|kd|hybrid)"))
-}
-
-fn parse_or<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> Result<T, String> {
-    match arg_value(args, key) {
-        Some(v) => v.parse().map_err(|_| format!("invalid value for {key}: `{v}`")),
-        None => Ok(default),
-    }
-}
-
-fn arg_value(args: &[String], key: &str) -> Option<String> {
-    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
 }

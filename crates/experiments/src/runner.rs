@@ -40,6 +40,12 @@ pub struct SuiteOptions {
     /// the exact worker count. Deterministic outputs are byte-identical at
     /// every setting.
     pub threads: usize,
+    /// Region-shard count of every engine run (see
+    /// [`ftoa_core::ShardedEngine`]): `1` (the default) runs the serial
+    /// engine, `n > 1` partitions each pool's candidate index into `n`
+    /// bucket-column stripes with deterministic cross-shard handoff.
+    /// Deterministic outputs are byte-identical at every setting.
+    pub shards: usize,
 }
 
 impl Default for SuiteOptions {
@@ -51,6 +57,7 @@ impl Default for SuiteOptions {
             strict_feasibility: true,
             index_backend: IndexBackend::Grid,
             threads: 1,
+            shards: 1,
         }
     }
 }
@@ -71,6 +78,11 @@ impl SuiteOptions {
     /// The same options with a different cell-fan-out concurrency.
     pub fn with_threads(self, threads: usize) -> Self {
         Self { threads, ..self }
+    }
+
+    /// The same options with a different engine region-shard count.
+    pub fn with_shards(self, shards: usize) -> Self {
+        Self { shards, ..self }
     }
 }
 
@@ -208,6 +220,12 @@ impl<'a> ReplayConfig<'a> {
         self
     }
 
+    /// Set the engine region-shard count (see [`SuiteOptions::shards`]).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.opts.shards = shards;
+        self
+    }
+
     /// Replace the whole option block (for the knobs without a dedicated
     /// builder method, e.g. the GR/batch-flow window or the OPT mode).
     pub fn options(mut self, opts: SuiteOptions) -> Self {
@@ -262,7 +280,7 @@ pub fn run_matrix(
             &scenario.predicted_workers,
             &scenario.predicted_tasks,
         );
-        let engine = SimulationEngine::new(opts.index_backend);
+        let engine = SimulationEngine::new(opts.index_backend).with_shards(opts.shards.max(1));
         match algo {
             Algo::SimpleGreedy => engine.run(&instance, &mut SimpleGreedy.policy()),
             Algo::Gr => engine.run(
@@ -401,6 +419,28 @@ mod tests {
                 assert_eq!(s.matching_size(), p.matching_size(), "{}", s.algorithm);
                 assert_eq!(s.assignments.pairs(), p.assignments.pairs(), "{}", s.algorithm);
                 assert_eq!(s.memory_bytes, p.memory_bytes, "{}", s.algorithm);
+                assert_eq!(s.stats, p.stats, "{}", s.algorithm);
+            }
+        }
+    }
+
+    /// Region-sharded suite runs reproduce the serial suite exactly on the
+    /// grid backend (the default, and the one the golden gates replay): the
+    /// sharded grid is an exact replica of the serial scan, so every
+    /// deterministic field — assignments, examined counters, memory — must
+    /// be identical at any shard count.
+    #[test]
+    fn sharded_suite_reproduces_the_serial_suite_exactly() {
+        let scenario = small_scenario();
+        let serial = run_suite(&scenario, &SuiteOptions::default());
+        for shards in [2, 4] {
+            let sharded = run_suite(&scenario, &SuiteOptions::default().with_shards(shards));
+            assert_eq!(serial.len(), sharded.len());
+            for (s, p) in serial.iter().zip(&sharded) {
+                assert_eq!(s.algorithm, p.algorithm, "order changed at shards={shards}");
+                assert_eq!(s.matching_size(), p.matching_size(), "{}", s.algorithm);
+                assert_eq!(s.assignments.pairs(), p.assignments.pairs(), "{}", s.algorithm);
+                assert_eq!(s.total_payoff, p.total_payoff, "{}", s.algorithm);
                 assert_eq!(s.stats, p.stats, "{}", s.algorithm);
             }
         }

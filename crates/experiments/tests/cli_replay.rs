@@ -1,0 +1,136 @@
+//! End-to-end tests of the `replay` binary's command-line contract.
+//!
+//! The CLI parses its arguments strictly: unknown flags, positional tokens,
+//! missing values and duplicated flags are usage errors (exit code 2 plus
+//! the usage line), while runtime failures — including unparsable
+//! `FTOA_JOBS` / `FTOA_SHARDS` environment knobs, validated eagerly — exit
+//! with code 1 and a diagnostic. These tests pin that contract, and the
+//! sharding tentpole invariant: `--shards N` produces byte-identical
+//! deterministic metrics at every N.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn replay() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_replay"));
+    // Run every invocation with a clean slate for the knobs under test so a
+    // developer's ambient environment cannot flip the expected outcomes.
+    cmd.env_remove("FTOA_JOBS").env_remove("FTOA_SHARDS").env_remove("FTOA_KERNEL");
+    cmd
+}
+
+fn fixture() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../traces/fixture_small.trace")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn unknown_flags_are_usage_errors_with_exit_code_2() {
+    // `--algos` (the historical silent typo for `--algo`) must be rejected.
+    let out = replay().args(["--algos", "all"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr_of(&out));
+    let err = stderr_of(&out);
+    assert!(err.contains("unrecognised argument `--algos`"), "got: {err}");
+    assert!(err.contains("usage: replay"), "must print the usage line: {err}");
+    // A stray positional token is just as unrecognised.
+    let out = replay().arg("fixture_small.trace").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("unrecognised argument"));
+}
+
+#[test]
+fn missing_values_and_duplicate_flags_are_usage_errors() {
+    let out = replay().arg("--trace").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("--trace is missing its value"));
+
+    let out = replay().args(["--trace", "a.trace", "--trace", "b.trace"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("flag --trace given twice"));
+}
+
+#[test]
+fn help_prints_usage_and_exits_cleanly() {
+    let out = replay().arg("--help").output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage: replay"));
+}
+
+#[test]
+fn unparsable_jobs_env_is_a_hard_error() {
+    let out = replay()
+        .env("FTOA_JOBS", "banana")
+        .args(["--trace".as_ref(), fixture().as_os_str(), "--deterministic-only".as_ref()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr_of(&out));
+    let err = stderr_of(&out);
+    assert!(err.contains("FTOA_JOBS") && err.contains("banana"), "got: {err}");
+}
+
+#[test]
+fn unparsable_shards_env_is_a_hard_error() {
+    for bad in ["nope", "0", "-2"] {
+        let out = replay()
+            .env("FTOA_SHARDS", bad)
+            .args(["--trace".as_ref(), fixture().as_os_str(), "--deterministic-only".as_ref()])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(1), "FTOA_SHARDS={bad}: {}", stderr_of(&out));
+        assert!(stderr_of(&out).contains("FTOA_SHARDS"), "got: {}", stderr_of(&out));
+    }
+}
+
+#[test]
+fn zero_shards_on_the_flag_is_rejected() {
+    let out = replay()
+        .args(["--trace".as_ref(), fixture().as_os_str(), "--shards".as_ref(), "0".as_ref()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("--shards"), "got: {}", stderr_of(&out));
+}
+
+/// The tentpole acceptance check, end to end through the binary: replaying
+/// the CI fixture at `--shards 4` emits deterministic metrics byte-identical
+/// to the serial `--shards 1` run.
+#[test]
+fn sharded_replay_is_byte_identical_to_serial() {
+    let run = |shards: &str| {
+        let out = replay()
+            .args([
+                "--trace".as_ref(),
+                fixture().as_os_str(),
+                "--deterministic-only".as_ref(),
+                "--shards".as_ref(),
+                shards.as_ref(),
+            ])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(0), "shards {shards}: {}", stderr_of(&out));
+        out.stdout
+    };
+    let serial = run("1");
+    let sharded = run("4");
+    assert!(!serial.is_empty());
+    assert_eq!(serial, sharded, "sharded metrics must be byte-identical to serial");
+    assert!(stderr_contains_shards());
+}
+
+/// The stderr header names the shard count (execution metadata for humans).
+fn stderr_contains_shards() -> bool {
+    let out = replay()
+        .args([
+            "--trace".as_ref(),
+            fixture().as_os_str(),
+            "--deterministic-only".as_ref(),
+            "--shards".as_ref(),
+            "4".as_ref(),
+        ])
+        .output()
+        .unwrap();
+    stderr_of(&out).contains("4 shards")
+}

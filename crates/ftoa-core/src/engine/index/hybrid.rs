@@ -124,6 +124,14 @@ impl<T: SpatialItem> HybridCandidateIndex<T> {
     /// forcing the KD-tree to absorb its buffered mutations for a search
     /// that cannot find anything.
     fn route(&self, point: &Location, radius: f64) -> Route {
+        // A NaN radius admits nothing (`d² <= NaN²` is false for every
+        // candidate), but NaN disk corners would collapse to region (0, 0)
+        // under the clamp and mis-route the query into a sub-index sweep.
+        // Short-circuit instead, matching the grid/kd/linear backends'
+        // empty answer.
+        if radius.is_nan() {
+            return Route::Empty;
+        }
         let (rx0, ry0) = self.region_coords(point.x - radius, point.y - radius);
         let (rx1, ry1) = self.region_coords(point.x + radius, point.y + radius);
         let mut live = 0u32;

@@ -30,14 +30,17 @@ pub mod grid;
 pub mod hybrid;
 pub mod kd;
 pub mod linear;
+pub mod sharded;
 
 pub use grid::GridCandidateIndex;
 pub use hybrid::HybridCandidateIndex;
 pub use kd::KdCandidateIndex;
 pub use linear::LinearScanIndex;
+pub use sharded::{ShardPlan, ShardedIndex};
 
 use crate::engine::arena::ItemArena;
 use crate::engine::item::SpatialItem;
+use ftoa_runtime::JobPool;
 use ftoa_types::{Candidate, Location, PoolHandle, ProblemConfig};
 
 /// An acceleration structure over one [`ItemArena`] answering the two
@@ -158,6 +161,40 @@ impl IndexBackend {
             IndexBackend::Hybrid => EngineIndex::Hybrid(HybridCandidateIndex::for_config(config)),
         }
     }
+
+    /// Instantiate the backend region-sharded `shards` ways, fanning the
+    /// collect phases of the two-phase handoff (see
+    /// [`sharded`](crate::engine::index::sharded)) over `pool`. `shards <= 1`
+    /// falls back to the plain serial backend — the sharded wrappers at one
+    /// shard are equivalent but carry pointless indirection.
+    pub(crate) fn build_sharded<T: SpatialItem>(
+        self,
+        config: &ProblemConfig,
+        shards: usize,
+        pool: JobPool,
+    ) -> EngineIndex<T> {
+        if shards <= 1 {
+            return self.build(config);
+        }
+        EngineIndex::Sharded(match self {
+            IndexBackend::LinearScan => {
+                ShardedIndex::Linear(sharded::ShardedLinearIndex::new(shards, pool))
+            }
+            IndexBackend::Grid => {
+                ShardedIndex::Grid(sharded::ShardedGridIndex::new(config, shards, pool))
+            }
+            IndexBackend::Kd => ShardedIndex::Kd(sharded::StripedIndex::new_with(
+                config,
+                shards,
+                KdCandidateIndex::new,
+            )),
+            IndexBackend::Hybrid => {
+                ShardedIndex::Hybrid(sharded::StripedIndex::new_with(config, shards, || {
+                    HybridCandidateIndex::for_config(config)
+                }))
+            }
+        })
+    }
 }
 
 /// The engine's monomorphised backend holder: one enum variant per backend,
@@ -175,6 +212,10 @@ pub enum EngineIndex<T> {
     Kd(KdCandidateIndex<T>),
     /// See [`HybridCandidateIndex`].
     Hybrid(HybridCandidateIndex<T>),
+    /// Region-sharded wrapper over any backend (see [`ShardedIndex`]);
+    /// built by [`IndexBackend`]'s crate-internal `build_sharded` when the
+    /// engine runs with more than one shard.
+    Sharded(ShardedIndex<T>),
 }
 
 macro_rules! dispatch {
@@ -184,6 +225,7 @@ macro_rules! dispatch {
             EngineIndex::Grid($idx) => $body,
             EngineIndex::Kd($idx) => $body,
             EngineIndex::Hybrid($idx) => $body,
+            EngineIndex::Sharded($idx) => $body,
         }
     };
 }
@@ -413,6 +455,77 @@ mod tests {
             assert!(idx.best_payoff_within(&arena, &q, 0.1, &mut |_| true).is_none(), "{name}");
             assert!(idx.best_payoff_within(&arena, &q, -1.0, &mut |_| true).is_none(), "{name}");
             assert!(idx.candidates_examined() > 0, "{name}: queries count examined candidates");
+        }
+    }
+
+    /// One (arena, index) pair per backend, serial *and* region-sharded —
+    /// the non-finite-radius contract below must hold for every query path.
+    fn pools_with_sharded() -> Vec<(String, ItemArena<Worker>, EngineIndex<Worker>)> {
+        let pool = ftoa_runtime::JobPool::serial();
+        IndexBackend::ALL
+            .iter()
+            .flat_map(|b| {
+                [
+                    (b.name().to_string(), ItemArena::new(), b.build::<Worker>(&config())),
+                    (
+                        format!("{} (3 shards)", b.name()),
+                        ItemArena::new(),
+                        b.build_sharded::<Worker>(&config(), 3, pool),
+                    ),
+                ]
+            })
+            .collect()
+    }
+
+    /// An infinite radius is a full sweep: every backend must behave as if
+    /// no radius bound were given at all.
+    #[test]
+    fn infinite_radius_sweeps_everything_on_every_backend() {
+        for (name, mut arena, mut idx) in pools_with_sharded() {
+            for (i, (x, y)) in [(1.0, 1.0), (5.0, 5.0), (9.0, 2.0)].iter().enumerate() {
+                admit(&mut arena, &mut idx, worker(i, *x, *y, 0.0));
+            }
+            let q = Location::new(0.0, 0.0);
+            let best = idx.nearest_within(&arena, &q, f64::INFINITY, &mut |_| true);
+            assert_eq!(
+                best.map(|c| arena.get(c.handle).unwrap().id),
+                Some(WorkerId(0)),
+                "{name}: infinite radius finds the nearest"
+            );
+            let mut found = Vec::new();
+            idx.for_each_within(&arena, &q, f64::INFINITY, &mut |_, w| found.push(w.id.index()));
+            found.sort_unstable();
+            assert_eq!(found, vec![0, 1, 2], "{name}: infinite radius visits everyone");
+            let payoff = idx.best_payoff_within(&arena, &q, f64::INFINITY, &mut |_| true);
+            assert!(payoff.is_some(), "{name}: infinite radius reaches the argmax");
+        }
+    }
+
+    /// A NaN radius admits nothing — `d² <= NaN²` is false for every
+    /// candidate — and must return empty without panicking on every
+    /// backend. The hybrid used to be the outlier: its router clamped the
+    /// NaN disk corners to region (0, 0) and could route the query into a
+    /// sub-index sweep instead of short-circuiting.
+    #[test]
+    fn nan_radius_is_empty_and_panic_free_on_every_backend() {
+        for (name, mut arena, mut idx) in pools_with_sharded() {
+            for (i, (x, y)) in [(0.2, 0.1), (5.0, 5.0), (9.0, 2.0)].iter().enumerate() {
+                admit(&mut arena, &mut idx, worker(i, *x, *y, 0.0));
+            }
+            // Query inside region (0, 0), which is occupied — the spot the
+            // hybrid's clamped corners used to collapse to.
+            let q = Location::new(0.1, 0.1);
+            assert!(
+                idx.nearest_within(&arena, &q, f64::NAN, &mut |_| true).is_none(),
+                "{name}: NaN radius must find nothing"
+            );
+            let mut found = Vec::new();
+            idx.for_each_within(&arena, &q, f64::NAN, &mut |_, w| found.push(w.id.index()));
+            assert!(found.is_empty(), "{name}: NaN radius must visit nothing: {found:?}");
+            assert!(
+                idx.best_payoff_within(&arena, &q, f64::NAN, &mut |_| true).is_none(),
+                "{name}: NaN radius has no argmax"
+            );
         }
     }
 

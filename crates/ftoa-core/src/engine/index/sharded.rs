@@ -1,0 +1,818 @@
+//! Region-sharded candidate indexes: one engine run partitioned by grid
+//! region, with a deterministic two-phase protocol for queries whose
+//! reach-disk straddles shard boundaries.
+//!
+//! # The sharding model
+//!
+//! A [`ShardPlan`] splits the existing bucket geometry into `N` contiguous
+//! **bucket-column stripes**; every bucket (and therefore every live
+//! object) is wholly owned by exactly one shard. Arrivals route to their
+//! owning shard by position, removals recompute the owner from the arena's
+//! coordinate columns (the engine notifies indexes *before* the arena frees
+//! a slot, so the coordinates are still readable). Because a bucket's
+//! member sequence depends only on the inserts/removes that touch *that
+//! bucket*, each shard-owned bucket evolves byte-for-byte identically to
+//! the same bucket of a serial run — which is what makes an exact replay
+//! possible at all.
+//!
+//! # The two-phase handoff protocol
+//!
+//! A query disk usually overlaps several stripes. Rather than committing
+//! per shard (which would re-order feasibility checks and capacity
+//! debits), range queries run in two phases:
+//!
+//! 1. **Collect** — every overlapped shard scans its owned buckets inside
+//!    the disk's bounding box and returns the in-radius hits per bucket, in
+//!    bucket-member order. This phase is pure (shared `&` access only) and
+//!    fans out through [`ftoa_runtime::JobPool::par_map_indexed`].
+//! 2. **Commit** — the per-shard hit lists are merged in *global bucket
+//!    order* (row-major, and within a row ascending shard = ascending
+//!    bucket column, because stripes are contiguous) and the serial
+//!    visit/improvement/feasibility logic replays over the merged
+//!    sequence. Feasibility callbacks, capacity reads and the examined
+//!    counters therefore fire in exactly the serial order, so sharded
+//!    output is **byte-identical to serial at any shard count** — the
+//!    golden-metrics gates pin this.
+//!
+//! Nearest queries terminate adaptively ring by ring, so their walk is
+//! inherently sequential; they run entirely in the commit phase, reading
+//! each bucket from its owning shard (cross-shard handoff in ring order).
+//!
+//! Four sharded strategies cover the four backends:
+//!
+//! * [`ShardedGridIndex`] — the exact replica described above (the default
+//!   backend, and the one the golden gates replay).
+//! * [`ShardedLinearIndex`] — stateless slot-range sharding: phase 1
+//!   kernel-scans contiguous slot chunks, phase 2 replays hits in
+//!   ascending-slot order; also an exact replica of the serial scan.
+//! * [`StripedIndex`] over [`KdCandidateIndex`] / [`HybridCandidateIndex`]
+//!   — one sub-index per x-stripe of the region, queries visit the stripes
+//!   overlapping the disk in ascending order and merge with deterministic
+//!   tie-breaks. Result *sets* are exact, but scan order and examined
+//!   counts differ from serial, so equivalence is pinned at matching level
+//!   (the same level the cross-backend proptests use).
+
+use crate::engine::arena::ItemArena;
+use crate::engine::index::grid::GridCandidateIndex;
+use crate::engine::index::hybrid::HybridCandidateIndex;
+use crate::engine::index::kd::KdCandidateIndex;
+use crate::engine::index::CandidateIndex;
+use crate::engine::item::SpatialItem;
+use crate::engine::kernels;
+use ftoa_runtime::JobPool;
+use ftoa_types::{BoundingBox, Candidate, Location, PoolHandle, ProblemConfig};
+use std::marker::PhantomData;
+
+/// How one engine run's bucket columns are divided into contiguous
+/// per-shard stripes. Shard counts above the column count clamp down (a
+/// shard with no columns could never own a bucket).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// `starts[s]..starts[s + 1]` is shard `s`'s owned column range.
+    starts: Vec<usize>,
+    /// Bucket column → owning shard.
+    owner_of_col: Vec<u32>,
+    /// Bit mask of each shard's owned columns (`nx <= 64`, one word).
+    col_masks: Vec<u64>,
+}
+
+impl ShardPlan {
+    /// Split `nx` bucket columns into (up to) `shards` contiguous stripes
+    /// of near-equal width.
+    pub fn new(nx: usize, shards: usize) -> Self {
+        let nx = nx.max(1);
+        let shards = shards.clamp(1, nx);
+        let starts: Vec<usize> = (0..=shards).map(|s| s * nx / shards).collect();
+        let mut owner_of_col = vec![0u32; nx];
+        let mut col_masks = vec![0u64; shards];
+        for (col, owner) in owner_of_col.iter_mut().enumerate() {
+            let s = starts.partition_point(|&start| start <= col) - 1;
+            *owner = s as u32;
+            col_masks[s] |= 1 << col;
+        }
+        Self { starts, owner_of_col, col_masks }
+    }
+
+    /// Number of shards (after clamping to the column count).
+    pub fn shard_count(&self) -> usize {
+        self.col_masks.len()
+    }
+
+    /// The contiguous bucket-column range shard `shard` owns.
+    pub fn columns(&self, shard: usize) -> std::ops::Range<usize> {
+        self.starts[shard]..self.starts[shard + 1]
+    }
+
+    /// The shard owning bucket column `col`.
+    pub fn owner_of_col(&self, col: usize) -> usize {
+        self.owner_of_col[col] as usize
+    }
+
+    /// Bit mask of shard `shard`'s owned columns.
+    pub(crate) fn col_mask(&self, shard: usize) -> u64 {
+        self.col_masks[shard]
+    }
+}
+
+/// One non-empty bucket's collect-phase result: its coordinates, its full
+/// member count (the examined contribution — serial scans charge whole
+/// buckets) and the in-radius hits in bucket-member order.
+struct BucketScan {
+    by: u32,
+    bx: u32,
+    members: u32,
+    /// `(slot, squared distance)` for members inside the radius.
+    hits: Vec<(u32, f64)>,
+}
+
+/// Exact region-sharded replica of [`GridCandidateIndex`]: per-shard
+/// sub-grids with full (shared) geometry, bucket-column stripe ownership,
+/// and two-phase range queries. See the module docs for the protocol.
+pub struct ShardedGridIndex<T> {
+    shards: Vec<GridCandidateIndex<T>>,
+    plan: ShardPlan,
+    pool: JobPool,
+    examined: u64,
+}
+
+impl<T: SpatialItem> ShardedGridIndex<T> {
+    /// Build `shards` sub-grids over `config`'s geometry, fanning collect
+    /// phases over `pool`.
+    pub fn new(config: &ProblemConfig, shards: usize, pool: JobPool) -> Self {
+        let prototype = GridCandidateIndex::<T>::for_config(config);
+        let (nx, _) = prototype.grid_dims();
+        let plan = ShardPlan::new(nx, shards);
+        let shards = (0..plan.shard_count())
+            .map(|_| GridCandidateIndex::for_config(config))
+            .collect::<Vec<_>>();
+        Self { shards, plan, pool, examined: 0 }
+    }
+
+    /// The shard plan in force (stripe layout introspection for tests and
+    /// the dispatch docs).
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    fn owner(&self, x: f64, y: f64) -> usize {
+        let (bx, _) = self.shards[0].coords_of(x, y);
+        self.plan.owner_of_col(bx)
+    }
+
+    fn live_len(&self) -> usize {
+        self.shards.iter().map(|g| g.live_len()).sum()
+    }
+
+    /// Phase 1 for one shard: scan its owned non-empty buckets inside the
+    /// bounding box, row-major. Pure — shared `&` access only.
+    #[allow(clippy::too_many_arguments)]
+    fn collect_disk(
+        shard: &GridCandidateIndex<T>,
+        col_mask: u64,
+        span: u64,
+        min_by: usize,
+        max_by: usize,
+        cx: f64,
+        cy: f64,
+        r2: f64,
+    ) -> Vec<BucketScan> {
+        let mask = span & col_mask;
+        let mut out = Vec::new();
+        if mask == 0 {
+            return out;
+        }
+        for by in min_by..=max_by {
+            let mut row = shard.row_mask(by) & mask;
+            while row != 0 {
+                let bx = row.trailing_zeros() as usize;
+                row &= row - 1;
+                let mut hits = Vec::new();
+                for (x, y, slot) in shard.bucket_members(bx, by) {
+                    let dx = x - cx;
+                    let dy = y - cy;
+                    let d2 = dx * dx + dy * dy;
+                    if d2 <= r2 {
+                        hits.push((slot as u32, d2));
+                    }
+                }
+                out.push(BucketScan {
+                    by: by as u32,
+                    bx: bx as u32,
+                    members: shard.bucket_len(bx, by) as u32,
+                    hits,
+                });
+            }
+        }
+        out
+    }
+
+    /// Run both phases of a range query: fan the per-shard collect out over
+    /// the job pool, then hand each bucket scan to `commit` in global
+    /// (row-major) bucket order — exactly the order the serial walk visits
+    /// non-empty buckets in. Returns the total members scanned.
+    fn two_phase_disk(
+        shards: &[GridCandidateIndex<T>],
+        plan: &ShardPlan,
+        pool: &JobPool,
+        center: &Location,
+        radius: f64,
+        commit: &mut dyn FnMut(&BucketScan),
+    ) -> u64 {
+        let g0 = &shards[0];
+        let (min_bx, min_by) = g0.coords_of(center.x - radius, center.y - radius);
+        let (max_bx, max_by) = g0.coords_of(center.x + radius, center.y + radius);
+        let width = max_bx - min_bx + 1;
+        let span = if width >= 64 { !0u64 } else { ((1u64 << width) - 1) << min_bx };
+        let r2 = radius * radius;
+        let (cx, cy) = (center.x, center.y);
+
+        // Phase 1 (collect): pure per-shard bucket scans, fanned out through
+        // the deterministic job pool. At one worker this runs inline on the
+        // calling thread; at any worker count the later merge is identical.
+        let scans: Vec<Vec<BucketScan>> =
+            pool.par_map_indexed((0..shards.len()).collect(), |_, s| {
+                Self::collect_disk(&shards[s], plan.col_mask(s), span, min_by, max_by, cx, cy, r2)
+            });
+
+        // Phase 2 (commit): merge in global bucket order. Stripes are
+        // contiguous and ascending, so within each row walking the shards
+        // in order concatenates ascending column ranges — the serial order.
+        let mut cursors = vec![0usize; scans.len()];
+        let mut scanned = 0u64;
+        let mut last: Option<(u32, u32)> = None;
+        for by in min_by..=max_by {
+            for (scan, cursor) in scans.iter().zip(cursors.iter_mut()) {
+                while *cursor < scan.len() && scan[*cursor].by as usize == by {
+                    let bucket = &scan[*cursor];
+                    *cursor += 1;
+                    debug_assert!(
+                        last.is_none_or(|(lby, lbx)| { (lby, lbx) < (bucket.by, bucket.bx) }),
+                        "merge must replay buckets in ascending (row, column) order"
+                    );
+                    last = Some((bucket.by, bucket.bx));
+                    scanned += u64::from(bucket.members);
+                    commit(bucket);
+                }
+            }
+        }
+        scanned
+    }
+}
+
+impl<T: SpatialItem> CandidateIndex<T> for ShardedGridIndex<T> {
+    fn insert(&mut self, arena: &ItemArena<T>, handle: PoolHandle) {
+        let slot = handle.slot() as usize;
+        let owner = self.owner(arena.xs()[slot], arena.ys()[slot]);
+        self.shards[owner].insert(arena, handle);
+    }
+
+    fn remove(&mut self, arena: &ItemArena<T>, handle: PoolHandle) {
+        // The engine notifies indexes before the arena frees the slot, so
+        // the owner is recomputable from the coordinate columns.
+        let slot = handle.slot() as usize;
+        let owner = self.owner(arena.xs()[slot], arena.ys()[slot]);
+        self.shards[owner].remove(arena, handle);
+    }
+
+    fn nearest_within(
+        &mut self,
+        arena: &ItemArena<T>,
+        query: &Location,
+        max_radius: f64,
+        feasible: &mut dyn FnMut(&T) -> bool,
+    ) -> Option<Candidate> {
+        if self.live_len() == 0 || max_radius.is_nan() || max_radius < 0.0 {
+            return None;
+        }
+        // The ring walk terminates adaptively on the best candidate found so
+        // far, so it is inherently sequential: the whole query runs in the
+        // commit phase, fetching each bucket from its owning shard in ring
+        // order. Identical buckets in identical order ⇒ identical result and
+        // examined count to the serial grid.
+        let shards = &self.shards;
+        let plan = &self.plan;
+        let g0 = &shards[0];
+        let (nx, ny) = g0.grid_dims();
+        let min_cell = g0.min_cell_extent();
+        let (qbx, qby) = g0.coords_of(query.x, query.y);
+        let max_ring = nx.max(ny);
+        let max_r2 = max_radius * max_radius;
+        let mut best: Option<(usize, f64)> = None;
+        let mut scanned = 0u64;
+
+        for ring in 0..=max_ring {
+            if ring >= 1 {
+                let ring_min_dist = (ring as f64 - 1.0) * min_cell;
+                if ring_min_dist > max_radius {
+                    break;
+                }
+                if let Some((_, best_d2)) = best {
+                    if best_d2.sqrt() <= ring_min_dist {
+                        break;
+                    }
+                }
+            }
+            let mut any_bucket_in_ring = false;
+            let (qx, qy, r) = (qbx as isize, qby as isize, ring as isize);
+            let mut visit_bucket = |bx: isize, by: isize| -> bool {
+                if bx < 0 || by < 0 || bx as usize >= nx || by as usize >= ny {
+                    return false;
+                }
+                let (bx, by) = (bx as usize, by as usize);
+                let shard = &shards[plan.owner_of_col(bx)];
+                if shard.row_mask(by) & (1 << bx) == 0 {
+                    // Empty in-grid buckets anchor the ring but scan nothing.
+                    return true;
+                }
+                scanned += shard.bucket_len(bx, by) as u64;
+                for (x, y, slot) in shard.bucket_members(bx, by) {
+                    let dx = x - query.x;
+                    let dy = y - query.y;
+                    let d2 = dx * dx + dy * dy;
+                    if d2 > max_r2 || best.is_some_and(|(_, best_d2)| d2 >= best_d2) {
+                        continue;
+                    }
+                    let item = arena.slot_item(slot).expect("bucket members are live");
+                    if feasible(item) {
+                        best = Some((slot, d2));
+                    }
+                }
+                true
+            };
+            if ring == 0 {
+                any_bucket_in_ring |= visit_bucket(qx, qy);
+            } else {
+                for dx in -r..=r {
+                    any_bucket_in_ring |= visit_bucket(qx + dx, qy - r);
+                    any_bucket_in_ring |= visit_bucket(qx + dx, qy + r);
+                }
+                for dy in (-r + 1)..r {
+                    any_bucket_in_ring |= visit_bucket(qx - r, qy + dy);
+                    any_bucket_in_ring |= visit_bucket(qx + r, qy + dy);
+                }
+            }
+            if !any_bucket_in_ring && best.is_some() {
+                break;
+            }
+        }
+        self.examined += scanned;
+        best.map(|(slot, d2)| arena.candidate_at_slot(slot, d2))
+    }
+
+    fn for_each_within(
+        &mut self,
+        arena: &ItemArena<T>,
+        center: &Location,
+        radius: f64,
+        visit: &mut dyn FnMut(Candidate, &T),
+    ) {
+        if self.live_len() == 0 || radius.is_nan() || radius < 0.0 {
+            return;
+        }
+        let (shards, plan, pool) = (&self.shards, &self.plan, &self.pool);
+        let scanned = Self::two_phase_disk(shards, plan, pool, center, radius, &mut |bucket| {
+            for &(slot, d2) in &bucket.hits {
+                let slot = slot as usize;
+                visit(
+                    arena.candidate_at_slot(slot, d2),
+                    arena.slot_item(slot).expect("bucket members are live"),
+                );
+            }
+        });
+        self.examined += scanned;
+    }
+
+    fn best_payoff_within(
+        &mut self,
+        arena: &ItemArena<T>,
+        query: &Location,
+        max_radius: f64,
+        feasible: &mut dyn FnMut(&T) -> bool,
+    ) -> Option<Candidate> {
+        if self.live_len() == 0 || max_radius.is_nan() || max_radius < 0.0 {
+            return None;
+        }
+        let (shards, plan, pool) = (&self.shards, &self.plan, &self.pool);
+        let mut best: Option<(usize, f64, f64)> = None;
+        let scanned = Self::two_phase_disk(shards, plan, pool, query, max_radius, &mut |bucket| {
+            for &(slot, d2) in &bucket.hits {
+                let slot = slot as usize;
+                let payoff = arena.payoffs()[slot];
+                let improves = match best {
+                    None => true,
+                    Some((_, best_d2, best_payoff)) => {
+                        payoff > best_payoff || (payoff == best_payoff && d2 < best_d2)
+                    }
+                };
+                if improves && feasible(arena.slot_item(slot).expect("bucket members are live")) {
+                    best = Some((slot, d2, payoff));
+                }
+            }
+        });
+        self.examined += scanned;
+        best.map(|(slot, d2, _)| arena.candidate_at_slot(slot, d2))
+    }
+
+    fn candidates_examined(&self) -> u64 {
+        self.examined
+    }
+
+    fn structure_bytes(&self) -> usize {
+        self.shards.iter().map(|g| g.structure_bytes()).sum()
+    }
+}
+
+/// Exact slot-range-sharded replica of the linear-scan reference: the
+/// arena's slot space splits into `shards` contiguous chunks, phase 1
+/// kernel-scans each chunk (fanned over the job pool), phase 2 replays the
+/// hits in ascending slot order with the serial improvement/feasibility
+/// semantics. The kernel entry points are themselves layered on the
+/// position-ordered `for_each_within_sq`, so the replay is equivalent by
+/// construction.
+pub struct ShardedLinearIndex<T> {
+    shards: usize,
+    pool: JobPool,
+    examined: u64,
+    _items: PhantomData<T>,
+}
+
+impl<T: SpatialItem> ShardedLinearIndex<T> {
+    /// A scanner splitting every query across `shards` slot chunks.
+    pub fn new(shards: usize, pool: JobPool) -> Self {
+        Self { shards: shards.max(1), pool, examined: 0, _items: PhantomData }
+    }
+
+    /// Phase 1: per-chunk kernel scans collecting `(slot, d²)` hits in
+    /// ascending slot order (chunks are contiguous, so concatenation is the
+    /// full ascending order).
+    fn collect_chunks(
+        &self,
+        arena: &ItemArena<T>,
+        qx: f64,
+        qy: f64,
+        r2: f64,
+    ) -> Vec<Vec<(u32, f64)>> {
+        let xs = arena.xs();
+        let ys = arena.ys();
+        let n = xs.len().min(ys.len());
+        let shards = self.shards;
+        self.pool.par_map_indexed((0..shards).collect(), |_, s| {
+            let lo = s * n / shards;
+            let hi = (s + 1) * n / shards;
+            let mut hits = Vec::new();
+            kernels::for_each_within_sq(&xs[lo..hi], &ys[lo..hi], qx, qy, r2, &mut |i, d2| {
+                hits.push(((lo + i) as u32, d2));
+            });
+            hits
+        })
+    }
+}
+
+impl<T: SpatialItem> CandidateIndex<T> for ShardedLinearIndex<T> {
+    fn insert(&mut self, _arena: &ItemArena<T>, _handle: PoolHandle) {}
+
+    fn remove(&mut self, _arena: &ItemArena<T>, _handle: PoolHandle) {}
+
+    fn nearest_within(
+        &mut self,
+        arena: &ItemArena<T>,
+        query: &Location,
+        max_radius: f64,
+        feasible: &mut dyn FnMut(&T) -> bool,
+    ) -> Option<Candidate> {
+        self.examined += arena.len() as u64;
+        let max_r2 = if max_radius < 0.0 { f64::NEG_INFINITY } else { max_radius * max_radius };
+        let chunks = self.collect_chunks(arena, query.x, query.y, max_r2);
+        let mut best: Option<(usize, f64)> = None;
+        for &(slot, d2) in chunks.iter().flatten() {
+            if best.is_some_and(|(_, best_d2)| d2 >= best_d2) {
+                continue;
+            }
+            let slot = slot as usize;
+            if feasible(arena.slot_item(slot).expect("kernel hits are live slots")) {
+                best = Some((slot, d2));
+            }
+        }
+        best.map(|(slot, d2)| arena.candidate_at_slot(slot, d2))
+    }
+
+    fn for_each_within(
+        &mut self,
+        arena: &ItemArena<T>,
+        center: &Location,
+        radius: f64,
+        visit: &mut dyn FnMut(Candidate, &T),
+    ) {
+        self.examined += arena.len() as u64;
+        let r2 = if radius < 0.0 { f64::NEG_INFINITY } else { radius * radius };
+        let chunks = self.collect_chunks(arena, center.x, center.y, r2);
+        for &(slot, d2) in chunks.iter().flatten() {
+            let slot = slot as usize;
+            visit(
+                arena.candidate_at_slot(slot, d2),
+                arena.slot_item(slot).expect("kernel hits are live slots"),
+            );
+        }
+    }
+
+    fn best_payoff_within(
+        &mut self,
+        arena: &ItemArena<T>,
+        query: &Location,
+        max_radius: f64,
+        feasible: &mut dyn FnMut(&T) -> bool,
+    ) -> Option<Candidate> {
+        self.examined += arena.len() as u64;
+        let max_r2 = if max_radius < 0.0 { f64::NEG_INFINITY } else { max_radius * max_radius };
+        let chunks = self.collect_chunks(arena, query.x, query.y, max_r2);
+        let payoffs = arena.payoffs();
+        let mut best: Option<(usize, f64, f64)> = None;
+        for &(slot, d2) in chunks.iter().flatten() {
+            let slot = slot as usize;
+            let payoff = payoffs[slot];
+            let improves = match best {
+                None => true,
+                Some((_, best_d2, best_payoff)) => {
+                    payoff > best_payoff || (payoff == best_payoff && d2 < best_d2)
+                }
+            };
+            if improves && feasible(arena.slot_item(slot).expect("kernel hits are live slots")) {
+                best = Some((slot, d2, payoff));
+            }
+        }
+        best.map(|(slot, d2, _)| arena.candidate_at_slot(slot, d2))
+    }
+
+    fn candidates_examined(&self) -> u64 {
+        self.examined
+    }
+
+    fn structure_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+    }
+}
+
+/// Region-sharded wrapper for the backends with internal mutable query
+/// state (KD-tree epoch rebuilds, hybrid routing counters): one complete
+/// sub-index per x-stripe of the bounded region, items routed by their own
+/// x coordinate. Queries visit exactly the stripes the disk's x-interval
+/// overlaps, in ascending stripe order, and merge with deterministic
+/// tie-breaks (distance/payoff first, then the smaller arena slot).
+/// Per-stripe results are exact over their subsets, so merged result sets
+/// equal the serial sets; examined counts and residual exact-tie order may
+/// differ, which is why these backends are pinned at matching level.
+pub struct StripedIndex<T, I> {
+    shards: Vec<I>,
+    bounds: BoundingBox,
+    _items: PhantomData<T>,
+}
+
+impl<T: SpatialItem, I: CandidateIndex<T>> StripedIndex<T, I> {
+    /// Build `shards` sub-indexes (via `make`) striping `config`'s bounds
+    /// along x.
+    pub fn new_with(config: &ProblemConfig, shards: usize, make: impl Fn() -> I) -> Self {
+        Self {
+            shards: (0..shards.max(1)).map(|_| make()).collect(),
+            bounds: *config.grid.bounds(),
+            _items: PhantomData,
+        }
+    }
+
+    fn owner(&self, x: f64) -> usize {
+        let n = self.shards.len();
+        let w = self.bounds.width() / n as f64;
+        (((x - self.bounds.min_x) / w).floor() as isize).clamp(0, n as isize - 1) as usize
+    }
+
+    /// The ascending (inclusive) stripe range a disk overlaps; empty for a
+    /// NaN radius (nothing can be within an undefined distance).
+    fn stripe_range(&self, x: f64, radius: f64) -> (usize, usize) {
+        if radius.is_nan() {
+            return (1, 0);
+        }
+        (self.owner(x - radius), self.owner(x + radius))
+    }
+}
+
+impl<T: SpatialItem, I: CandidateIndex<T>> CandidateIndex<T> for StripedIndex<T, I> {
+    fn insert(&mut self, arena: &ItemArena<T>, handle: PoolHandle) {
+        let slot = handle.slot() as usize;
+        let owner = self.owner(arena.xs()[slot]);
+        self.shards[owner].insert(arena, handle);
+    }
+
+    fn remove(&mut self, arena: &ItemArena<T>, handle: PoolHandle) {
+        let slot = handle.slot() as usize;
+        let owner = self.owner(arena.xs()[slot]);
+        self.shards[owner].remove(arena, handle);
+    }
+
+    fn nearest_within(
+        &mut self,
+        arena: &ItemArena<T>,
+        query: &Location,
+        max_radius: f64,
+        feasible: &mut dyn FnMut(&T) -> bool,
+    ) -> Option<Candidate> {
+        let (lo, hi) = self.stripe_range(query.x, max_radius);
+        let mut best: Option<Candidate> = None;
+        for s in lo..=hi.min(self.shards.len() - 1) {
+            if let Some(c) = self.shards[s].nearest_within(arena, query, max_radius, feasible) {
+                let improves = match &best {
+                    None => true,
+                    Some(b) => {
+                        c.dist_sq < b.dist_sq
+                            || (c.dist_sq == b.dist_sq && c.handle.slot() < b.handle.slot())
+                    }
+                };
+                if improves {
+                    best = Some(c);
+                }
+            }
+        }
+        best
+    }
+
+    fn for_each_within(
+        &mut self,
+        arena: &ItemArena<T>,
+        center: &Location,
+        radius: f64,
+        visit: &mut dyn FnMut(Candidate, &T),
+    ) {
+        let (lo, hi) = self.stripe_range(center.x, radius);
+        for s in lo..=hi.min(self.shards.len() - 1) {
+            self.shards[s].for_each_within(arena, center, radius, visit);
+        }
+    }
+
+    fn best_payoff_within(
+        &mut self,
+        arena: &ItemArena<T>,
+        query: &Location,
+        max_radius: f64,
+        feasible: &mut dyn FnMut(&T) -> bool,
+    ) -> Option<Candidate> {
+        let (lo, hi) = self.stripe_range(query.x, max_radius);
+        let mut best: Option<Candidate> = None;
+        for s in lo..=hi.min(self.shards.len() - 1) {
+            if let Some(c) = self.shards[s].best_payoff_within(arena, query, max_radius, feasible) {
+                let improves = match &best {
+                    None => true,
+                    Some(b) => {
+                        c.payoff > b.payoff
+                            || (c.payoff == b.payoff
+                                && (c.dist_sq < b.dist_sq
+                                    || (c.dist_sq == b.dist_sq
+                                        && c.handle.slot() < b.handle.slot())))
+                    }
+                };
+                if improves {
+                    best = Some(c);
+                }
+            }
+        }
+        best
+    }
+
+    fn candidates_examined(&self) -> u64 {
+        self.shards.iter().map(|s| s.candidates_examined()).sum()
+    }
+
+    fn structure_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.structure_bytes()).sum()
+    }
+}
+
+/// The monomorphised holder for a sharded backend — one variant per
+/// sharding strategy, mirroring [`crate::engine::index::EngineIndex`].
+#[allow(clippy::large_enum_variant)]
+pub enum ShardedIndex<T> {
+    /// Exact bucket-column-striped grid (see [`ShardedGridIndex`]).
+    Grid(ShardedGridIndex<T>),
+    /// Exact slot-chunked linear scan (see [`ShardedLinearIndex`]).
+    Linear(ShardedLinearIndex<T>),
+    /// X-striped KD-trees (matching-level equivalence).
+    Kd(StripedIndex<T, KdCandidateIndex<T>>),
+    /// X-striped hybrids (matching-level equivalence).
+    Hybrid(StripedIndex<T, HybridCandidateIndex<T>>),
+}
+
+macro_rules! sharded_dispatch {
+    ($self:expr, $idx:ident => $body:expr) => {
+        match $self {
+            ShardedIndex::Grid($idx) => $body,
+            ShardedIndex::Linear($idx) => $body,
+            ShardedIndex::Kd($idx) => $body,
+            ShardedIndex::Hybrid($idx) => $body,
+        }
+    };
+}
+
+impl<T: SpatialItem> CandidateIndex<T> for ShardedIndex<T> {
+    fn insert(&mut self, arena: &ItemArena<T>, handle: PoolHandle) {
+        sharded_dispatch!(self, idx => idx.insert(arena, handle))
+    }
+
+    fn remove(&mut self, arena: &ItemArena<T>, handle: PoolHandle) {
+        sharded_dispatch!(self, idx => idx.remove(arena, handle))
+    }
+
+    fn nearest_within(
+        &mut self,
+        arena: &ItemArena<T>,
+        query: &Location,
+        max_radius: f64,
+        feasible: &mut dyn FnMut(&T) -> bool,
+    ) -> Option<Candidate> {
+        sharded_dispatch!(self, idx => idx.nearest_within(arena, query, max_radius, feasible))
+    }
+
+    fn for_each_within(
+        &mut self,
+        arena: &ItemArena<T>,
+        center: &Location,
+        radius: f64,
+        visit: &mut dyn FnMut(Candidate, &T),
+    ) {
+        sharded_dispatch!(self, idx => idx.for_each_within(arena, center, radius, visit))
+    }
+
+    fn best_payoff_within(
+        &mut self,
+        arena: &ItemArena<T>,
+        query: &Location,
+        max_radius: f64,
+        feasible: &mut dyn FnMut(&T) -> bool,
+    ) -> Option<Candidate> {
+        sharded_dispatch!(self, idx => idx.best_payoff_within(arena, query, max_radius, feasible))
+    }
+
+    fn candidates_examined(&self) -> u64 {
+        sharded_dispatch!(self, idx => idx.candidates_examined())
+    }
+
+    fn structure_bytes(&self) -> usize {
+        sharded_dispatch!(self, idx => idx.structure_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftoa_types::{GridPartition, SlotPartition, TimeDelta};
+
+    fn config(nx: usize) -> ProblemConfig {
+        ProblemConfig::new(
+            GridPartition::square(10.0, nx).unwrap(),
+            SlotPartition::over_horizon(TimeDelta::minutes(60.0), 4).unwrap(),
+            1.0,
+            TimeDelta::minutes(10.0),
+            TimeDelta::minutes(5.0),
+        )
+    }
+
+    #[test]
+    fn shard_plan_partitions_every_column_exactly_once() {
+        for nx in [1, 2, 5, 8, 64] {
+            for shards in [1, 2, 3, 4, 7, 100] {
+                let plan = ShardPlan::new(nx, shards);
+                assert!(plan.shard_count() >= 1 && plan.shard_count() <= nx.min(shards.max(1)));
+                let mut seen = vec![0u32; nx];
+                let mut union = 0u64;
+                for s in 0..plan.shard_count() {
+                    assert!(!plan.columns(s).is_empty(), "nx={nx} shards={shards}: empty stripe");
+                    for col in plan.columns(s) {
+                        assert_eq!(plan.owner_of_col(col), s);
+                        seen[col] += 1;
+                    }
+                    assert_eq!(union & plan.col_mask(s), 0, "column masks overlap");
+                    union |= plan.col_mask(s);
+                }
+                assert!(seen.iter().all(|&c| c == 1), "nx={nx} shards={shards}: {seen:?}");
+                // Stripes are contiguous and ascending: shard s ends where
+                // shard s+1 starts.
+                for s in 0..plan.shard_count() - 1 {
+                    assert_eq!(plan.columns(s).end, plan.columns(s + 1).start);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_plan_clamps_oversubscribed_counts() {
+        let plan = ShardPlan::new(5, 64);
+        assert_eq!(plan.shard_count(), 5);
+        let plan = ShardPlan::new(1, 4);
+        assert_eq!(plan.shard_count(), 1);
+    }
+
+    #[test]
+    fn sharded_grid_reports_its_plan() {
+        let pool = JobPool::serial();
+        let idx = ShardedGridIndex::<ftoa_types::Worker>::new(&config(8), 4, pool);
+        assert_eq!(idx.plan().shard_count(), 4);
+        assert_eq!(idx.plan().columns(0), 0..2);
+        assert_eq!(idx.plan().columns(3), 6..8);
+    }
+}

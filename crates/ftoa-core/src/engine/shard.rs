@@ -1,0 +1,168 @@
+//! Region-sharded engine runs: the public surface over
+//! [`crate::engine::index::sharded`].
+//!
+//! [`ShardedEngine`] is a thin, named front for
+//! [`SimulationEngine::with_shards`]: it pins down the shard count (CLI
+//! `--shards` or the [`SHARDS_ENV_VAR`] environment knob, validated here)
+//! and runs policies with the pools' candidate indexes partitioned into
+//! region stripes. The handoff invariant — collect per shard in parallel,
+//! commit in global event order — keeps every run byte-identical to the
+//! serial engine at any shard count; the golden-metrics CI gates replay
+//! both fixture traces at `--shards 4` against the unchanged goldens to
+//! pin it.
+
+use crate::engine::driver::{OnlinePolicy, SimulationEngine};
+use crate::engine::index::IndexBackend;
+use crate::instance::Instance;
+use crate::result::AlgorithmResult;
+
+/// Environment variable selecting the engine's region-shard count when the
+/// caller does not pass one explicitly. Same contract as `FTOA_JOBS`:
+/// unset/empty means unsharded, a positive integer is the shard count, and
+/// anything else is a hard error.
+pub const SHARDS_ENV_VAR: &str = "FTOA_SHARDS";
+
+/// The `FTOA_SHARDS` override currently in the environment: `Ok(None)` when
+/// unset/empty, `Ok(Some(n))` for a positive integer, `Err` with a
+/// diagnostic otherwise.
+pub fn shards_from_env() -> Result<Option<usize>, String> {
+    let Ok(raw) = std::env::var(SHARDS_ENV_VAR) else { return Ok(None) };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    match trimmed.parse::<usize>() {
+        Ok(n) if n > 0 => Ok(Some(n)),
+        _ => Err(format!("{SHARDS_ENV_VAR} must be a positive integer, got {raw:?}")),
+    }
+}
+
+/// A [`SimulationEngine`] whose pools are region-sharded a fixed number of
+/// ways. Construction validates the shard count once; `run` is exactly the
+/// serial engine's contract (same results, byte for byte).
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedEngine {
+    engine: SimulationEngine,
+}
+
+impl ShardedEngine {
+    /// An engine on `backend` sharded `shards` ways (`1` runs serially).
+    pub fn new(backend: IndexBackend, shards: usize) -> Self {
+        Self { engine: SimulationEngine::new(backend).with_shards(shards.max(1)) }
+    }
+
+    /// An engine on `backend` sharded per the [`SHARDS_ENV_VAR`] environment
+    /// knob (unsharded when the variable is unset or empty).
+    pub fn from_env(backend: IndexBackend) -> Result<Self, String> {
+        Ok(Self::new(backend, shards_from_env()?.unwrap_or(1)))
+    }
+
+    /// The shard count this engine runs with.
+    pub fn shards(&self) -> usize {
+        self.engine.shards
+    }
+
+    /// Drive `policy` over the instance's stream — identical output to an
+    /// unsharded [`SimulationEngine::run`] on the same backend.
+    pub fn run(&self, instance: &Instance<'_>, policy: &mut dyn OnlinePolicy) -> AlgorithmResult {
+        self.engine.run(instance, policy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::SimpleGreedy;
+    use ftoa_types::{
+        EventStream, GridPartition, Location, ProblemConfig, SlotPartition, Task, TaskId,
+        TimeDelta, TimeStamp, Worker, WorkerId,
+    };
+
+    fn config() -> ProblemConfig {
+        ProblemConfig::new(
+            GridPartition::square(20.0, 8).unwrap(),
+            SlotPartition::over_horizon(TimeDelta::minutes(60.0), 4).unwrap(),
+            1.0,
+            TimeDelta::minutes(10.0),
+            TimeDelta::minutes(10.0),
+        )
+    }
+
+    /// Deterministic scatter crossing every region stripe.
+    fn stream() -> EventStream {
+        let workers = (0..40)
+            .map(|i| {
+                Worker::new(
+                    WorkerId(i),
+                    Location::new(((i * 37) % 100) as f64 * 0.2, ((i * 59) % 100) as f64 * 0.2),
+                    TimeStamp::minutes((i % 7) as f64),
+                    TimeDelta::minutes(15.0),
+                )
+            })
+            .collect();
+        let tasks = (0..40)
+            .map(|i| {
+                Task::new(
+                    TaskId(i),
+                    Location::new(((i * 53) % 100) as f64 * 0.2, ((i * 71) % 100) as f64 * 0.2),
+                    TimeStamp::minutes((i % 9) as f64 * 0.7),
+                    TimeDelta::minutes(12.0),
+                )
+            })
+            .collect();
+        EventStream::new(workers, tasks)
+    }
+
+    /// The tentpole invariant in miniature: sharded runs reproduce serial
+    /// runs. Linear and grid shards are exact replicas of the serial scan —
+    /// identical assignments and identical examined counters. The kd/hybrid
+    /// stripes are exact on result *sets* but may resolve exact-distance
+    /// ties by a different (still deterministic) epoch order, so they are
+    /// pinned at matching level, like the cross-backend proptests.
+    #[test]
+    fn sharded_runs_reproduce_serial_exactly() {
+        let cfg = config();
+        let stream = stream();
+        let pw = prediction::SpatioTemporalMatrix::zeros(4, 64);
+        let instance = Instance::new(&cfg, &stream, &pw, &pw);
+        for backend in IndexBackend::ALL {
+            let serial = SimulationEngine::new(backend).run(&instance, &mut SimpleGreedy.policy());
+            for shards in [2, 3, 4, 8] {
+                let sharded =
+                    ShardedEngine::new(backend, shards).run(&instance, &mut SimpleGreedy.policy());
+                assert_eq!(
+                    sharded.matching_size(),
+                    serial.matching_size(),
+                    "{} at {shards} shards",
+                    backend.name()
+                );
+                assert_eq!(sharded.total_payoff, serial.total_payoff);
+                if matches!(backend, IndexBackend::LinearScan | IndexBackend::Grid) {
+                    assert_eq!(
+                        sharded.assignments.pairs(),
+                        serial.assignments.pairs(),
+                        "{} at {shards} shards must replicate serial assignments",
+                        backend.name()
+                    );
+                    assert_eq!(
+                        sharded.stats.candidates_examined,
+                        serial.stats.candidates_examined,
+                        "{} at {shards} shards must replicate the serial scan",
+                        backend.name()
+                    );
+                }
+                assert_eq!(sharded.stats.backend, backend.name(), "sharding keeps the name");
+            }
+        }
+    }
+
+    #[test]
+    fn env_knob_follows_the_jobs_contract() {
+        // Not set in the test environment: unsharded.
+        assert_eq!(shards_from_env(), Ok(None));
+        let engine = ShardedEngine::from_env(IndexBackend::Grid).unwrap();
+        assert_eq!(engine.shards(), 1);
+        assert_eq!(ShardedEngine::new(IndexBackend::Grid, 0).shards(), 1, "0 normalises to 1");
+        assert_eq!(ShardedEngine::new(IndexBackend::Grid, 4).shards(), 4);
+    }
+}

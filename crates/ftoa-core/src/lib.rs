@@ -47,9 +47,10 @@ pub use engine::context::{AssignmentDecision, EngineContext, MatchOutcome, PoolV
 pub use engine::driver::{OnlinePolicy, SimulationEngine};
 pub use engine::index::{
     CandidateIndex, EngineIndex, GridCandidateIndex, HybridCandidateIndex, IndexBackend,
-    KdCandidateIndex, LinearScanIndex,
+    KdCandidateIndex, LinearScanIndex, ShardPlan, ShardedIndex,
 };
 pub use engine::item::SpatialItem;
+pub use engine::shard::{shards_from_env, ShardedEngine, SHARDS_ENV_VAR};
 pub use guide::{GuideEngine, GuideNode, GuideObjective, OfflineGuide};
 pub use instance::Instance;
 pub use replay::{stream_counts, ReplayDriver, ReplayDriverBuilder};

@@ -26,6 +26,15 @@
 //! (`JobPool::new(0)` / [`available_jobs`]): set `FTOA_JOBS=1` to force any
 //! auto-parallel code path serial, or `FTOA_JOBS=N` to cap fan-out below the
 //! machine's available parallelism.
+//!
+//! **`FTOA_JOBS` contract**: unset or empty means automatic; a positive
+//! integer is an explicit cap; *anything else* — including `0`, negative
+//! numbers and non-numeric text — is a hard error, the same strictness
+//! `FTOA_KERNEL` and `FTOA_HYBRID_THRESHOLD` apply. A typo'd knob must
+//! abort the run, not silently fall back to a thread count the user did not
+//! ask for. CLIs can surface the error eagerly (with their own exit code)
+//! through [`jobs_env_override`]; automatic pools reaching a bad value via
+//! [`available_jobs`] panic with the same message.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -34,19 +43,42 @@ use std::sync::Mutex;
 /// Name of the environment variable overriding the automatic thread count.
 pub const JOBS_ENV_VAR: &str = "FTOA_JOBS";
 
-/// Resolve an explicit `FTOA_JOBS`-style override value. Returns `None` for
-/// unset, empty, unparsable or zero values (callers then fall back to the
-/// hardware parallelism).
-fn parse_jobs(value: Option<&str>) -> Option<usize> {
-    value.and_then(|v| v.trim().parse::<usize>().ok()).filter(|&n| n > 0)
+/// Resolve an explicit `FTOA_JOBS`-style override value. `Ok(None)` for
+/// unset or empty (automatic), `Ok(Some(n))` for a positive integer, and
+/// `Err` with a diagnostic for everything else — zero included, since a
+/// zero-thread pool is not a meaningful request.
+fn parse_jobs(value: Option<&str>) -> Result<Option<usize>, String> {
+    let Some(raw) = value else { return Ok(None) };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    match trimmed.parse::<usize>() {
+        Ok(n) if n > 0 => Ok(Some(n)),
+        _ => Err(format!("{JOBS_ENV_VAR} must be a positive integer, got {raw:?}")),
+    }
+}
+
+/// The `FTOA_JOBS` override currently in the environment: `Ok(None)` when
+/// unset/empty, `Ok(Some(n))` for a positive integer, `Err` with the
+/// diagnostic otherwise. Entry point for CLIs that validate the environment
+/// eagerly instead of panicking mid-run.
+pub fn jobs_env_override() -> Result<Option<usize>, String> {
+    parse_jobs(std::env::var(JOBS_ENV_VAR).ok().as_deref())
 }
 
 /// The number of jobs automatic (`threads = 0`) pools use: the `FTOA_JOBS`
 /// environment override if set to a positive integer, otherwise
 /// [`std::thread::available_parallelism`] (1 if unknown).
+///
+/// Panics if `FTOA_JOBS` is set to anything that is not a positive integer
+/// (see the crate docs for the contract).
 pub fn available_jobs() -> usize {
-    parse_jobs(std::env::var(JOBS_ENV_VAR).ok().as_deref())
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    match jobs_env_override() {
+        Ok(Some(n)) => n,
+        Ok(None) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        Err(message) => panic!("{message}"),
+    }
 }
 
 /// A fixed-width fork/join pool over OS threads with deterministic, ordered
@@ -153,13 +185,22 @@ mod tests {
 
     #[test]
     fn parse_jobs_accepts_positive_integers_only() {
-        assert_eq!(parse_jobs(Some("4")), Some(4));
-        assert_eq!(parse_jobs(Some(" 12 ")), Some(12));
-        assert_eq!(parse_jobs(Some("0")), None);
-        assert_eq!(parse_jobs(Some("-3")), None);
-        assert_eq!(parse_jobs(Some("many")), None);
-        assert_eq!(parse_jobs(Some("")), None);
-        assert_eq!(parse_jobs(None), None);
+        assert_eq!(parse_jobs(Some("4")), Ok(Some(4)));
+        assert_eq!(parse_jobs(Some(" 12 ")), Ok(Some(12)));
+        assert_eq!(parse_jobs(Some("")), Ok(None));
+        assert_eq!(parse_jobs(Some("   ")), Ok(None));
+        assert_eq!(parse_jobs(None), Ok(None));
+    }
+
+    /// Garbage values — including `0`, which previously fell back to auto —
+    /// are hard errors carrying the variable name and the offending value.
+    #[test]
+    fn parse_jobs_hard_errors_on_garbage() {
+        for bad in ["0", "-3", "many", "4.5", "1 2"] {
+            let err = parse_jobs(Some(bad)).expect_err(bad);
+            assert!(err.contains(JOBS_ENV_VAR), "diagnostic names the variable: {err}");
+            assert!(err.contains(bad), "diagnostic echoes the value: {err}");
+        }
     }
 
     #[test]

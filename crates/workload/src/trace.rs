@@ -345,6 +345,7 @@ impl TraceReader {
         let mut config: Option<ProblemConfig> = None;
         let mut workers: Vec<(usize, usize, Worker)> = Vec::new();
         let mut tasks: Vec<(usize, usize, Task)> = Vec::new();
+        let mut last_time: Option<f64> = None;
         let mut line_no = 1usize;
         for line in lines {
             let line = line?;
@@ -366,7 +367,25 @@ impl TraceReader {
                         config =
                             Some(header.take().expect("header taken only once").build(line_no)?);
                     }
-                    parse_event_line(version, &fields, line_no, &mut workers, &mut tasks)?;
+                    let time =
+                        parse_event_line(version, &fields, line_no, &mut workers, &mut tasks)?;
+                    // Arrival order is part of the format, not a convention:
+                    // a log records events as they happen, so a timestamp
+                    // running backwards means the file was corrupted or
+                    // hand-edited. Equal timestamps are fine (simultaneous
+                    // arrivals keep their line order).
+                    if let Some(prev) = last_time {
+                        if time < prev {
+                            return Err(TraceError::parse(
+                                line_no,
+                                format!(
+                                    "event timestamp {time} is out of order \
+                                     (previous event was at {prev})"
+                                ),
+                            ));
+                        }
+                    }
+                    last_time = Some(time);
                 }
                 other => {
                     return Err(TraceError::parse(
@@ -442,13 +461,16 @@ fn parse_config_line(
     Ok(())
 }
 
+/// Parse one `w`/`t` line into the accumulator tables, returning the
+/// event's arrival time so the caller can enforce arrival-order
+/// monotonicity across lines.
 fn parse_event_line(
     version: TraceVersion,
     fields: &[&str],
     line: usize,
     workers: &mut Vec<(usize, usize, Worker)>,
     tasks: &mut Vec<(usize, usize, Task)>,
-) -> Result<(), TraceError> {
+) -> Result<f64, TraceError> {
     if fields.len() != 7 {
         return Err(TraceError::parse(
             line,
@@ -528,7 +550,7 @@ fn parse_event_line(
         }
         _ => unreachable!("caller dispatches only w/t lines"),
     }
-    Ok(())
+    Ok(time)
 }
 
 /// Sort accumulated `(id, line, item)` entries and validate that the ids are
@@ -706,6 +728,53 @@ mod tests {
             let msg = err.to_string();
             assert!(msg.contains(needle), "error `{msg}` should mention `{needle}`");
         }
+    }
+
+    const V1_HEADER: &str = "#ftoa-trace v1\nconfig region 0 0 10 10\nconfig grid 2 2\n\
+                             config slots 0 15 4\nconfig velocity 1\nconfig defaults 10 5\n";
+
+    /// Event lines must appear in arrival-time order: the writer emits them
+    /// time-sorted (see `events_are_written_in_time_order`), so a timestamp
+    /// running backwards means the file was corrupted or hand-edited. The
+    /// error is line-numbered and names both timestamps, matching the
+    /// truncated-event diagnostics.
+    #[test]
+    fn out_of_order_timestamps_are_rejected_with_the_line_number() {
+        // Header occupies lines 1-6; the offending event is line 8.
+        let text = format!("{V1_HEADER}t 0 5 1 1 5 1\nw 0 3 2 2 10 1\n");
+        let err = TraceReader::read_str(&text).expect_err("must fail");
+        let msg = err.to_string();
+        assert!(msg.contains("trace line 8"), "got: {msg}");
+        assert!(msg.contains("out of order"), "got: {msg}");
+        assert!(msg.contains('5') && msg.contains('3'), "must name both timestamps: {msg}");
+    }
+
+    /// Equal timestamps are simultaneous arrivals, not disorder: they keep
+    /// their line order and the trace is accepted.
+    #[test]
+    fn equal_timestamps_are_simultaneous_arrivals_not_disorder() {
+        let text = format!("{V1_HEADER}w 0 2 1 1 10 1\nt 0 2 3 3 5 1\nw 1 2 4 4 10 1\n");
+        let trace = TraceReader::read_str(&text).expect("equal timestamps are legal");
+        assert_eq!(trace.stream.num_workers(), 2);
+        assert_eq!(trace.stream.num_tasks(), 1);
+    }
+
+    /// A repeated event line is a duplicate id: the error carries the line
+    /// number of the *second* occurrence and names the kind and id, so a
+    /// corrupted append (log replayed twice) points straight at the seam.
+    #[test]
+    fn duplicate_event_lines_are_rejected_at_the_second_occurrence() {
+        let text = format!("{V1_HEADER}w 0 1 2 3 10 1\nw 0 1 2 3 10 1\n");
+        let err = TraceReader::read_str(&text).expect_err("must fail");
+        let msg = err.to_string();
+        assert!(msg.contains("trace line 8"), "got: {msg}");
+        assert!(msg.contains("duplicate worker id 0"), "got: {msg}");
+        // Same contract for tasks.
+        let text = format!("{V1_HEADER}t 0 1 2 3 5 1\nt 0 1 2 3 5 1\n");
+        let err = TraceReader::read_str(&text).expect_err("must fail");
+        let msg = err.to_string();
+        assert!(msg.contains("trace line 8"), "got: {msg}");
+        assert!(msg.contains("duplicate task id 0"), "got: {msg}");
     }
 
     #[test]
